@@ -1,0 +1,415 @@
+(* Command-line front end for the conference-call paging library.
+
+   Subcommands:
+     generate   write a random instance to stdout
+     solve      solve an instance file with a chosen solver
+     compare    run several solvers on one instance
+     evaluate   expected paging of an explicit strategy
+     simulate   run the end-to-end cellular simulation
+     hardness   demonstrate the Partition -> Conference Call reduction *)
+
+open Cmdliner
+open Confcall
+
+let read_instance path =
+  let content =
+    if path = "-" then In_channel.input_all stdin
+    else In_channel.with_open_text path In_channel.input_all
+  in
+  Instance.of_string content
+
+(* ---------------- generate ---------------- *)
+
+let dist_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "uniform" | "zipf" | "simplex" | "geometric" -> Ok s
+    | _ -> Error (`Msg "distribution must be uniform|zipf|simplex|geometric")
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let generate m c d dist seed skew =
+  let rng = Prob.Rng.create ~seed in
+  let inst =
+    match dist with
+    | "uniform" -> Instance.all_uniform ~m ~c ~d
+    | "zipf" -> Instance.random_zipf rng ~s:skew ~m ~c ~d
+    | "geometric" ->
+      Instance.random rng ~m ~c ~d ~gen:(fun rng c ->
+          Prob.Dist.shuffled rng (Prob.Dist.geometric ~ratio:(1.0 /. skew) c))
+    | _ -> Instance.random_uniform_simplex rng ~m ~c ~d
+  in
+  print_string (Instance.to_string inst)
+
+let generate_cmd =
+  let m =
+    Arg.(value & opt int 2 & info [ "m"; "devices" ] ~doc:"Number of devices.")
+  in
+  let c =
+    Arg.(value & opt int 16 & info [ "c"; "cells" ] ~doc:"Number of cells.")
+  in
+  let d =
+    Arg.(value & opt int 3 & info [ "d"; "delay" ] ~doc:"Delay budget (rounds).")
+  in
+  let dist =
+    Arg.(
+      value
+      & opt dist_conv "simplex"
+      & info [ "dist" ] ~doc:"Row distribution: uniform|zipf|simplex|geometric.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let skew =
+    Arg.(value & opt float 1.1 & info [ "skew" ] ~doc:"Zipf exponent / geometric slope.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random instance on stdout")
+    Term.(const generate $ m $ c $ d $ dist $ seed $ skew)
+
+(* ---------------- solve ---------------- *)
+
+let objective_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "all" | "find-all" -> Ok Objective.Find_all
+    | "any" | "find-any" -> Ok Objective.Find_any
+    | other ->
+      (match int_of_string_opt other with
+       | Some k when k >= 1 -> Ok (Objective.Find_at_least k)
+       | _ -> Error (`Msg "objective must be all|any|<k>"))
+  in
+  Arg.conv (parse, fun ppf o -> Objective.pp ppf o)
+
+let solver_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Solver.spec_of_string s) in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Solver.spec_to_string s))
+
+let solve path spec objective verbose =
+  let inst = read_instance path in
+  let outcome = Solver.solve ~objective spec inst in
+  Printf.printf "strategy: %s\n" (Strategy.to_string outcome.Solver.strategy);
+  Printf.printf "expected paging: %.6f%s\n" outcome.Solver.expected_paging
+    (if outcome.Solver.exact then " (optimal)" else "");
+  if verbose then begin
+    Printf.printf "expected rounds: %.6f\n"
+      (Strategy.expected_rounds ~objective inst outcome.Solver.strategy);
+    Printf.printf "lower bound: %.6f\n" (Bounds.lower_bound ~objective inst);
+    Printf.printf "page-all cost: %d\n" inst.Instance.c
+  end
+
+let file_arg =
+  Arg.(
+    value
+    & pos 0 string "-"
+    & info [] ~docv:"FILE" ~doc:"Instance file (\"-\" for stdin).")
+
+let solve_cmd =
+  let spec =
+    Arg.(
+      value
+      & opt solver_conv Solver.Greedy
+      & info [ "solver" ]
+          ~doc:"greedy|page-all|exhaustive|bnb|exact|bandwidth-<b>.")
+  in
+  let objective =
+    Arg.(
+      value
+      & opt objective_conv Objective.Find_all
+      & info [ "objective" ] ~doc:"all (conference) | any (yellow pages) | k.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"More output.") in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve an instance")
+    Term.(const solve $ file_arg $ spec $ objective $ verbose)
+
+(* ---------------- compare ---------------- *)
+
+let compare_solvers path =
+  let inst = read_instance path in
+  Printf.printf "m=%d c=%d d=%d\n" inst.Instance.m inst.Instance.c
+    inst.Instance.d;
+  Printf.printf "%-12s %12s %8s\n" "solver" "EP" "exact";
+  List.iter
+    (fun spec ->
+      match Solver.solve spec inst with
+      | outcome ->
+        Printf.printf "%-12s %12.6f %8s\n"
+          (Solver.spec_to_string spec)
+          outcome.Solver.expected_paging
+          (if outcome.Solver.exact then "yes" else "no")
+      | exception Invalid_argument reason ->
+        Printf.printf "%-12s %12s %8s  (%s)\n"
+          (Solver.spec_to_string spec)
+          "-" "-" reason)
+    [ Solver.Page_all; Solver.Greedy; Solver.Best_exact ];
+  Printf.printf "%-12s %12.6f\n" "lower-bound" (Bounds.lower_bound inst)
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare solvers on one instance")
+    Term.(const compare_solvers $ file_arg)
+
+(* ---------------- evaluate ---------------- *)
+
+let parse_strategy s =
+  let groups =
+    String.split_on_char '|' s
+    |> List.map (fun g ->
+           String.split_on_char ' ' (String.trim g)
+           |> List.filter (fun tok -> tok <> "")
+           |> List.map int_of_string
+           |> Array.of_list)
+    |> Array.of_list
+  in
+  Strategy.create groups
+
+let evaluate path strategy_s objective =
+  let inst = read_instance path in
+  let strategy = parse_strategy strategy_s in
+  Printf.printf "expected paging: %.6f\n"
+    (Strategy.expected_paging ~objective inst strategy);
+  Printf.printf "expected rounds: %.6f\n"
+    (Strategy.expected_rounds ~objective inst strategy)
+
+let evaluate_cmd =
+  let strategy =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "strategy" ] ~docv:"GROUPS"
+          ~doc:"Strategy as cell groups, e.g. \"0 1 2|3 4|5\".")
+  in
+  let objective =
+    Arg.(
+      value
+      & opt objective_conv Objective.Find_all
+      & info [ "objective" ] ~doc:"all|any|k.")
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Expected paging of an explicit strategy")
+    Term.(const evaluate $ file_arg $ strategy $ objective)
+
+(* ---------------- simulate ---------------- *)
+
+let reporting_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg "reporting must be area | movement-<k> | distance-<k> | time-<k>")
+    in
+    match String.lowercase_ascii s with
+    | "area" -> Ok Cellsim.Reporting.Area
+    | other ->
+      (match String.split_on_char '-' other with
+       | [ "movement"; k ] | [ "move"; k ] ->
+         (match int_of_string_opt k with
+          | Some k when k >= 1 -> Ok (Cellsim.Reporting.Movement k)
+          | _ -> fail ())
+       | [ "distance"; k ] | [ "dist"; k ] ->
+         (match int_of_string_opt k with
+          | Some k when k >= 1 -> Ok (Cellsim.Reporting.Distance k)
+          | _ -> fail ())
+       | [ "time"; k ] ->
+         (match int_of_string_opt k with
+          | Some k when k >= 1 -> Ok (Cellsim.Reporting.Time k)
+          | _ -> fail ())
+       | _ -> fail ())
+  in
+  Arg.conv
+    ( parse,
+      fun ppf p -> Format.pp_print_string ppf (Cellsim.Reporting.to_string p) )
+
+let scenario_conv =
+  let parse s =
+    match List.assoc_opt (String.lowercase_ascii s) Cellsim.Scenario.all with
+    | Some build -> Ok (Some build)
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "scenario must be one of: %s"
+              (String.concat " | " (List.map fst Cellsim.Scenario.all))))
+  in
+  Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<scenario>")
+
+let simulate_custom rows cols users rate duration seed block d_list reporting
+    diffuse call_duration =
+  let hex = Cellsim.Hex.create ~rows ~cols in
+  let selective d =
+    if diffuse then Cellsim.Sim.Selective_diffuse d else Cellsim.Sim.Selective d
+  in
+  let schemes = Cellsim.Sim.Blanket :: List.map selective d_list in
+  let config =
+    {
+      Cellsim.Sim.hex;
+      mobility = Cellsim.Mobility.random_walk hex ~stay:0.4;
+      areas = Cellsim.Location_area.grid hex ~block_rows:block ~block_cols:block;
+      users;
+      traffic =
+        Cellsim.Traffic.create ~rate
+          ~group_size:(Cellsim.Traffic.Uniform_range (2, 4))
+          ~users;
+      schemes;
+      reporting;
+      mobility_schedule = [];
+      call_duration;
+      track_ongoing = true;
+      profile_decay = 0.9;
+      profile_smoothing = 0.05;
+      duration;
+      seed;
+    }
+  in
+  let result = Cellsim.Sim.run config in
+  Format.printf "%a@." Cellsim.Sim.pp_result result
+
+let simulate rows cols users rate duration seed block d_list reporting diffuse
+    call_duration scenario =
+  match scenario with
+  | Some build ->
+    let result = Cellsim.Sim.run (build ?seed:(Some seed) ()) in
+    Format.printf "%a@." Cellsim.Sim.pp_result result
+  | None ->
+    simulate_custom rows cols users rate duration seed block d_list reporting
+      diffuse call_duration
+
+let simulate_cmd =
+  let rows = Arg.(value & opt int 8 & info [ "rows" ] ~doc:"Hex field rows.") in
+  let cols = Arg.(value & opt int 8 & info [ "cols" ] ~doc:"Hex field cols.") in
+  let users = Arg.(value & opt int 64 & info [ "users" ] ~doc:"User count.") in
+  let rate = Arg.(value & opt float 0.5 & info [ "rate" ] ~doc:"Calls per time unit.") in
+  let duration =
+    Arg.(value & opt float 400.0 & info [ "duration" ] ~doc:"Simulated time units.")
+  in
+  let seed = Arg.(value & opt int 2002 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let block =
+    Arg.(value & opt int 3 & info [ "block" ] ~doc:"Location-area block size.")
+  in
+  let ds =
+    Arg.(
+      value
+      & opt (list int) [ 2; 3 ]
+      & info [ "delays" ] ~doc:"Selective-scheme delay budgets, e.g. 2,3,5.")
+  in
+  let reporting =
+    Arg.(
+      value
+      & opt reporting_conv Cellsim.Reporting.Area
+      & info [ "reporting" ]
+          ~doc:"Reporting policy: area | movement-<k> | distance-<k> | time-<k>.")
+  in
+  let diffuse =
+    Arg.(
+      value & flag
+      & info [ "diffuse" ]
+          ~doc:"Estimate locations by mobility-model diffusion instead of \
+                decayed visit counts.")
+  in
+  let call_duration =
+    Arg.(
+      value & opt float 0.0
+      & info [ "call-duration" ]
+          ~doc:"Mean call length (0 = instantaneous calls).")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt scenario_conv None
+      & info [ "scenario" ]
+          ~doc:"Preset: suburb | commuter-day | busy-campus (overrides the \
+                other simulation options).")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the end-to-end cellular simulation")
+    Term.(
+      const simulate $ rows $ cols $ users $ rate $ duration $ seed $ block
+      $ ds $ reporting $ diffuse $ call_duration $ scenario)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze path max_d =
+  let inst = read_instance path in
+  let r = Greedy.solve inst in
+  let dist = Analysis.cost_distribution inst r.Order_dp.strategy in
+  Printf.printf "strategy: %s\n" (Strategy.to_string r.Order_dp.strategy);
+  Printf.printf "cost distribution: mean %.3f sd %.3f p50 %.0f p90 %.0f p99 %.0f\n"
+    dist.Analysis.mean dist.Analysis.stddev
+    (Analysis.quantile dist 0.5)
+    (Analysis.quantile dist 0.9)
+    (Analysis.quantile dist 0.99);
+  Array.iteri
+    (fun i p ->
+      Printf.printf "  P[cost = %3.0f] = %.4f\n" dist.Analysis.support.(i) p)
+    dist.Analysis.probabilities;
+  let max_d = Stdlib.min max_d inst.Instance.c in
+  Printf.printf "delay/paging frontier (d = 1..%d):\n" max_d;
+  Array.iteri
+    (fun i (rounds, ep) ->
+      Printf.printf "  d=%-2d  E[rounds] %6.3f  EP %8.3f\n" (i + 1) rounds ep)
+    (Analysis.delay_paging_frontier inst ~max_d)
+
+let analyze_cmd =
+  let max_d =
+    Arg.(value & opt int 8 & info [ "max-d" ] ~doc:"Frontier sweep upper bound.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Cost distribution and delay/paging frontier of an instance")
+    Term.(const analyze $ file_arg $ max_d)
+
+(* ---------------- hardness ---------------- *)
+
+let hardness sizes =
+  let sizes = Array.of_list sizes in
+  Printf.printf "Partition instance: [%s]\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int sizes)));
+  (match Hardness.partition_brute sizes with
+   | Some p ->
+     Printf.printf "brute force: positive (subset indices %s)\n"
+       (String.concat " " (List.map string_of_int p))
+   | None -> print_endline "brute force: negative");
+  let qp1 = Hardness.partition_to_qp1 sizes in
+  Printf.printf "reduced Quasipartition1 instance: %d sizes\n"
+    (Array.length qp1);
+  if Array.length qp1 <= 12 then begin
+    let via = Hardness.partition_answer_via_chain sizes in
+    Printf.printf
+      "decided via Conference Call oracle (m=2, d=2, c=%d): %s\n"
+      (Array.length qp1)
+      (if via then "positive" else "negative");
+    let lb = Hardness.qp1_lower_bound ~c:(Array.length qp1) in
+    Printf.printf "Lemma 3.2 target LB = %s = %.6f\n"
+      (Numeric.Rational.to_string lb)
+      (Numeric.Rational.to_float lb)
+  end
+  else
+    print_endline
+      "(reduced instance too large for the exact Conference Call oracle)"
+
+let hardness_cmd =
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3; 4 ]
+      & info [ "sizes" ] ~doc:"Partition sizes, e.g. 1,2,3,4.")
+  in
+  Cmd.v
+    (Cmd.info "hardness"
+       ~doc:"Demonstrate the NP-hardness reduction of Section 3")
+    Term.(const hardness $ sizes)
+
+let () =
+  let info =
+    Cmd.info "confcall" ~version:"1.0.0"
+      ~doc:"Wireless conference-call paging under delay constraints"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            solve_cmd;
+            compare_cmd;
+            evaluate_cmd;
+            analyze_cmd;
+            simulate_cmd;
+            hardness_cmd;
+          ]))

@@ -1,0 +1,76 @@
+(* End-to-end system simulation: users roam a hexagonal cell field,
+   report on location-area crossings (GSM MAP / IS-41 style), and the
+   system establishes conference calls, paging with either the standard
+   blanket scheme or the paper's selective multi-round strategies.
+
+   Run with: dune exec examples/conference_sim.exe *)
+
+let () =
+  let hex = Cellsim.Hex.create ~rows:10 ~cols:10 in
+  let users = 120 in
+  let config =
+    {
+      Cellsim.Sim.hex;
+      mobility = Cellsim.Mobility.drift_walk hex ~stay:0.35 ~east_bias:1.5;
+      areas = Cellsim.Location_area.grid hex ~block_rows:5 ~block_cols:5;
+      users;
+      traffic =
+        Cellsim.Traffic.create ~rate:0.8
+          ~group_size:(Cellsim.Traffic.Uniform_range (2, 4))
+          ~users;
+      schemes =
+        [
+          Cellsim.Sim.Blanket;
+          Cellsim.Sim.Selective 2;
+          Cellsim.Sim.Selective 3;
+          Cellsim.Sim.Selective 5;
+        ];
+      reporting = Cellsim.Reporting.Area;
+      mobility_schedule = [];
+      call_duration = 0.0;
+      track_ongoing = true;
+      profile_decay = 0.9;
+      profile_smoothing = 0.05;
+      duration = 600.0;
+      seed = 42;
+    }
+  in
+  Printf.printf
+    "Simulating %.0f time units: %d users on a %dx%d hex field,\n\
+     %d location areas, conference calls of 2-4 users at rate %.1f/unit.\n\n"
+    config.Cellsim.Sim.duration users 10 10
+    (Cellsim.Location_area.areas config.Cellsim.Sim.areas)
+    (Cellsim.Traffic.rate config.Cellsim.Sim.traffic);
+
+  let result = Cellsim.Sim.run config in
+  Printf.printf "Mobility: %d cell moves, %d boundary reports.\n"
+    result.Cellsim.Sim.moves result.Cellsim.Sim.updates;
+  Printf.printf "Calls established: %d\n\n" result.Cellsim.Sim.total_calls;
+
+  Printf.printf "%-14s %14s %14s %14s %12s\n" "scheme" "cells/call"
+    "expected/call" "rounds/call" "vs blanket";
+  let blanket_cells =
+    match result.Cellsim.Sim.per_scheme with
+    | first :: _ -> float_of_int first.Cellsim.Sim.cells_paged
+    | [] -> nan
+  in
+  List.iter
+    (fun s ->
+      let calls = float_of_int (Stdlib.max 1 s.Cellsim.Sim.calls) in
+      Printf.printf "%-14s %14.2f %14.2f %14.2f %11.1f%%\n"
+        (Cellsim.Sim.scheme_to_string s.Cellsim.Sim.scheme)
+        (float_of_int s.Cellsim.Sim.cells_paged /. calls)
+        (s.Cellsim.Sim.expected_paging /. calls)
+        (float_of_int s.Cellsim.Sim.rounds_used /. calls)
+        (100.0 *. float_of_int s.Cellsim.Sim.cells_paged /. blanket_cells))
+    result.Cellsim.Sim.per_scheme;
+
+  print_newline ();
+  print_endline "Notes:";
+  print_endline "- blanket = page each participant's whole location area at";
+  print_endline "  once (the deployed GSM MAP / IS-41 behaviour);";
+  print_endline "- selective-dK = the paper's heuristic with K rounds, fed by";
+  print_endline "  decayed-count location profiles learned from reports and";
+  print_endline "  previous successful pages;";
+  print_endline "- all schemes see identical mobility, traffic and observation";
+  print_endline "  history, so columns are directly comparable."

@@ -1,0 +1,77 @@
+(* A guided tour of the Section 3 NP-hardness machinery.
+
+   The paper's chain:  Partition -> Quasipartition1 -> Conference Call.
+   This example runs the chain on concrete instances and prints the
+   exact rational quantities involved, plus the Section 3.2 parameters
+   (alpha_k, group fractions r_j, mass fractions x_j, modulus M) for
+   several (m, d).
+
+   Run with: dune exec examples/hardness_tour.exe *)
+
+module Q = Numeric.Rational
+module B = Numeric.Bigint
+
+open Confcall
+
+let show_chain sizes =
+  Printf.printf "Partition instance [%s]:\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int sizes)));
+  (match Hardness.partition_brute sizes with
+   | Some p ->
+     Printf.printf "  brute force: positive, subset indices {%s}\n"
+       (String.concat " " (List.map string_of_int p))
+   | None -> print_endline "  brute force: negative");
+  let qp1 = Hardness.partition_to_qp1 sizes in
+  let c = Array.length qp1 in
+  Printf.printf "  reduced to Quasipartition1 with %d rational sizes\n" c;
+  Printf.printf "  reduced to Conference Call with m=2, d=2, c=%d\n" c;
+  let lb = Hardness.qp1_lower_bound ~c in
+  Printf.printf "  Lemma 3.2 target LB = %s = %.6f\n" (Q.to_string lb)
+    (Q.to_float lb);
+  let inst = Hardness.qp1_to_conference qp1 in
+  let strategy, ep = Optimal.exhaustive_exact inst in
+  Printf.printf "  optimal strategy %s with EP = %s\n"
+    (Strategy.to_string strategy) (Q.to_string ep);
+  let answer = Q.equal ep lb in
+  Printf.printf "  EP %s LB  =>  Partition is %s\n\n"
+    (if answer then "=" else ">")
+    (if answer then "POSITIVE" else "NEGATIVE")
+
+let () =
+  print_endline "== The reduction chain on two Partition instances ==\n";
+  show_chain [| 1; 2; 3; 4 |];
+  show_chain [| 1; 1; 1; 100 |];
+
+  print_endline "== Section 3.2 parameters (exact rationals) ==";
+  print_endline
+    "alpha_1 = m/(m+1), alpha_k = m/(m+1-alpha_{k-1}^m);\n\
+     r_j = optimal group-size fractions, x_j = per-group mass fractions,\n\
+     M = lcm of the r_j denominators (the Multipartition modulus).\n";
+  List.iter
+    (fun (m, d) ->
+      let p = Hardness.multipartition_params ~m ~d in
+      Printf.printf "m=%d d=%d:\n" m d;
+      Printf.printf "  alphas: %s\n"
+        (String.concat ", "
+           (Array.to_list (Array.map Q.to_string p.Hardness.alphas)));
+      Printf.printf "  r:      %s\n"
+        (String.concat ", "
+           (Array.to_list (Array.map Q.to_string p.Hardness.rs)));
+      Printf.printf "  x:      %s\n"
+        (String.concat ", "
+           (Array.to_list (Array.map Q.to_string p.Hardness.xs)));
+      Printf.printf "  M = %s\n\n" (B.to_string p.Hardness.modulus))
+    [ 2, 2; 2, 3; 3, 2; 3, 3; 2, 4 ];
+
+  print_endline "== Lemma 3.1: the function behind the reduction ==";
+  let c = 9 in
+  Printf.printf
+    "f(x, y) = (c - y)((1 - 3/(2c))y + x)(y - x) for c = %d peaks at\n\
+     (x, y) = (1/2, 2c/3) with value %s (= 4c^3/27 - 2c^2/9 + c/12):\n"
+    c
+    (Q.to_string (Numeric.Lemma_bounds.f_lemma31_max ~c));
+  List.iter
+    (fun (x, y) ->
+      Printf.printf "  f(%.2f, %.2f) = %10.4f\n" x y
+        (Numeric.Lemma_bounds.f_lemma31 ~c x y))
+    [ 0.5, 6.0; 0.5, 5.0; 0.5, 7.0; 0.3, 6.0; 0.7, 6.0; 0.0, 4.5 ]

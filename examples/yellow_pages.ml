@@ -1,0 +1,57 @@
+(* The dual problems of §5: Yellow Pages (find any one of m devices) and
+   the Signature problem (find any k of m), plus the family showing that
+   the conference-call heuristic has no constant factor for find-any.
+
+   Run with: dune exec examples/yellow_pages.exe *)
+
+open Confcall
+
+let () =
+  let rng = Prob.Rng.create ~seed:11 in
+  let m = 6 and c = 24 and d = 4 in
+  let inst = Instance.random_zipf rng ~s:1.0 ~m ~c ~d in
+  Printf.printf "Instance: m=%d, c=%d, d=%d (Zipf location profiles)\n\n" m c d;
+
+  (* Signature sweep: finding k of m signers. *)
+  print_endline "Expected cells paged to find k of the m devices (heuristic):";
+  let sweep = Signature.sweep inst in
+  Array.iteri
+    (fun i ep ->
+      let label =
+        if i = 0 then "  (Yellow Pages)"
+        else if i = m - 1 then "  (Conference Call)"
+        else ""
+      in
+      Printf.printf "  k=%d  EP = %6.2f%s\n" (i + 1) ep label)
+    sweep;
+  print_newline ();
+
+  (* Yellow Pages heuristics compared. *)
+  let natural = Yellow_pages.natural_heuristic inst in
+  let single = Yellow_pages.best_single_device inst in
+  Printf.printf "Yellow Pages, cell-weight heuristic   : %.3f\n"
+    natural.Order_dp.expected_paging;
+  Printf.printf "Yellow Pages, best-single-device      : %.3f\n"
+    single.Order_dp.expected_paging;
+  Printf.printf "Combined (library default)            : %.3f\n\n"
+    (Yellow_pages.solve inst).Order_dp.expected_paging;
+
+  (* The adversarial family: the conference-call heuristic's cell-weight
+     order is misled by cells whose weight is split among many devices.
+     The ratio to the single-device heuristic grows ~ logarithmically. *)
+  print_endline
+    "Adversarial family (natural heuristic vs best-single-device, d = 2):";
+  Printf.printf "%8s %6s %12s %12s %8s\n" "blocks" "c" "natural" "single" "ratio";
+  List.iter
+    (fun blocks ->
+      let adv = Yellow_pages.adversarial_instance ~blocks ~d:2 in
+      let nat = (Yellow_pages.natural_heuristic adv).Order_dp.expected_paging in
+      let bsd = (Yellow_pages.best_single_device adv).Order_dp.expected_paging in
+      Printf.printf "%8d %6d %12.3f %12.3f %8.3f\n" blocks adv.Instance.c nat
+        bsd (nat /. bsd))
+    [ 1; 2; 4; 8; 16; 32 ];
+  print_newline ();
+  print_endline "The growing ratio illustrates the paper's §5 remark that the";
+  print_endline "conference-call heuristic offers no constant factor for the";
+  print_endline "Yellow Pages objective; the best-single-device policy is the";
+  print_endline "paper's m-approximation candidate."

@@ -1,0 +1,33 @@
+type 'a t = { heap : 'a Heap.t; mutable clock : float }
+
+let create () = { heap = Heap.create (); clock = 0.0 }
+let now t = t.clock
+
+let schedule t ~at event =
+  if at < t.clock then invalid_arg "Event.schedule: scheduling in the past"
+  else Heap.push t.heap ~priority:at event
+
+let schedule_after t ~delay event =
+  if delay < 0.0 then invalid_arg "Event.schedule_after: negative delay"
+  else schedule t ~at:(t.clock +. delay) event
+
+let next t =
+  match Heap.pop t.heap with
+  | None -> None
+  | Some (at, event) ->
+    t.clock <- at;
+    Some (at, event)
+
+let run_until t ~stop handler =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.heap with
+    | None -> continue := false
+    | Some (at, _) when at > stop -> continue := false
+    | Some _ ->
+      (match next t with
+       | None -> continue := false
+       | Some (at, event) -> handler at event)
+  done
+
+let pending t = Heap.length t.heap

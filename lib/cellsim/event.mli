@@ -1,0 +1,24 @@
+(** A minimal discrete-event engine over {!Heap}. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val now : 'a t -> float
+
+(** [schedule t ~at event] enqueues an event; [at] must not precede the
+    current time.
+    @raise Invalid_argument when scheduling in the past. *)
+val schedule : 'a t -> at:float -> 'a -> unit
+
+(** [schedule_after t ~delay event]. *)
+val schedule_after : 'a t -> delay:float -> 'a -> unit
+
+(** [next t] advances the clock to the earliest event and returns it. *)
+val next : 'a t -> (float * 'a) option
+
+(** [run_until t ~stop handler] pops events in order, passing each to
+    [handler], until the queue is empty or the clock passes [stop]. An
+    event scheduled beyond [stop] is left in the queue. *)
+val run_until : 'a t -> stop:float -> (float -> 'a -> unit) -> unit
+
+val pending : 'a t -> int

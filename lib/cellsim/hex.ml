@@ -1,0 +1,54 @@
+type t = { rows : int; cols : int }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Hex.create: bad dimensions"
+  else { rows; cols }
+
+let cells t = t.rows * t.cols
+
+let index t ~row ~col =
+  if row < 0 || row >= t.rows || col < 0 || col >= t.cols then
+    invalid_arg "Hex.index: out of bounds"
+  else (row * t.cols) + col
+
+let coords t cell =
+  if cell < 0 || cell >= cells t then invalid_arg "Hex.coords: out of bounds"
+  else cell / t.cols, cell mod t.cols
+
+let in_bounds t ~row ~col = row >= 0 && row < t.rows && col >= 0 && col < t.cols
+
+(* Odd-r offset layout: odd rows shift right by half a hex. *)
+let neighbor_offsets row =
+  if row land 1 = 0 then
+    [ -1, -1; -1, 0; 0, -1; 0, 1; 1, -1; 1, 0 ]
+  else [ -1, 0; -1, 1; 0, -1; 0, 1; 1, 0; 1, 1 ]
+
+let neighbors t cell =
+  let row, col = coords t cell in
+  List.filter_map
+    (fun (dr, dc) ->
+      let r = row + dr and c = col + dc in
+      if in_bounds t ~row:r ~col:c then Some (index t ~row:r ~col:c) else None)
+    (neighbor_offsets row)
+
+(* Convert odd-r offset to cube coordinates for distance. *)
+let to_cube row col =
+  let x = col - ((row - (row land 1)) / 2) in
+  let z = row in
+  let y = -x - z in
+  x, y, z
+
+let distance t a b =
+  let ra, ca = coords t a and rb, cb = coords t b in
+  let xa, ya, za = to_cube ra ca and xb, yb, zb = to_cube rb cb in
+  (abs (xa - xb) + abs (ya - yb) + abs (za - zb)) / 2
+
+let disk t center ~radius =
+  if radius < 0 then invalid_arg "Hex.disk: negative radius"
+  else begin
+    let acc = ref [] in
+    for cell = cells t - 1 downto 0 do
+      if distance t center cell <= radius then acc := cell :: !acc
+    done;
+    !acc
+  end

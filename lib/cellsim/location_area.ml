@@ -1,0 +1,72 @@
+type t = {
+  cells : int;
+  area_of : int array;
+  members : int array array;
+}
+
+let create ~cells ~area_of =
+  if Array.length area_of <> cells then
+    invalid_arg "Location_area.create: assignment length mismatch"
+  else begin
+    let k = Array.fold_left Stdlib.max (-1) area_of + 1 in
+    if k <= 0 then invalid_arg "Location_area.create: no areas"
+    else if Array.exists (fun a -> a < 0) area_of then
+      invalid_arg "Location_area.create: negative area id"
+    else begin
+      let buckets = Array.make k [] in
+      for cell = cells - 1 downto 0 do
+        buckets.(area_of.(cell)) <- cell :: buckets.(area_of.(cell))
+      done;
+      if Array.exists (fun b -> b = []) buckets then
+        invalid_arg "Location_area.create: empty area"
+      else
+        {
+          cells;
+          area_of = Array.copy area_of;
+          members = Array.map Array.of_list buckets;
+        }
+    end
+  end
+
+let grid hex ~block_rows ~block_cols =
+  if block_rows <= 0 || block_cols <= 0 then
+    invalid_arg "Location_area.grid: bad block size"
+  else begin
+    let rows = hex.Hex.rows and cols = hex.Hex.cols in
+    let blocks_per_row = (cols + block_cols - 1) / block_cols in
+    let area_of =
+      Array.init (Hex.cells hex) (fun cell ->
+          let row, col = Hex.coords hex cell in
+          ((row / block_rows) * blocks_per_row) + (col / block_cols))
+    in
+    ignore rows;
+    (* Compact ids (edge effects can skip ids when cols % block_cols <> 0
+       — they cannot here, but renumber defensively). *)
+    let seen = Hashtbl.create 16 in
+    let next = ref 0 in
+    let compact =
+      Array.map
+        (fun a ->
+          match Hashtbl.find_opt seen a with
+          | Some id -> id
+          | None ->
+            let id = !next in
+            Hashtbl.add seen a id;
+            incr next;
+            id)
+        area_of
+    in
+    create ~cells:(Hex.cells hex) ~area_of:compact
+  end
+
+let single hex =
+  create ~cells:(Hex.cells hex) ~area_of:(Array.make (Hex.cells hex) 0)
+
+let per_cell hex =
+  create ~cells:(Hex.cells hex)
+    ~area_of:(Array.init (Hex.cells hex) (fun j -> j))
+
+let areas t = Array.length t.members
+let area_of t cell = t.area_of.(cell)
+let cells_of_area t a = Array.copy t.members.(a)
+let crossing t ~from_cell ~to_cell = t.area_of.(from_cell) <> t.area_of.(to_cell)

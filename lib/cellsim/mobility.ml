@@ -1,0 +1,120 @@
+type t = { n : int; rows : float array array }
+
+let create rows =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Mobility.create: empty matrix"
+  else begin
+    Array.iter
+      (fun row ->
+        if Array.length row <> n then
+          invalid_arg "Mobility.create: matrix must be square"
+        else if Array.exists (fun x -> x < 0.0) row then
+          invalid_arg "Mobility.create: negative entry"
+        else if abs_float (Array.fold_left ( +. ) 0.0 row -. 1.0) > 1e-9 then
+          invalid_arg "Mobility.create: row does not sum to 1")
+      rows;
+    { n; rows = Array.map Array.copy rows }
+  end
+
+let random_walk hex ~stay =
+  if stay < 0.0 || stay >= 1.0 then
+    invalid_arg "Mobility.random_walk: stay must be in [0, 1)"
+  else begin
+    let n = Hex.cells hex in
+    let rows =
+      Array.init n (fun cell ->
+          let row = Array.make n 0.0 in
+          let ns = Hex.neighbors hex cell in
+          let share = (1.0 -. stay) /. float_of_int (List.length ns) in
+          row.(cell) <- stay;
+          List.iter (fun j -> row.(j) <- row.(j) +. share) ns;
+          row)
+    in
+    create rows
+  end
+
+let drift_walk hex ~stay ~east_bias =
+  if stay < 0.0 || stay >= 1.0 then
+    invalid_arg "Mobility.drift_walk: stay must be in [0, 1)"
+  else if east_bias < 1.0 then
+    invalid_arg "Mobility.drift_walk: east_bias must be >= 1"
+  else begin
+    let n = Hex.cells hex in
+    let rows =
+      Array.init n (fun cell ->
+          let row = Array.make n 0.0 in
+          let _, col = Hex.coords hex cell in
+          let ns = Hex.neighbors hex cell in
+          let weight j =
+            let _, cj = Hex.coords hex j in
+            if cj > col then east_bias else 1.0
+          in
+          let total = List.fold_left (fun acc j -> acc +. weight j) 0.0 ns in
+          row.(cell) <- stay;
+          List.iter
+            (fun j -> row.(j) <- row.(j) +. ((1.0 -. stay) *. weight j /. total))
+            ns;
+          row)
+    in
+    create rows
+  end
+
+let teleport base ~jump ~target =
+  if jump < 0.0 || jump > 1.0 then
+    invalid_arg "Mobility.teleport: jump must be in [0, 1]"
+  else if Array.length target <> base.n then
+    invalid_arg "Mobility.teleport: target dimension mismatch"
+  else begin
+    let target = Prob.Dist.normalize (Array.copy target) in
+    let rows =
+      Array.map
+        (fun row ->
+          Array.mapi
+            (fun j x -> ((1.0 -. jump) *. x) +. (jump *. target.(j)))
+            row)
+        base.rows
+    in
+    create rows
+  end
+
+let step t rng ~cell =
+  if cell < 0 || cell >= t.n then invalid_arg "Mobility.step: bad cell"
+  else Prob.Dist.sample rng t.rows.(cell)
+
+let stationary ?(iters = 10_000) ?(tol = 1e-12) t =
+  let v = ref (Array.make t.n (1.0 /. float_of_int t.n)) in
+  let continue = ref true in
+  let k = ref 0 in
+  while !continue && !k < iters do
+    let next = Array.make t.n 0.0 in
+    for i = 0 to t.n - 1 do
+      let vi = !v.(i) in
+      if vi > 0.0 then
+        for j = 0 to t.n - 1 do
+          next.(j) <- next.(j) +. (vi *. t.rows.(i).(j))
+        done
+    done;
+    if Prob.Dist.total_variation !v next < tol then continue := false;
+    v := next;
+    incr k
+  done;
+  !v
+
+let diffuse t dist ~steps =
+  if Array.length dist <> t.n then
+    invalid_arg "Mobility.diffuse: dimension mismatch"
+  else begin
+    let v = ref (Array.copy dist) in
+    for _ = 1 to steps do
+      let next = Array.make t.n 0.0 in
+      for i = 0 to t.n - 1 do
+        let vi = !v.(i) in
+        if vi > 0.0 then
+          for j = 0 to t.n - 1 do
+            next.(j) <- next.(j) +. (vi *. t.rows.(i).(j))
+          done
+      done;
+      v := next
+    done;
+    !v
+  end

@@ -1,0 +1,36 @@
+(** Mobility models over a cell graph.
+
+    A model is a Markov transition matrix over cells: each simulation
+    tick a user jumps according to their current cell's row. The
+    stationary distribution doubles as a ground-truth location profile
+    for experiments that want the "ideal knowledge" regime. *)
+
+type t = private { n : int; rows : float array array }
+
+(** [create rows] validates a row-stochastic matrix.
+    @raise Invalid_argument when some row does not sum to 1. *)
+val create : float array array -> t
+
+(** [random_walk hex ~stay] — with probability [stay] remain in place,
+    otherwise move to a uniform neighbor. *)
+val random_walk : Hex.t -> stay:float -> t
+
+(** [drift_walk hex ~stay ~east_bias] — a random walk with a preference
+    for eastward neighbors; models commuter flow. [east_bias] ≥ 1
+    multiplies the weight of neighbors with larger column. *)
+val drift_walk : Hex.t -> stay:float -> east_bias:float -> t
+
+(** [teleport base ~jump ~target] — with probability [jump] redraw the
+    cell from [target] (waypoint behaviour), otherwise follow [base]. *)
+val teleport : t -> jump:float -> target:float array -> t
+
+(** [step t rng ~cell] — sample the next cell. *)
+val step : t -> Prob.Rng.t -> cell:int -> int
+
+(** [stationary ?iters ?tol t] — stationary distribution by power
+    iteration from uniform; [tol] is total-variation convergence. *)
+val stationary : ?iters:int -> ?tol:float -> t -> float array
+
+(** [diffuse t dist ~steps] — push a distribution [steps] ticks forward:
+    the system's belief about a user last seen [steps] ago. *)
+val diffuse : t -> float array -> steps:int -> float array

@@ -1,0 +1,42 @@
+type t = {
+  counts : float array;
+  decay : float;
+  smoothing : float;
+  mutable seen : int;
+}
+
+let create ~cells ~decay ~smoothing =
+  if cells <= 0 then invalid_arg "Profile.create: no cells"
+  else if decay <= 0.0 || decay > 1.0 then
+    invalid_arg "Profile.create: decay must be in (0, 1]"
+  else if smoothing <= 0.0 then
+    invalid_arg "Profile.create: smoothing must be positive"
+  else { counts = Array.make cells 0.0; decay; smoothing; seen = 0 }
+
+let cells t = Array.length t.counts
+
+let observe t cell =
+  if cell < 0 || cell >= cells t then invalid_arg "Profile.observe: bad cell"
+  else begin
+    if t.decay < 1.0 then
+      for j = 0 to cells t - 1 do
+        t.counts.(j) <- t.counts.(j) *. t.decay
+      done;
+    t.counts.(cell) <- t.counts.(cell) +. 1.0;
+    t.seen <- t.seen + 1
+  end
+
+let observations t = t.seen
+
+let distribution t =
+  Prob.Dist.normalize (Array.map (fun x -> x +. t.smoothing) t.counts)
+
+let distribution_over t subset =
+  if Array.length subset = 0 then
+    invalid_arg "Profile.distribution_over: empty subset"
+  else
+    Prob.Dist.normalize
+      (Array.map (fun j -> t.counts.(j) +. t.smoothing) subset)
+
+let copy t =
+  { counts = Array.copy t.counts; decay = t.decay; smoothing = t.smoothing; seen = t.seen }

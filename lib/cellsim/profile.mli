@@ -1,0 +1,32 @@
+(** Per-user location profiles estimated from observations.
+
+    The paging algorithms consume a probability vector per user; real
+    systems estimate it from the user's observation history (the paper
+    cites [15,16] for such methods). This estimator keeps exponentially
+    decayed visit counts of the cells where the system actually saw the
+    user — location-area registrations and successful pages — with
+    Laplace smoothing so every cell keeps positive mass. *)
+
+type t
+
+(** [create ~cells ~decay ~smoothing] — [decay] ∈ (0, 1] multiplies old
+    counts at each observation; [smoothing] > 0 is the per-cell pseudo
+    count. *)
+val create : cells:int -> decay:float -> smoothing:float -> t
+
+val cells : t -> int
+
+(** [observe t cell] records that the user was seen in [cell]. *)
+val observe : t -> int -> unit
+
+(** [observations t] — number of observations recorded so far. *)
+val observations : t -> int
+
+(** [distribution t] — current estimate (positive, sums to 1). *)
+val distribution : t -> float array
+
+(** [distribution_over t cells] — the estimate restricted to a cell
+    subset and renormalized (e.g. the user's current location area). *)
+val distribution_over : t -> int array -> float array
+
+val copy : t -> t

@@ -1,0 +1,85 @@
+let suburb ?(seed = 2002) () =
+  let hex = Hex.create ~rows:8 ~cols:8 in
+  let users = 64 in
+  {
+    Sim.hex;
+    mobility = Mobility.random_walk hex ~stay:0.4;
+    areas = Location_area.grid hex ~block_rows:4 ~block_cols:4;
+    users;
+    traffic = Traffic.create ~rate:0.5 ~group_size:(Traffic.Fixed 3) ~users;
+    schemes = [ Sim.Blanket; Sim.Selective 3; Sim.Selective_diffuse 3 ];
+    reporting = Reporting.Area;
+    profile_decay = 0.9;
+    profile_smoothing = 0.05;
+    mobility_schedule = [];
+    call_duration = 0.0;
+    track_ongoing = true;
+    duration = 300.0;
+    seed;
+  }
+
+let commuter_day ?(seed = 2002) () =
+  let hex = Hex.create ~rows:8 ~cols:12 in
+  let users = 90 in
+  let duration = 360.0 in
+  let calm = Mobility.random_walk hex ~stay:0.4 in
+  let eastbound = Mobility.drift_walk hex ~stay:0.2 ~east_bias:4.0 in
+  let westbound =
+    (* Mirror the drift by biasing against eastern columns: build the
+       westbound matrix by transposing the column preference. *)
+    let n = Hex.cells hex in
+    let rows =
+      Array.init n (fun cell ->
+          let mirror c =
+            let row, col = Hex.coords hex c in
+            Hex.index hex ~row ~col:(11 - col)
+          in
+          let source = eastbound.Mobility.rows.(mirror cell) in
+          let out = Array.make n 0.0 in
+          Array.iteri (fun target p -> out.(mirror target) <- p) source;
+          out)
+    in
+    Mobility.create rows
+  in
+  {
+    Sim.hex;
+    mobility = calm;
+    areas = Location_area.grid hex ~block_rows:4 ~block_cols:4;
+    users;
+    traffic =
+      Traffic.create ~rate:0.7 ~group_size:(Traffic.Uniform_range (2, 4)) ~users;
+    schemes = [ Sim.Blanket; Sim.Selective 3; Sim.Selective_diffuse 3 ];
+    reporting = Reporting.Area;
+    profile_decay = 0.9;
+    profile_smoothing = 0.05;
+    mobility_schedule =
+      [ 0.0, eastbound; duration /. 3.0, calm; 2.0 *. duration /. 3.0, westbound ];
+    call_duration = 0.0;
+    track_ongoing = true;
+    duration;
+    seed;
+  }
+
+let busy_campus ?(seed = 2002) () =
+  let hex = Hex.create ~rows:6 ~cols:6 in
+  let users = 48 in
+  {
+    Sim.hex;
+    mobility = Mobility.random_walk hex ~stay:0.5;
+    areas = Location_area.grid hex ~block_rows:2 ~block_cols:2;
+    users;
+    traffic =
+      Traffic.create ~rate:1.5 ~group_size:(Traffic.Uniform_range (2, 3)) ~users;
+    schemes = [ Sim.Blanket; Sim.Selective 2; Sim.Selective_diffuse 2 ];
+    reporting = Reporting.Area;
+    profile_decay = 0.9;
+    profile_smoothing = 0.05;
+    mobility_schedule = [];
+    call_duration = 5.0;
+    track_ongoing = true;
+    duration = 300.0;
+    seed;
+  }
+
+let all =
+  [ "suburb", suburb; "commuter-day", commuter_day; "busy-campus", busy_campus ]

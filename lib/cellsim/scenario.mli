@@ -1,0 +1,24 @@
+(** Canned simulation scenarios.
+
+    Ready-made {!Sim.config}s for recurring evaluation settings, so the
+    CLI, benches and downstream users share consistent setups. Every
+    scenario is deterministic given its seed. *)
+
+(** [suburb ?seed ()] — the baseline: 8×8 field, 4×4 location areas,
+    64 users on an unbiased random walk, 3-party instantaneous calls. *)
+val suburb : ?seed:int -> unit -> Sim.config
+
+(** [commuter_day ?seed ()] — a stylized working day on a 12×8 field:
+    the first third of the time users drift east (morning commute), the
+    middle third they walk randomly (work hours), the last third the
+    drift reverses (evening). The system's calibrated model (used by the
+    diffusion estimator) remains the unbiased walk, so regime changes
+    stress the estimators realistically. *)
+val commuter_day : ?seed:int -> unit -> Sim.config
+
+(** [busy_campus ?seed ()] — a dense 6×6 field with per-2×2 location
+    areas, high call rate and 5-unit mean call durations: many busy
+    lines, much free tracking. *)
+val busy_campus : ?seed:int -> unit -> Sim.config
+
+val all : (string * (?seed:int -> unit -> Sim.config)) list

@@ -1,0 +1,368 @@
+module Instance = Confcall.Instance
+module Strategy = Confcall.Strategy
+module Greedy = Confcall.Greedy
+module Order_dp = Confcall.Order_dp
+
+type scheme = Blanket | Selective of int | Selective_diffuse of int
+
+type scheme_metrics = {
+  scheme : scheme;
+  calls : int;
+  devices_sought : int;
+  cells_paged : int;
+  expected_paging : float;
+  rounds_used : int;
+  per_call : Prob.Stats.summary;
+}
+
+type result = {
+  duration : float;
+  moves : int;
+  updates : int;
+  total_calls : int;
+  skipped_calls : int;
+  per_scheme : scheme_metrics list;
+}
+
+type config = {
+  hex : Hex.t;
+  mobility : Mobility.t;
+  areas : Location_area.t;
+  users : int;
+  traffic : Traffic.t;
+  schemes : scheme list;
+  reporting : Reporting.policy;
+  profile_decay : float;
+  profile_smoothing : float;
+  mobility_schedule : (float * Mobility.t) list;
+  call_duration : float;
+  track_ongoing : bool;
+  duration : float;
+  seed : int;
+}
+
+let default_config () =
+  let hex = Hex.create ~rows:8 ~cols:8 in
+  {
+    hex;
+    mobility = Mobility.random_walk hex ~stay:0.4;
+    areas = Location_area.grid hex ~block_rows:3 ~block_cols:3;
+    users = 64;
+    traffic = Traffic.create ~rate:0.5 ~group_size:(Traffic.Fixed 3) ~users:64;
+    schemes = [ Blanket; Selective 2; Selective 3 ];
+    reporting = Reporting.Area;
+    profile_decay = 0.9;
+    profile_smoothing = 0.05;
+    mobility_schedule = [];
+    call_duration = 0.0;
+    track_ongoing = true;
+    duration = 400.0;
+    seed = 2002;
+  }
+
+let scheme_to_string = function
+  | Blanket -> "blanket"
+  | Selective d -> Printf.sprintf "selective-d%d" d
+  | Selective_diffuse d -> Printf.sprintf "diffuse-d%d" d
+
+type event_kind = Tick | Call
+
+type scheme_acc = {
+  s_scheme : scheme;
+  mutable s_calls : int;
+  mutable s_devices : int;
+  mutable s_cells : int;
+  mutable s_expected : float;
+  mutable s_rounds : int;
+  s_stats : Prob.Stats.Acc.t;
+}
+
+(* Ground-truth rounds used by a strategy on one outcome. *)
+let rounds_on_outcome strategy ~positions =
+  let groups = Strategy.groups strategy in
+  let where = Hashtbl.create 32 in
+  Array.iteri
+    (fun r g -> Array.iter (fun cell -> Hashtbl.replace where cell r) g)
+    groups;
+  let last =
+    Array.fold_left
+      (fun acc p -> Stdlib.max acc (Hashtbl.find where p))
+      0 positions
+  in
+  last + 1
+
+(* Diffusion of point masses under the mobility model, memoized: the
+   belief about a user last seen in [cell], [steps] ticks ago. Steps are
+   capped — the diffusion approaches the stationary distribution anyway
+   and the cap bounds memory. *)
+let diffusion_cache mobility cells =
+  let memo = Hashtbl.create 256 in
+  fun ~cell ~steps ->
+    let steps = Stdlib.min steps 30 in
+    match Hashtbl.find_opt memo (cell, steps) with
+    | Some dist -> dist
+    | None ->
+      let point = Array.make cells 0.0 in
+      point.(cell) <- 1.0;
+      let dist = Mobility.diffuse mobility point ~steps in
+      Hashtbl.add memo (cell, steps) dist;
+      dist
+
+let run config =
+  if config.users <= 0 then invalid_arg "Sim.run: no users"
+  else if Location_area.(config.areas.cells) <> Hex.cells config.hex then
+    invalid_arg "Sim.run: area partition does not match the hex field"
+  else begin
+    (match Reporting.validate config.reporting with
+     | Ok () -> ()
+     | Error reason -> invalid_arg ("Sim.run: " ^ reason));
+    let cells = Hex.cells config.hex in
+    let rng = Prob.Rng.create ~seed:config.seed in
+    let rng_move = Prob.Rng.split rng in
+    let rng_traffic = Prob.Rng.split rng in
+    (* Ground truth positions and the system's view. *)
+    let position =
+      Array.init config.users (fun _ -> Prob.Rng.int rng_move cells)
+    in
+    let report_state =
+      Array.map
+        (fun cell -> Reporting.init config.reporting ~cell ~now:0.0)
+        position
+    in
+    let profiles =
+      Array.init config.users (fun _ ->
+          Profile.create ~cells ~decay:config.profile_decay
+            ~smoothing:config.profile_smoothing)
+    in
+    (* Initial registration: the system learns the starting cells. *)
+    Array.iteri (fun u cell -> Profile.observe profiles.(u) cell) position;
+    let busy_until = Array.make config.users neg_infinity in
+    let diffuse = diffusion_cache config.mobility cells in
+    let moves = ref 0
+    and updates = ref 0
+    and total_calls = ref 0
+    and skipped_calls = ref 0 in
+    let accs =
+      List.map
+        (fun scheme ->
+          {
+            s_scheme = scheme;
+            s_calls = 0;
+            s_devices = 0;
+            s_cells = 0;
+            s_expected = 0.0;
+            s_rounds = 0;
+            s_stats = Prob.Stats.Acc.create ();
+          })
+        config.schemes
+    in
+    let engine = Event.create () in
+    Event.schedule engine ~at:1.0 Tick;
+    Event.schedule engine
+      ~at:(Traffic.next_arrival config.traffic rng_traffic)
+      Call;
+
+    let observe_exactly u ~now =
+      Profile.observe profiles.(u) position.(u);
+      Reporting.observe_page report_state.(u) ~cell:position.(u) ~now
+    in
+
+    (* Actual motion model in force at a given time. *)
+    let mobility_at now =
+      List.fold_left
+        (fun current (start, model) ->
+          if now >= start then model else current)
+        config.mobility
+        (List.sort (fun (a, _) (b, _) -> compare a b) config.mobility_schedule)
+    in
+    let handle_tick now =
+      let mobility = mobility_at now in
+      for u = 0 to config.users - 1 do
+        let from_cell = position.(u) in
+        let to_cell = Mobility.step mobility rng_move ~cell:from_cell in
+        if to_cell <> from_cell then incr moves;
+        position.(u) <- to_cell;
+        if busy_until.(u) > now && config.track_ongoing then
+          (* On a call: the network tracks the terminal continuously. *)
+          observe_exactly u ~now
+        else begin
+          let reported =
+            Reporting.on_move config.reporting ~areas:config.areas
+              ~hex:config.hex report_state.(u) ~from_cell ~to_cell ~now
+          in
+          if reported then begin
+            incr updates;
+            (* The report reveals the exact new cell. *)
+            Profile.observe profiles.(u) to_cell
+          end
+        end
+      done;
+      Event.schedule_after engine ~delay:1.0 Tick
+    in
+
+    let handle_call now =
+      let group = Traffic.draw_group config.traffic rng_traffic in
+      if Array.exists (fun u -> busy_until.(u) > now) group then
+        incr skipped_calls
+      else begin
+        incr total_calls;
+        (* Per-participant uncertainty sets and their union. *)
+        let uncertain =
+          Array.map
+            (fun u ->
+              Reporting.uncertainty config.reporting ~areas:config.areas
+                ~hex:config.hex report_state.(u) ~now)
+            group
+        in
+        let universe_tbl = Hashtbl.create 64 in
+        let universe_rev = ref [] in
+        let universe_size = ref 0 in
+        Array.iter
+          (Array.iter (fun cell ->
+               if not (Hashtbl.mem universe_tbl cell) then begin
+                 Hashtbl.add universe_tbl cell !universe_size;
+                 universe_rev := cell :: !universe_rev;
+                 incr universe_size
+               end))
+          uncertain;
+        let universe = Array.of_list (List.rev !universe_rev) in
+        let c_local = Array.length universe in
+        let positions_local =
+          Array.map
+            (fun u ->
+              match Hashtbl.find_opt universe_tbl position.(u) with
+              | Some k -> k
+              | None ->
+                (* Disk-based policies assume at most one cell per tick;
+                   teleporting mobility models break that. *)
+                invalid_arg
+                  "Sim.run: user outside its uncertainty set (mobility \
+                   jumps farther than the reporting policy allows)")
+            group
+        in
+        (* Row construction per estimator. *)
+        let counts_row idx =
+          let u = group.(idx) in
+          let row = Array.make c_local 0.0 in
+          let dist = Profile.distribution_over profiles.(u) uncertain.(idx) in
+          Array.iteri
+            (fun k cell -> row.(Hashtbl.find universe_tbl cell) <- dist.(k))
+            uncertain.(idx);
+          row
+        in
+        let diffuse_row idx =
+          let u = group.(idx) in
+          let st = report_state.(u) in
+          let belief =
+            diffuse
+              ~cell:(Reporting.last_reported_cell st)
+              ~steps:(Reporting.ticks_since_report st)
+          in
+          let row = Array.make c_local 0.0 in
+          let mass = ref 0.0 in
+          Array.iter
+            (fun cell ->
+              let p = belief.(cell) in
+              row.(Hashtbl.find universe_tbl cell) <- p;
+              mass := !mass +. p)
+            uncertain.(idx);
+          if !mass <= 0.0 then begin
+            (* Degenerate: fall back to uniform over the uncertainty set. *)
+            let share = 1.0 /. float_of_int (Array.length uncertain.(idx)) in
+            Array.iter
+              (fun cell -> row.(Hashtbl.find universe_tbl cell) <- share)
+              uncertain.(idx)
+          end
+          else
+            Array.iteri (fun k p -> row.(k) <- p /. !mass) (Array.copy row);
+          row
+        in
+        List.iter
+          (fun acc ->
+            let d, rows =
+              match acc.s_scheme with
+              | Blanket -> 1, Array.mapi (fun idx _ -> counts_row idx) group
+              | Selective d ->
+                ( Stdlib.min d c_local,
+                  Array.mapi (fun idx _ -> counts_row idx) group )
+              | Selective_diffuse d ->
+                ( Stdlib.min d c_local,
+                  Array.mapi (fun idx _ -> diffuse_row idx) group )
+            in
+            let inst = Instance.create ~d rows in
+            let strategy =
+              match acc.s_scheme with
+              | Blanket -> Strategy.page_all c_local
+              | Selective _ | Selective_diffuse _ ->
+                (Greedy.solve inst).Order_dp.strategy
+            in
+            let cost =
+              Strategy.cost_on_outcome strategy ~m:(Array.length group)
+                ~positions:positions_local
+            in
+            acc.s_calls <- acc.s_calls + 1;
+            acc.s_devices <- acc.s_devices + Array.length group;
+            acc.s_cells <- acc.s_cells + cost;
+            acc.s_expected <-
+              acc.s_expected +. Strategy.expected_paging inst strategy;
+            acc.s_rounds <-
+              acc.s_rounds
+              + rounds_on_outcome strategy ~positions:positions_local;
+            Prob.Stats.Acc.add acc.s_stats (float_of_int cost))
+          accs;
+        (* The call locates every participant, whatever the scheme. *)
+        Array.iter (fun u -> observe_exactly u ~now) group;
+        if config.call_duration > 0.0 then begin
+          let length =
+            Prob.Rng.exponential rng_traffic
+              ~rate:(1.0 /. config.call_duration)
+          in
+          Array.iter (fun u -> busy_until.(u) <- now +. length) group
+        end
+      end;
+      Event.schedule_after engine
+        ~delay:(Traffic.next_arrival config.traffic rng_traffic)
+        Call
+    in
+
+    Event.run_until engine ~stop:config.duration (fun at event ->
+        match event with
+        | Tick -> handle_tick at
+        | Call -> handle_call at);
+
+    {
+      duration = config.duration;
+      moves = !moves;
+      updates = !updates;
+      total_calls = !total_calls;
+      skipped_calls = !skipped_calls;
+      per_scheme =
+        List.map
+          (fun acc ->
+            {
+              scheme = acc.s_scheme;
+              calls = acc.s_calls;
+              devices_sought = acc.s_devices;
+              cells_paged = acc.s_cells;
+              expected_paging = acc.s_expected;
+              rounds_used = acc.s_rounds;
+              per_call = Prob.Stats.Acc.summary acc.s_stats;
+            })
+          accs;
+    }
+  end
+
+let pp_result ppf (r : result) =
+  Format.fprintf ppf
+    "@[<v>duration %.0f, %d moves, %d reports, %d calls (%d skipped)@,"
+    r.duration r.moves r.updates r.total_calls r.skipped_calls;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf
+        "%-14s cells/call %.2f (expected %.2f) rounds/call %.2f@,"
+        (scheme_to_string s.scheme)
+        (float_of_int s.cells_paged /. float_of_int (Stdlib.max 1 s.calls))
+        (s.expected_paging /. float_of_int (Stdlib.max 1 s.calls))
+        (float_of_int s.rounds_used /. float_of_int (Stdlib.max 1 s.calls)))
+    r.per_scheme;
+  Format.fprintf ppf "@]"

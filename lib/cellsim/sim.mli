@@ -1,0 +1,85 @@
+(** End-to-end simulation: users roam a hex field under a mobility
+    model, report their location according to a {!Reporting} policy, and
+    Poisson conference-call arrivals trigger searches.
+
+    For each call the system builds a Conference Call instance over the
+    union of the participants' uncertainty sets, estimates each row with
+    the scheme's location estimator, runs the paging strategy, and
+    counts the cells actually paged against ground truth. All schemes
+    observe identical mobility, traffic and observation history (every
+    scheme locates all participants), so their costs are directly
+    comparable within one run.
+
+    Optionally calls have a duration: while a user is on a call the
+    system tracks their cell continuously (an ongoing call needs no
+    search — §1.1), and busy users cannot join new conferences. *)
+
+type scheme =
+  | Blanket  (** page the whole uncertainty set in one round *)
+  | Selective of int
+      (** weight-order heuristic with delay d, decayed-count profiles *)
+  | Selective_diffuse of int
+      (** same heuristic, but rows are the mobility model's diffusion of
+          the last known cell — "the system knows the motion statistics" *)
+
+type scheme_metrics = {
+  scheme : scheme;
+  calls : int;
+  devices_sought : int;
+  cells_paged : int;  (** ground-truth total *)
+  expected_paging : float;  (** model EP summed over calls *)
+  rounds_used : int;  (** ground-truth rounds until all found *)
+  per_call : Prob.Stats.summary;  (** cells paged per call *)
+}
+
+type result = {
+  duration : float;
+  moves : int;
+  updates : int;  (** reports sent under the configured policy *)
+  total_calls : int;
+  skipped_calls : int;  (** arrivals dropped because a participant was busy *)
+  per_scheme : scheme_metrics list;
+}
+
+type config = {
+  hex : Hex.t;
+  mobility : Mobility.t;
+      (** the system's calibrated motion model: drives the diffusion
+          estimator, and the actual motion whenever [mobility_schedule]
+          has no entry for the current time *)
+  areas : Location_area.t;
+  users : int;
+  traffic : Traffic.t;
+  schemes : scheme list;
+  reporting : Reporting.policy;
+  profile_decay : float;
+  profile_smoothing : float;
+  mobility_schedule : (float * Mobility.t) list;
+      (** piecewise actual mobility: (start_time, model) entries sorted by
+          time; before the first entry (and when empty) users follow
+          [mobility]. Lets commuter patterns (morning/evening drift)
+          diverge from the system's single calibrated model. *)
+  call_duration : float;
+      (** mean call length (exponential); ≤ 0 for instantaneous calls *)
+  track_ongoing : bool;
+      (** when true, the network observes the exact cell of every user on
+          an ongoing call each tick (§1.1: devices in a call communicate
+          with base stations continuously); when false, on-call users are
+          as opaque as idle ones — the ablation switch for E17 *)
+  duration : float;  (** mobility ticks happen at every integer time *)
+  seed : int;
+}
+
+(** [default_config ()] — an 8×8 field, 3×3 location areas, area
+    reporting, 64 users, random-walk mobility, 3-party instantaneous
+    conferences, 400 time units. *)
+val default_config : unit -> config
+
+(** [run config] executes the simulation deterministically for the
+    config's seed.
+    @raise Invalid_argument on inconsistent dimensions or bad reporting
+    parameters. *)
+val run : config -> result
+
+val scheme_to_string : scheme -> string
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,47 @@
+(** Adaptive paging strategies (§5).
+
+    An adaptive strategy chooses each round's cells after seeing which
+    devices earlier rounds found. The paper proposes the natural
+    extension of its heuristic: each round, recompute conditional
+    location probabilities for the still-missing devices and re-run the
+    Fig. 1 algorithm on the remaining cells and rounds, paging its first
+    group. Analyzing this policy's ratio is stated as an open problem;
+    here we evaluate it numerically.
+
+    Since the only feedback is which devices appeared in the paged cells,
+    the reachable states are (remaining cells, missing devices, rounds
+    left), and the policy's exact expected cost follows by enumerating
+    all joint device positions. *)
+
+type policy =
+  rounds_left:int -> remaining:int array -> missing:int array -> int array
+(** A policy maps the observable state to the set of cells (a subset of
+    [remaining]) to page next. It must page all remaining cells when
+    [rounds_left = 1] so the delay constraint is honored. *)
+
+(** [greedy_policy ?objective inst] re-plans with {!Greedy} on the
+    conditional sub-instance each round (decisions memoized per state). *)
+val greedy_policy : ?objective:Objective.t -> Instance.t -> policy
+
+(** [oblivious_policy strategy] replays a fixed strategy, ignoring
+    feedback — the bridge for oblivious-vs-adaptive comparisons. *)
+val oblivious_policy : Strategy.t -> policy
+
+(** [evaluate_exact ?objective inst policy] is the exact expected number
+    of cells paged, by enumeration over all cᵐ joint positions.
+    @raise Invalid_argument when cᵐ > 2,000,000. *)
+val evaluate_exact : ?objective:Objective.t -> Instance.t -> policy -> float
+
+(** [evaluate_monte_carlo ?objective inst policy rng ~trials] estimates
+    the same expectation by sampling. *)
+val evaluate_monte_carlo :
+  ?objective:Objective.t ->
+  Instance.t ->
+  policy ->
+  Prob.Rng.t ->
+  trials:int ->
+  Prob.Stats.summary
+
+(** [greedy_adaptive_ep ?objective inst] = [evaluate_exact] of
+    [greedy_policy]. *)
+val greedy_adaptive_ep : ?objective:Objective.t -> Instance.t -> float

@@ -1,0 +1,221 @@
+type result = {
+  expected_paging : float;
+  policy : Adaptive.policy;
+}
+
+let popcount mask =
+  let rec go mask acc = if mask = 0 then acc else go (mask lsr 1) (acc + (mask land 1)) in
+  go mask 0
+
+let solve ?(objective = Objective.Find_all) ?order inst =
+  let c = inst.Instance.c and m = inst.Instance.m and d = inst.Instance.d in
+  (* Work estimate: states (c·2^m·d) times transitions (c·2^m). *)
+  let work =
+    (float_of_int c ** 2.0) *. (4.0 ** float_of_int m) *. float_of_int d
+  in
+  if work > 5e8 then invalid_arg "Adaptive_dp.solve: state space too large"
+  else begin
+    let order =
+      match order with
+      | Some o -> o
+      | None -> Instance.weight_order inst
+    in
+    if Array.length order <> c then
+      invalid_arg "Adaptive_dp.solve: order length mismatch";
+    (* prefix_mass.(i).(pos): P[device i within the first pos cells]. *)
+    let prefix_mass = Array.make_matrix m (c + 1) 0.0 in
+    for i = 0 to m - 1 do
+      for pos = 1 to c do
+        prefix_mass.(i).(pos) <-
+          prefix_mass.(i).(pos - 1) +. inst.Instance.p.(i).(order.(pos - 1))
+      done
+    done;
+    let devices_of_mask mask =
+      let rec go i acc =
+        if i >= m then List.rev acc
+        else go (i + 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
+      in
+      go 0 []
+    in
+    let memo : (int * int * int, float * int) Hashtbl.t = Hashtbl.create 1024 in
+    (* value pos mask l: expected cells paged from here on, given the
+       still-missing devices [mask] are each conditioned on lying past
+       position [pos], with [l] rounds left. Also returns the optimal
+       first-block size. *)
+    let rec value pos mask l =
+      let found = m - popcount mask in
+      if Objective.found_enough objective ~m ~found then 0.0, 0
+      else if pos >= c then 0.0, 0
+      else if l <= 1 then float_of_int (c - pos), c - pos
+      else begin
+        match Hashtbl.find_opt memo (pos, mask, l) with
+        | Some v -> v
+        | None ->
+          let missing = devices_of_mask mask in
+          let best = ref infinity and best_x = ref (c - pos) in
+          for x = 1 to c - pos do
+            (* Per-device probability of appearing in the next block. *)
+            let qs =
+              List.map
+                (fun i ->
+                  let denom = 1.0 -. prefix_mass.(i).(pos) in
+                  if denom <= 1e-15 then 1.0
+                  else
+                    (prefix_mass.(i).(pos + x) -. prefix_mass.(i).(pos))
+                    /. denom)
+                missing
+            in
+            let qs = Array.of_list qs in
+            let missing_arr = Array.of_list missing in
+            let k = Array.length missing_arr in
+            (* Sum over the 2^k outcomes of which missing devices the
+               block reveals. *)
+            let expected_tail = ref 0.0 in
+            for outcome = 0 to (1 lsl k) - 1 do
+              let prob = ref 1.0 in
+              let next_mask = ref mask in
+              for idx = 0 to k - 1 do
+                if outcome land (1 lsl idx) <> 0 then begin
+                  prob := !prob *. qs.(idx);
+                  next_mask := !next_mask land lnot (1 lsl missing_arr.(idx))
+                end
+                else prob := !prob *. (1.0 -. qs.(idx))
+              done;
+              if !prob > 0.0 then begin
+                let tail, _ = value (pos + x) !next_mask (l - 1) in
+                expected_tail := !expected_tail +. (!prob *. tail)
+              end
+            done;
+            let cost = float_of_int x +. !expected_tail in
+            if cost < !best then begin
+              best := cost;
+              best_x := x
+            end
+          done;
+          Hashtbl.add memo (pos, mask, l) (!best, !best_x);
+          !best, !best_x
+      end
+    in
+    let full_mask = (1 lsl m) - 1 in
+    let expected_paging, _ = value 0 full_mask d in
+    (* Positions of cells within the order, for the policy. *)
+    let pos_of_cell = Array.make c 0 in
+    Array.iteri (fun idx cell -> pos_of_cell.(cell) <- idx) order;
+    let policy ~rounds_left ~remaining ~missing =
+      let pos = c - Array.length remaining in
+      let mask =
+        Array.fold_left (fun acc i -> acc lor (1 lsl i)) 0 missing
+      in
+      let _, x = value pos mask rounds_left in
+      let x = Stdlib.max 1 (Stdlib.min x (Array.length remaining)) in
+      let block = Array.sub order pos x in
+      (* Defensive: the caller's remaining set must match the order
+         suffix for the DP to apply. *)
+      Array.iter
+        (fun cell ->
+          if pos_of_cell.(cell) < pos then
+            invalid_arg "Adaptive_dp.policy: remaining cells diverge from order")
+        block;
+      block
+    in
+    { expected_paging; policy }
+  end
+
+let value ?objective ?order inst = (solve ?objective ?order inst).expected_paging
+
+let unrestricted ?(objective = Objective.Find_all) inst =
+  let c = inst.Instance.c and m = inst.Instance.m and d = inst.Instance.d in
+  (* 3^c (set, subset) pairs x 2^m masks x d rounds x 2^m outcomes. *)
+  let work =
+    (3.0 ** float_of_int c) *. (4.0 ** float_of_int m) *. float_of_int d
+  in
+  if work > 2e8 then invalid_arg "Adaptive_dp.unrestricted: instance too large"
+  else begin
+    let full_cells = (1 lsl c) - 1 in
+    let full_devices = (1 lsl m) - 1 in
+    (* mass.(i).(set): P[device i within the cell set]. Memoized lazily
+       per device via bit-DP: mass(set) = mass(set minus lowest bit) +
+       p(lowest bit). *)
+    let mass =
+      Array.init m (fun i ->
+          let table = Array.make (full_cells + 1) 0.0 in
+          for set = 1 to full_cells do
+            let low = set land -set in
+            let bit =
+              let rec log2 v acc = if v = 1 then acc else log2 (v lsr 1) (acc + 1) in
+              log2 low 0
+            in
+            table.(set) <- table.(set lxor low) +. inst.Instance.p.(i).(bit)
+          done;
+          table)
+    in
+    let memo : (int * int * int, float) Hashtbl.t = Hashtbl.create 4096 in
+    let rec value remaining missing l =
+      let found = m - popcount missing in
+      if Objective.found_enough objective ~m ~found then 0.0
+      else if remaining = 0 then 0.0
+      else if l <= 1 then float_of_int (popcount remaining)
+      else begin
+        match Hashtbl.find_opt memo (remaining, missing, l) with
+        | Some v -> v
+        | None ->
+          let missing_list =
+            let rec go i acc =
+              if i >= m then List.rev acc
+              else
+                go (i + 1)
+                  (if missing land (1 lsl i) <> 0 then i :: acc else acc)
+            in
+            go 0 []
+          in
+          let missing_arr = Array.of_list missing_list in
+          let k = Array.length missing_arr in
+          let best = ref infinity in
+          (* Enumerate non-empty subsets s of the remaining cells. *)
+          let s = ref remaining in
+          let continue = ref true in
+          while !continue do
+            if !s <> 0 then begin
+              let cost_here = float_of_int (popcount !s) in
+              if cost_here < !best then begin
+                (* Conditional detection probability per missing device. *)
+                let qs =
+                  Array.map
+                    (fun i ->
+                      let denom = mass.(i).(remaining) in
+                      if denom <= 1e-15 then 1.0
+                      else mass.(i).(!s) /. denom)
+                    missing_arr
+                in
+                let expected_tail = ref 0.0 in
+                for outcome = 0 to (1 lsl k) - 1 do
+                  let prob = ref 1.0 in
+                  let next_missing = ref missing in
+                  for idx = 0 to k - 1 do
+                    if outcome land (1 lsl idx) <> 0 then begin
+                      prob := !prob *. qs.(idx);
+                      next_missing :=
+                        !next_missing land lnot (1 lsl missing_arr.(idx))
+                    end
+                    else prob := !prob *. (1.0 -. qs.(idx))
+                  done;
+                  if !prob > 0.0 then
+                    expected_tail :=
+                      !expected_tail
+                      +. (!prob
+                         *. value (remaining lxor !s) !next_missing (l - 1))
+                done;
+                let total = cost_here +. !expected_tail in
+                if total < !best then best := total
+              end
+            end;
+            (* Next subset of [remaining] in decreasing submask order. *)
+            if !s = 0 then continue := false
+            else s := (!s - 1) land remaining
+          done;
+          Hashtbl.add memo (remaining, missing, l) !best;
+          !best
+      end
+    in
+    value full_cells full_devices (Stdlib.min d c)
+  end

@@ -1,0 +1,37 @@
+(** Exact optimal {e adaptive} strategies within a fixed cell order.
+
+    §5 leaves the analysis of adaptive strategies open. For strategies
+    that page cells in a fixed order (e.g. the §4 weight order) and only
+    adapt the {e cut points} based on which devices have been found, the
+    optimum is computable exactly: the observable state is (cells paged
+    so far, set of still-missing devices, rounds left), giving a dynamic
+    program over c·2^m·d states with O(c·2^m) transitions each.
+
+    This gives a certified reference point between the oblivious optimum
+    and the unrestricted adaptive optimum, and an exact evaluator for
+    the E6 experiment. *)
+
+type result = {
+  expected_paging : float;
+  policy : Adaptive.policy;  (** realizes the optimum; feed to {!Adaptive} *)
+}
+
+(** [solve ?objective ?order inst] — optimal adaptive-within-order
+    expected paging. [order] defaults to the weight order.
+    @raise Invalid_argument when the estimated DP work [c²·4^m·d]
+    exceeds 5·10⁸, or [order] is not a permutation. *)
+val solve : ?objective:Objective.t -> ?order:int array -> Instance.t -> result
+
+(** [value ?objective ?order inst] — just the optimal expectation. *)
+val value : ?objective:Objective.t -> ?order:int array -> Instance.t -> float
+
+(** [unrestricted ?objective inst] — the true optimal adaptive strategy,
+    with {e no} order restriction: each round may page {e any} subset of
+    the remaining cells, chosen from the full observable state. The DP
+    ranges over (remaining-cell set, missing-device set, rounds left)
+    with sub-subset enumeration, so it is 3^c-flavoured — tiny instances
+    only (the guard allows roughly c ≤ 12 for m = 2). This is the
+    strongest solver in the repository and the reference point for
+    quantifying both the order restriction and obliviousness.
+    @raise Invalid_argument when the state space is too large. *)
+val unrestricted : ?objective:Objective.t -> Instance.t -> float

@@ -1,0 +1,16 @@
+let feasible ~c ~d ~b = b >= 1 && c <= b * d
+
+let solve ?objective inst ~b =
+  Order_dp.solve ?objective ~max_group:b inst
+    ~order:(Instance.weight_order inst)
+
+let exhaustive ?objective inst ~b =
+  Optimal.exhaustive ?objective ~max_group:b inst
+
+let sweep inst ~bs =
+  Array.map
+    (fun b ->
+      if feasible ~c:inst.Instance.c ~d:inst.Instance.d ~b then
+        (solve inst ~b).Order_dp.expected_paging
+      else nan)
+    bs

@@ -1,0 +1,52 @@
+(** Exact solver for instances with few distinct cell types.
+
+    §5 sketches an approximation scheme for the subclass where the
+    probabilities fall into a constant number of groups; this module
+    implements the underlying idea exactly. Two cells are equivalent
+    when every device gives them the same probability; expected paging
+    depends only on {e how many} cells of each class are paged per
+    round, so it suffices to enumerate per-class count compositions —
+    Π_t C(n_t + d − 1, d − 1) candidates instead of d^c.
+
+    Exact for any instance; practical whenever the number of classes is
+    small (uniform instances, the §4.3 instance, reduction outputs). *)
+
+type result = {
+  strategy : Strategy.t;
+  expected_paging : float;
+  classes : int;  (** number of distinct cell types found *)
+  candidates : int;  (** compositions evaluated *)
+}
+
+(** [classes ?eps inst] groups cells by probability column (tolerance
+    [eps] per entry, default exact equality); returns representative ->
+    members. *)
+val classes : ?eps:float -> Instance.t -> int array array
+
+(** [solve ?objective ?eps ?max_candidates inst] — exact optimum.
+    @raise Invalid_argument when the composition count exceeds
+    [max_candidates] (default 5,000,000). *)
+val solve :
+  ?objective:Objective.t ->
+  ?eps:float ->
+  ?max_candidates:int ->
+  Instance.t ->
+  result
+
+(** [approximate ?objective ?max_candidates inst ~grid] — the §5
+    approximation-scheme idea made concrete: snap every probability to a
+    grid of [grid] equal intervals (then renormalize rows), solve the
+    snapped instance {e exactly} with the class machinery, and return
+    the resulting strategy evaluated on the {e original} instance. With
+    coarse grids many cells collapse into few classes, making the exact
+    search cheap; finer grids trade running time for fidelity. The
+    returned [expected_paging] is the true EP of the strategy on the
+    original instance (not the snapped surrogate).
+    @raise Invalid_argument when [grid < 1] or the snapped instance
+    still has too many classes. *)
+val approximate :
+  ?objective:Objective.t ->
+  ?max_candidates:int ->
+  Instance.t ->
+  grid:int ->
+  result

@@ -1,0 +1,23 @@
+(** The Lemma 4.7 dynamic program in exact rational arithmetic.
+
+    Float ties can silently change which cut the DP picks (the §4.3
+    instance is decided by ties); this variant removes the doubt for
+    reduction instances and other rational inputs. O(d·c²) rational
+    operations — intended for small c. *)
+
+type result = {
+  strategy : Strategy.t;
+  sizes : int array;
+  expected_paging : Numeric.Rational.t;
+}
+
+(** [solve ?objective inst ~order] — optimal cut of [order] into at most
+    [inst.d] groups, exactly. Objectives as in {!Order_dp}.
+    @raise Invalid_argument when [order] is not a permutation. *)
+val solve :
+  ?objective:Objective.t -> Instance.Exact.t -> order:int array -> result
+
+(** [greedy ?objective inst] — the §4 heuristic end-to-end in exact
+    arithmetic: weight order (exact comparisons, ties by index) + exact
+    DP. *)
+val greedy : ?objective:Objective.t -> Instance.Exact.t -> result

@@ -1,0 +1,310 @@
+module Q = Numeric.Rational
+module B = Numeric.Bigint
+
+(* Search for a subset of the given cardinality summing to the target.
+   Plain DFS with remaining-count pruning; instances here are small. *)
+let subset_with_sum ~cardinality ~target ~add ~zero ~equal ~compare_le sizes =
+  let n = Array.length sizes in
+  let rec go i chosen picked acc =
+    if picked = cardinality then if equal acc target then Some chosen else None
+    else if i >= n then None
+    else if n - i < cardinality - picked then None
+    else if not (compare_le acc target) then None
+    else begin
+      match go (i + 1) (i :: chosen) (picked + 1) (add acc sizes.(i)) with
+      | Some result -> Some result
+      | None -> go (i + 1) chosen picked acc
+    end
+  in
+  Option.map List.rev (go 0 [] 0 zero)
+
+let partition_brute sizes =
+  let g = Array.length sizes in
+  if g = 0 || g mod 2 <> 0 then None
+  else begin
+    let total = Array.fold_left ( + ) 0 sizes in
+    if total mod 2 <> 0 then None
+    else
+      subset_with_sum ~cardinality:(g / 2) ~target:(total / 2) ~add:( + )
+        ~zero:0 ~equal:( = )
+        ~compare_le:(fun a b -> a <= b)
+        sizes
+  end
+
+let quasipartition1_brute sizes =
+  let c = Array.length sizes in
+  if c = 0 || c mod 3 <> 0 then None
+  else begin
+    let total = Q.sum (Array.to_list sizes) in
+    let target = Q.div total (Q.of_int 2) in
+    subset_with_sum
+      ~cardinality:(2 * c / 3)
+      ~target ~add:Q.add ~zero:Q.zero ~equal:Q.equal
+      ~compare_le:(fun a b -> Q.compare a b <= 0)
+      sizes
+  end
+
+let qp1_to_conference sizes =
+  let c = Array.length sizes in
+  if c = 0 || c mod 3 <> 0 then
+    invalid_arg "Hardness.qp1_to_conference: c must be divisible by 3"
+  else if Array.exists (fun s -> Q.sign s < 0) sizes then
+    invalid_arg "Hardness.qp1_to_conference: negative size"
+  else begin
+    let total = Q.sum (Array.to_list sizes) in
+    if Q.sign total <= 0 then
+      invalid_arg "Hardness.qp1_to_conference: total size must be positive"
+    else if Array.exists (fun s -> Q.compare s total >= 0) sizes then
+      invalid_arg "Hardness.qp1_to_conference: some size equals the total"
+    else begin
+      let twoc = 2 * c in
+      let pred_c = c - 1 in
+      let p_denom = Q.(sub (of_int c) (of_ints 1 2)) in
+      let q_denom = Q.of_int pred_c in
+      let p =
+        Array.map
+          (fun s ->
+            let frac = Q.div s total in
+            Q.(div (add (sub one (of_ints 3 twoc)) frac) p_denom))
+          sizes
+      in
+      let q =
+        Array.map
+          (fun s ->
+            let frac = Q.div s total in
+            Q.(div (sub one frac) q_denom))
+          sizes
+      in
+      Instance.Exact.create ~d:2 [| p; q |]
+    end
+  end
+
+let qp1_lower_bound ~c = Numeric.Lemma_bounds.lb_lemma32 ~c
+
+let qp1_answer_via_conference sizes =
+  let c = Array.length sizes in
+  let total = Q.sum (Array.to_list sizes) in
+  if Q.sign total <= 0 then
+    (* All-zero sizes: any 2c/3-subset sums to 0 = S/2. *)
+    c > 0 && c mod 3 = 0
+  else if Array.exists (fun s -> Q.compare s total >= 0) sizes then false
+  else begin
+    let inst = qp1_to_conference sizes in
+    let _, ep = Optimal.exhaustive_exact inst in
+    Q.equal ep (qp1_lower_bound ~c)
+  end
+
+let partition_to_qp1 sizes =
+  let g = Array.length sizes in
+  if g = 0 || g mod 2 <> 0 then
+    invalid_arg "Hardness.partition_to_qp1: even positive count required"
+  else if Array.exists (fun s -> s <= 0) sizes then
+    invalid_arg "Hardness.partition_to_qp1: sizes must be positive"
+  else begin
+    (* Lemma 3.7 with M = 3, r_u = 1/3, r_v = 2/3, x_u = x_v = 1/2.
+       h is even and large enough that both padding counts are >= 0. *)
+    let h =
+      let quotient = (g + 1) / 2 in
+      2 * Stdlib.max 1 quotient
+    in
+    let u_pad = h - 1 - (g / 2) in
+    let v_pad = (2 * h) - 1 - (g / 2) in
+    if u_pad < 0 || v_pad < 0 then
+      invalid_arg "Hardness.partition_to_qp1: internal padding error"
+    else begin
+      let total = Array.fold_left ( + ) 0 sizes in
+      (* 2^p exceeds the sum of the raw sizes, forcing any half-sum subset
+         of the augmented sizes to use exactly g/2 of them. *)
+      let p =
+        let rec bits v acc = if v = 0 then acc else bits (v / 2) (acc + 1) in
+        bits total 0
+      in
+      let big = B.pow B.two p in
+      let augmented =
+        Array.map (fun s -> Q.of_bigint (B.add (B.of_int s) big)) sizes
+      in
+      let sentinel = Q.of_ints 1 3 in
+      (* Scale the augmented sizes to total 1 − 2·(1/3) = 1/3. *)
+      let augmented_total = Q.sum (Array.to_list augmented) in
+      let scale = Q.div (Q.of_ints 1 3) augmented_total in
+      let scaled = Array.map (fun s -> Q.mul s scale) augmented in
+      let zeros = Array.make (u_pad + v_pad) Q.zero in
+      Array.concat [ scaled; zeros; [| sentinel; sentinel |] ]
+    end
+  end
+
+let partition_answer_via_chain sizes =
+  qp1_answer_via_conference (partition_to_qp1 sizes)
+
+type multipartition_params = {
+  alphas : Q.t array;
+  rs : Q.t array;
+  xs : Q.t array;
+  modulus : B.t;
+}
+
+let multipartition_params ~m ~d =
+  if m < 2 || d < 2 then
+    invalid_arg "Hardness.multipartition_params: m >= 2 and d >= 2 required"
+  else begin
+    let mq = Q.of_int m in
+    let succ_m = Q.of_int (m + 1) in
+    let alphas = Array.make (d - 1) Q.zero in
+    for k = 0 to d - 2 do
+      alphas.(k) <-
+        (if k = 0 then Q.div mq succ_m
+         else Q.div mq (Q.sub succ_m (Q.pow alphas.(k - 1) m)))
+    done;
+    (* b fractions: b_d/c = 1, b_{k-1}/c = α_{k-1} · b_k/c. *)
+    let b = Array.make (d + 1) Q.zero in
+    b.(d) <- Q.one;
+    for k = d downto 2 do
+      b.(k - 1) <- Q.mul alphas.(k - 2) b.(k)
+    done;
+    let rs = Array.init d (fun j -> Q.sub b.(j + 1) b.(j)) in
+    let xs = Array.make d Q.zero in
+    let half = Q.of_ints 1 2 in
+    for j = 1 to d - 1 do
+      xs.(j - 1) <- Q.mul half (Q.sub b.(j) b.(j - 1))
+    done;
+    let partial = Q.sum (Array.to_list (Array.sub xs 0 (d - 1))) in
+    xs.(d - 1) <- Q.sub Q.one partial;
+    let lcm a bb = B.div (B.mul a bb) (B.gcd a bb) in
+    let modulus =
+      Array.fold_left (fun acc r -> lcm acc (Q.den r)) B.one rs
+    in
+    { alphas; rs; xs; modulus }
+  end
+
+type qp2_params = {
+  qp_modulus : B.t;
+  qp_ru : Q.t;
+  qp_rv : Q.t;
+  qp_xu : Q.t;
+  qp_xv : Q.t;
+}
+
+type qp2_instance = {
+  q_sizes : Q.t array;
+  q_cardinality : int;
+  q_target_fraction : Q.t;
+}
+
+(* The (u, v) selection of Lemma 3.7: sort the x's non-increasingly; of
+   the two final positions, u has the smaller group fraction r (ties go
+   to the last position). *)
+let qp2_params ~m ~d =
+  let p = multipartition_params ~m ~d in
+  let dd = Array.length p.rs in
+  let order = Array.init dd (fun j -> j) in
+  Array.sort (fun a b -> Q.compare p.xs.(b) p.xs.(a)) order;
+  let a = order.(dd - 2) and b = order.(dd - 1) in
+  let u, v =
+    if Q.compare p.rs.(a) p.rs.(b) < 0 then a, b
+    else if Q.compare p.rs.(a) p.rs.(b) > 0 then b, a
+    else b, a
+  in
+  {
+    qp_modulus = p.modulus;
+    qp_ru = p.rs.(u);
+    qp_rv = p.rs.(v);
+    qp_xu = p.xs.(u);
+    qp_xv = p.xs.(v);
+  }
+
+let qp1_params =
+  {
+    qp_modulus = B.of_int 3;
+    qp_ru = Q.of_ints 1 3;
+    qp_rv = Q.of_ints 2 3;
+    qp_xu = Q.of_ints 1 2;
+    qp_xv = Q.of_ints 1 2;
+  }
+
+let partition_to_qp2 ~params sizes =
+  let g = Array.length sizes in
+  if g = 0 || g mod 2 <> 0 then
+    invalid_arg "Hardness.partition_to_qp2: even positive count required"
+  else if Array.exists (fun s -> s <= 0) sizes then
+    invalid_arg "Hardness.partition_to_qp2: sizes must be positive"
+  else begin
+    let ru = params.qp_ru and rv = params.qp_rv in
+    let xu = params.qp_xu and xv = params.qp_xv in
+    let modulus = Q.of_bigint params.qp_modulus in
+    let m_ru = B.to_int_exn (Q.num (Q.mul modulus ru)) in
+    let m_rv = B.to_int_exn (Q.num (Q.mul modulus rv)) in
+    (* h even and large enough that both padding counts are >= 0:
+       h = 2 * ceil(g / (2 * M * ru)). *)
+    let h =
+      let denom = 2 * m_ru in
+      2 * Stdlib.max 1 ((g + denom - 1) / denom)
+    in
+    let u_pad = (m_ru * h) - 1 - (g / 2) in
+    let v_pad = (m_rv * h) - 1 - (g / 2) in
+    if u_pad < 0 || v_pad < 0 then
+      invalid_arg "Hardness.partition_to_qp2: internal padding error"
+    else begin
+      let total = Array.fold_left ( + ) 0 sizes in
+      let big =
+        let rec bits v acc = if v = 0 then acc else bits (v / 2) (acc + 1) in
+        B.pow B.two (bits total 0)
+      in
+      let augmented =
+        Array.map (fun s -> Q.of_bigint (B.add (B.of_int s) big)) sizes
+      in
+      (* Sentinels: the larger of (xu, xv) drives the big sentinel
+         (big - small/3)/(xu + xv); the small side gets (2/3)small. For
+         xu = xv both are 1/3 and the construction matches QP1. *)
+      let sum_x = Q.add xu xv in
+      let small = Q.min xu xv and large = Q.max xu xv in
+      let sentinel_big =
+        Q.div (Q.sub large (Q.mul (Q.of_ints 1 3) small)) sum_x
+      in
+      let sentinel_small = Q.div (Q.mul (Q.of_ints 2 3) small) sum_x in
+      let reals_total = Q.sub Q.one (Q.add sentinel_big sentinel_small) in
+      let augmented_total = Q.sum (Array.to_list augmented) in
+      let scale = Q.div reals_total augmented_total in
+      let scaled = Array.map (fun s -> Q.mul s scale) augmented in
+      let zeros = Array.make (u_pad + v_pad) Q.zero in
+      {
+        q_sizes =
+          Array.concat [ scaled; zeros; [| sentinel_big; sentinel_small |] ];
+        q_cardinality = m_rv * h;
+        q_target_fraction = Q.div xv sum_x;
+      }
+    end
+  end
+
+let quasipartition2_brute inst =
+  let total = Q.sum (Array.to_list inst.q_sizes) in
+  let target = Q.mul inst.q_target_fraction total in
+  (* Group identical sizes so interchangeable paddings do not explode the
+     search: choose how many members of each group to take. *)
+  let groups : (Q.t * int) list =
+    Array.fold_left
+      (fun acc s ->
+        match List.partition (fun (v, _) -> Q.equal v s) acc with
+        | [ (v, n) ], rest -> (v, n + 1) :: rest
+        | _ -> (s, 1) :: acc)
+      [] inst.q_sizes
+  in
+  let groups = Array.of_list groups in
+  let n_groups = Array.length groups in
+  (* DFS over per-group counts with cardinality and sum pruning. *)
+  let rec go idx picked acc =
+    if Q.compare acc target > 0 then false
+    else if picked > inst.q_cardinality then false
+    else if idx >= n_groups then
+      picked = inst.q_cardinality && Q.equal acc target
+    else begin
+      let value, mult = groups.(idx) in
+      let rec try_count k =
+        if k > mult then false
+        else
+          go (idx + 1) (picked + k) (Q.add acc (Q.mul (Q.of_int k) value))
+          || try_count (k + 1)
+      in
+      try_count 0
+    end
+  in
+  go 0 0 Q.zero

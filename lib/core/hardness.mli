@@ -1,0 +1,114 @@
+(** The NP-hardness machinery of §3, as executable constructions.
+
+    The paper's chain is
+    Partition → Quasipartition1 → Conference Call (m = 2, d = 2)
+    with a generalized chain through Multipartition/Quasipartition2 for
+    any fixed m ≥ 2, d ≥ 2. Implementing the reductions lets the test
+    suite and experiment E9 confirm the claimed equivalences on concrete
+    instances: a Quasipartition1 instance is positive iff the reduced
+    Conference Call instance admits a strategy whose expected paging
+    equals the closed-form bound LB of Lemma 3.2 — verified in exact
+    rational arithmetic against exhaustive search. *)
+
+module Q := Numeric.Rational
+
+(** {1 Brute-force decision procedures (ground truth)} *)
+
+(** [partition_brute sizes] finds [P] with |P| = g/2 and
+    Σ_P = (Σ sizes)/2, if any (g = length, must be even). *)
+val partition_brute : int array -> int list option
+
+(** [quasipartition1_brute sizes] finds [I] with |I| = 2c/3 and
+    Σ_I = (Σ sizes)/2, if any (c = length, divisible by 3). *)
+val quasipartition1_brute : Q.t array -> int list option
+
+(** {1 Lemma 3.2: Quasipartition1 → Conference Call} *)
+
+(** [qp1_to_conference sizes] builds the exact instance with
+    p(j) = (1 − 3/(2c) + s(j)/S)/(c − 1/2) and
+    q(j) = (1 − s(j)/S)/(c − 1).
+    @raise Invalid_argument unless c is divisible by 3, sizes are
+    non-negative with positive sum, and every s(j) < S. *)
+val qp1_to_conference : Q.t array -> Instance.Exact.t
+
+(** [qp1_lower_bound ~c] = LB = c − f(1/2, 2c/3)/((c−1/2)(c−1)),
+    exactly. *)
+val qp1_lower_bound : c:int -> Q.t
+
+(** [qp1_answer_via_conference sizes] decides Quasipartition1 by solving
+    the reduced Conference Call instance exactly (exhaustive search over
+    two-round strategies) and comparing with LB — the forward direction
+    of Lemma 3.2 made concrete. Small c only. *)
+val qp1_answer_via_conference : Q.t array -> bool
+
+(** {1 Lemma 3.7 (symmetric case): Partition → Quasipartition1} *)
+
+(** [partition_to_qp1 sizes] maps a Partition instance (positive integer
+    sizes, even count) to a Quasipartition1 instance: real sizes get a
+    2^p summand forcing cardinality g/2, zero-size padding fixes the
+    2c/3 cardinality, and two sentinel sizes of 1/3 pin the partition
+    sums; everything rescaled to total 1. *)
+val partition_to_qp1 : int array -> Q.t array
+
+(** [partition_answer_via_chain sizes] decides Partition through the full
+    chain Partition → QP1 → Conference Call → exhaustive + LB test. *)
+val partition_answer_via_chain : int array -> bool
+
+(** {1 §3.2: parameters of the Multipartition problem} *)
+
+type multipartition_params = {
+  alphas : Q.t array;  (** α₁ … α_{d−1}, exact (they are rational) *)
+  rs : Q.t array;  (** group-size fractions r_j = (b_j − b_{j−1})/c *)
+  xs : Q.t array;  (** probability-mass fractions x_j of Lemma 3.4 *)
+  modulus : Numeric.Bigint.t;  (** M = lcm of the r_j denominators *)
+}
+
+(** [multipartition_params ~m ~d] computes the exact parameters that
+    §3.2 derives from the Lemma 3.4 recurrence.
+    @raise Invalid_argument unless m ≥ 2 and d ≥ 2. *)
+val multipartition_params : m:int -> d:int -> multipartition_params
+
+(** {1 Lemma 3.7, general case: Partition → Quasipartition2(m, d)} *)
+
+(** The parameters the Quasipartition2 family is indexed by: the
+    modulus M and the fractions (r_u, x_u), (r_v, x_v) of the two groups
+    the reduction plays against each other. *)
+type qp2_params = {
+  qp_modulus : Numeric.Bigint.t;
+  qp_ru : Q.t;
+  qp_rv : Q.t;
+  qp_xu : Q.t;
+  qp_xv : Q.t;
+}
+
+(** [qp2_params ~m ~d] derives the parameters from
+    {!multipartition_params} by the paper's (u, v) selection: sort the
+    x's non-increasingly, take the two final positions, let u be the one
+    with the smaller group fraction r. *)
+val qp2_params : m:int -> d:int -> qp2_params
+
+(** [qp1_params] — M = 3, r = (1/3, 2/3), x = (1/2, 1/2): the values for
+    which the paper notes Quasipartition2 {e becomes} Quasipartition1.
+    (These come from the Lemma 3.1/3.2 reduction; note they differ from
+    the Lemma 3.4-derived [qp2_params ~m:2 ~d:2].) *)
+val qp1_params : qp2_params
+
+(** A Quasipartition2 instance: does a subset of exactly [cardinality]
+    sizes sum to [target_fraction] of the total? *)
+type qp2_instance = {
+  q_sizes : Q.t array;
+  q_cardinality : int;
+  q_target_fraction : Q.t;  (** x_v / (x_u + x_v) *)
+}
+
+(** [partition_to_qp2 ~params sizes] executes the Lemma 3.7 construction:
+    real sizes get a 2^p summand, zero padding fixes cardinalities, two
+    sentinel sizes pin the partition sums, everything rescaled to total
+    1. With {!qp1_params} this matches {!partition_to_qp1}.
+    @raise Invalid_argument on empty/odd/non-positive input. *)
+val partition_to_qp2 : params:qp2_params -> int array -> qp2_instance
+
+(** [quasipartition2_brute inst] decides the instance by multiset-aware
+    search (identical sizes — the paddings — are treated as one group,
+    so the zero padding does not blow up the search). *)
+val quasipartition2_brute : qp2_instance -> bool

@@ -1,0 +1,226 @@
+type result = {
+  strategy : Strategy.t;
+  expected_paging : float;
+  iterations : int;
+}
+
+(* Mutable working state: cell -> round assignment, per-round cell
+   counts, and per-device per-round probability masses. Rounds stay
+   non-empty throughout (fixed strategy length; by the remark after
+   Lemma 2.1 using all available rounds is never worse). *)
+type state = {
+  inst : Instance.t;
+  objective : Objective.t;
+  rounds : int;
+  round_of : int array;
+  counts : int array;
+  masses : float array array;  (* m x rounds *)
+}
+
+let ep state =
+  let m = state.inst.Instance.m in
+  let prefix = Array.make m 0.0 in
+  let total = ref (float_of_int state.inst.Instance.c) in
+  for r = 0 to state.rounds - 2 do
+    for i = 0 to m - 1 do
+      prefix.(i) <- prefix.(i) +. state.masses.(i).(r)
+    done;
+    let f = Objective.success state.objective prefix in
+    total := !total -. (float_of_int state.counts.(r + 1) *. f)
+  done;
+  !total
+
+let relocate state cell target =
+  let src = state.round_of.(cell) in
+  state.round_of.(cell) <- target;
+  state.counts.(src) <- state.counts.(src) - 1;
+  state.counts.(target) <- state.counts.(target) + 1;
+  for i = 0 to state.inst.Instance.m - 1 do
+    let p = state.inst.Instance.p.(i).(cell) in
+    state.masses.(i).(src) <- state.masses.(i).(src) -. p;
+    state.masses.(i).(target) <- state.masses.(i).(target) +. p
+  done
+
+let state_of_strategy ?(objective = Objective.Find_all) inst strategy =
+  (match Strategy.validate ~c:inst.Instance.c strategy with
+   | Ok () -> ()
+   | Error reason -> invalid_arg ("Local_search: " ^ reason));
+  let groups = Strategy.groups strategy in
+  let rounds = Array.length groups in
+  let round_of = Array.make inst.Instance.c 0 in
+  let counts = Array.make rounds 0 in
+  let masses = Array.make_matrix inst.Instance.m rounds 0.0 in
+  Array.iteri
+    (fun r group ->
+      counts.(r) <- Array.length group;
+      Array.iter
+        (fun cell ->
+          round_of.(cell) <- r;
+          for i = 0 to inst.Instance.m - 1 do
+            masses.(i).(r) <- masses.(i).(r) +. inst.Instance.p.(i).(cell)
+          done)
+        group)
+    groups;
+  { inst; objective; rounds; round_of; counts; masses }
+
+let strategy_of_state state =
+  let buckets = Array.make state.rounds [] in
+  for cell = state.inst.Instance.c - 1 downto 0 do
+    let r = state.round_of.(cell) in
+    buckets.(r) <- cell :: buckets.(r)
+  done;
+  Strategy.create (Array.map Array.of_list buckets)
+
+(* Evaluate a relocate without committing: apply, measure, revert. *)
+let try_relocate state cell target =
+  let src = state.round_of.(cell) in
+  relocate state cell target;
+  let v = ep state in
+  relocate state cell src;
+  v
+
+let try_swap state cell_a cell_b =
+  let ra = state.round_of.(cell_a) and rb = state.round_of.(cell_b) in
+  relocate state cell_a rb;
+  relocate state cell_b ra;
+  let v = ep state in
+  relocate state cell_b rb;
+  relocate state cell_a ra;
+  v
+
+let hill_climb_state state =
+  let c = state.inst.Instance.c in
+  let iterations = ref 0 in
+  let current = ref (ep state) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    (* Best improving relocate. *)
+    let best_gain = ref 1e-12 in
+    let best_move = ref None in
+    for cell = 0 to c - 1 do
+      let src = state.round_of.(cell) in
+      if state.counts.(src) > 1 then
+        for target = 0 to state.rounds - 1 do
+          if target <> src then begin
+            incr iterations;
+            let v = try_relocate state cell target in
+            if !current -. v > !best_gain then begin
+              best_gain := !current -. v;
+              best_move := Some (`Relocate (cell, target))
+            end
+          end
+        done
+    done;
+    (* Best improving swap. *)
+    for a = 0 to c - 1 do
+      for b = a + 1 to c - 1 do
+        if state.round_of.(a) <> state.round_of.(b) then begin
+          incr iterations;
+          let v = try_swap state a b in
+          if !current -. v > !best_gain then begin
+            best_gain := !current -. v;
+            best_move := Some (`Swap (a, b))
+          end
+        end
+      done
+    done;
+    match !best_move with
+    | Some (`Relocate (cell, target)) ->
+      relocate state cell target;
+      current := ep state;
+      improved := true
+    | Some (`Swap (a, b)) ->
+      let ra = state.round_of.(a) and rb = state.round_of.(b) in
+      relocate state a rb;
+      relocate state b ra;
+      current := ep state;
+      improved := true
+    | None -> ()
+  done;
+  !current, !iterations
+
+let hill_climb ?(objective = Objective.Find_all) ?seed_strategy inst =
+  let seed =
+    match seed_strategy with
+    | Some s -> s
+    | None -> (Greedy.solve ~objective inst).Order_dp.strategy
+  in
+  let state = state_of_strategy ~objective inst seed in
+  let expected_paging, iterations = hill_climb_state state in
+  { strategy = strategy_of_state state; expected_paging; iterations }
+
+let anneal ?(objective = Objective.Find_all) inst rng ~steps ~t0 ~cooling =
+  if steps < 0 then invalid_arg "Local_search.anneal: negative steps"
+  else if t0 <= 0.0 then invalid_arg "Local_search.anneal: t0 must be positive"
+  else if cooling <= 0.0 || cooling >= 1.0 then
+    invalid_arg "Local_search.anneal: cooling must be in (0, 1)"
+  else begin
+    let seed = (Greedy.solve ~objective inst).Order_dp.strategy in
+    let state = state_of_strategy ~objective inst seed in
+    let c = inst.Instance.c in
+    let current = ref (ep state) in
+    let best = ref !current in
+    let best_assignment = ref (Array.copy state.round_of) in
+    let temperature = ref t0 in
+    let iterations = ref 0 in
+    if state.rounds > 1 then
+      for _ = 1 to steps do
+        incr iterations;
+        let use_swap = Prob.Rng.bool rng in
+        let candidate =
+          if use_swap then begin
+            let a = Prob.Rng.int rng c and b = Prob.Rng.int rng c in
+            if a <> b && state.round_of.(a) <> state.round_of.(b) then
+              Some (`Swap (a, b), try_swap state a b)
+            else None
+          end
+          else begin
+            let cell = Prob.Rng.int rng c in
+            let target = Prob.Rng.int rng state.rounds in
+            let src = state.round_of.(cell) in
+            if target <> src && state.counts.(src) > 1 then
+              Some (`Relocate (cell, target), try_relocate state cell target)
+            else None
+          end
+        in
+        (match candidate with
+         | None -> ()
+         | Some (move, v) ->
+           let delta = v -. !current in
+           let accept =
+             delta <= 0.0
+             || Prob.Rng.unit_float rng < exp (-.delta /. !temperature)
+           in
+           if accept then begin
+             (match move with
+              | `Relocate (cell, target) -> relocate state cell target
+              | `Swap (a, b) ->
+                let ra = state.round_of.(a) and rb = state.round_of.(b) in
+                relocate state a rb;
+                relocate state b ra);
+             current := v;
+             if v < !best then begin
+               best := v;
+               best_assignment := Array.copy state.round_of
+             end
+           end);
+        temperature := !temperature *. cooling
+      done;
+    (* Restore the best visited assignment, then polish greedily. *)
+    Array.iteri
+      (fun cell r -> if state.round_of.(cell) <> r then relocate state cell r)
+      !best_assignment;
+    let polished, extra = hill_climb_state state in
+    {
+      strategy = strategy_of_state state;
+      expected_paging = polished;
+      iterations = !iterations + extra;
+    }
+  end
+
+let solve ?(objective = Objective.Find_all) inst rng =
+  let c = inst.Instance.c in
+  let steps = Stdlib.max 500 (50 * c) in
+  anneal ~objective inst rng ~steps ~t0:(0.05 *. float_of_int c)
+    ~cooling:(1.0 -. (2.0 /. float_of_int steps))

@@ -1,0 +1,129 @@
+let check_pq p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Miss: p and q must have the same length"
+  else if Array.exists (fun x -> x <= 0.0 || x > 1.0) q then
+    invalid_arg "Miss: detection probabilities must be in (0, 1]"
+
+(* Greedy index rule via a priority list: the next look goes to the cell
+   with the largest remaining marginal p(j)·q(j)·(1-q(j))^(looks so far). *)
+let optimal_look_sequence ~horizon p q =
+  check_pq p q;
+  if horizon < 0 then invalid_arg "Miss: negative horizon"
+  else begin
+    let c = Array.length p in
+    let marginal = Array.init c (fun j -> p.(j) *. q.(j)) in
+    let seq = Array.make horizon 0 in
+    for t = 0 to horizon - 1 do
+      let best = ref 0 in
+      for j = 1 to c - 1 do
+        if marginal.(j) > marginal.(!best) then best := j
+      done;
+      seq.(t) <- !best;
+      marginal.(!best) <- marginal.(!best) *. (1.0 -. q.(!best))
+    done;
+    seq
+  end
+
+let detection_curve p q looks =
+  check_pq p q;
+  let c = Array.length p in
+  let undetected = Array.copy p in
+  let curve = Array.make (Array.length looks + 1) 0.0 in
+  let detected = ref 0.0 in
+  Array.iteri
+    (fun t j ->
+      if j < 0 || j >= c then invalid_arg "Miss.detection_curve: bad cell"
+      else begin
+        detected := !detected +. (undetected.(j) *. q.(j));
+        undetected.(j) <- undetected.(j) *. (1.0 -. q.(j));
+        curve.(t + 1) <- !detected
+      end)
+    looks;
+  curve
+
+let expected_looks ~horizon p q =
+  let seq = optimal_look_sequence ~horizon p q in
+  let curve = detection_curve p q seq in
+  let e = ref 0.0 in
+  for t = 0 to horizon - 1 do
+    e := !e +. (1.0 -. curve.(t))
+  done;
+  !e, curve.(horizon)
+
+type schedule = int array array
+
+let repeat_strategy strategy ~cycles =
+  if cycles < 1 then invalid_arg "Miss.repeat_strategy: cycles must be >= 1"
+  else begin
+    let groups = Strategy.groups strategy in
+    Array.concat (List.init cycles (fun _ -> groups))
+  end
+
+let simulate ?(objective = Objective.Find_all) inst ~q ~schedule rng ~trials =
+  if q <= 0.0 || q > 1.0 then invalid_arg "Miss.simulate: q out of range"
+  else begin
+    let m = inst.Instance.m and c = inst.Instance.c in
+    let tables =
+      Array.init m (fun i -> Prob.Sampling.create inst.Instance.p.(i))
+    in
+    let acc = Prob.Stats.Acc.create () in
+    let successes = ref 0 in
+    let positions = Array.make m 0 in
+    let found = Array.make m false in
+    let in_group = Array.make c false in
+    for _ = 1 to trials do
+      for i = 0 to m - 1 do
+        positions.(i) <- Prob.Sampling.draw tables.(i) rng;
+        found.(i) <- false
+      done;
+      let cost = ref 0 and n_found = ref 0 and done_ = ref false in
+      Array.iter
+        (fun group ->
+          if not !done_ then begin
+            Array.fill in_group 0 c false;
+            Array.iter (fun j -> in_group.(j) <- true) group;
+            cost := !cost + Array.length group;
+            for i = 0 to m - 1 do
+              if
+                (not found.(i))
+                && in_group.(positions.(i))
+                && Prob.Rng.unit_float rng < q
+              then begin
+                found.(i) <- true;
+                incr n_found
+              end
+            done;
+            if Objective.found_enough objective ~m ~found:!n_found then
+              done_ := true
+          end)
+        schedule;
+      if !done_ then incr successes;
+      Prob.Stats.Acc.add acc (float_of_int !cost)
+    done;
+    Prob.Stats.Acc.summary acc, float_of_int !successes /. float_of_int trials
+  end
+
+let single_device_exact inst ~q ~schedule =
+  if inst.Instance.m <> 1 then
+    invalid_arg "Miss.single_device_exact: requires m = 1"
+  else if q <= 0.0 || q > 1.0 then
+    invalid_arg "Miss.single_device_exact: q out of range"
+  else begin
+    (* Track the mass still undetected per cell; the search survives a
+       round with probability (remaining mass after that round's
+       detections) / 1, and the expected cost telescopes like Lemma 2.1:
+       E[cost] = Σ_rounds |group_r| · P[not found before round r]. *)
+    let undetected = Array.copy inst.Instance.p.(0) in
+    let total = ref 1.0 in
+    let cost = ref 0.0 in
+    Array.iter
+      (fun group ->
+        cost := !cost +. (float_of_int (Array.length group) *. !total);
+        Array.iter
+          (fun j ->
+            total := !total -. (undetected.(j) *. q);
+            undetected.(j) <- undetected.(j) *. (1.0 -. q))
+          group)
+      schedule;
+    !cost, 1.0 -. !total
+  end

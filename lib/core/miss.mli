@@ -1,0 +1,54 @@
+(** Imperfect detection (§5): paging a cell containing a device finds it
+    only with some probability (response-collision model), so cells may
+    need re-paging. This is the classical Search Theory setting [Stone
+    1975] that §5 and the Awduche et al. reference point to.
+
+    For a single device with unit look cost the optimal search is the
+    greedy index rule: the k-th look at cell j detects the device with
+    unconditional probability p(j)·q(j)·(1−q(j))^(k−1), these marginals
+    are order-independent, and E[looks] = Σ_t (1 − D_t) is minimized by
+    scheduling looks in non-increasing marginal order. For conferences
+    (m ≥ 2) we evaluate round-based re-paging schedules by Monte Carlo. *)
+
+(** [optimal_look_sequence ~horizon p q] is the first [horizon] looks of
+    the greedy index rule; entry [t] is the cell looked at at time [t].
+    @raise Invalid_argument on mismatched arrays or q ∉ (0, 1]. *)
+val optimal_look_sequence :
+  horizon:int -> float array -> float array -> int array
+
+(** [detection_curve p q looks] gives D_t = P[device found within the
+    first t looks] for t = 0 … length of [looks]. *)
+val detection_curve : float array -> float array -> int array -> float array
+
+(** [expected_looks ~horizon p q] is
+    (Σ_{t<horizon} (1 − D_t), D_horizon): the expected number of looks
+    spent within the horizon and the success probability. *)
+val expected_looks : horizon:int -> float array -> float array -> float * float
+
+(** Round-based schedules for m ≥ 1 devices: a sequence of cell sets,
+    repetitions allowed. *)
+type schedule = int array array
+
+(** [repeat_strategy strategy ~cycles] repeats a perfect-detection
+    strategy's rounds [cycles] times — the natural re-paging heuristic. *)
+val repeat_strategy : Strategy.t -> cycles:int -> schedule
+
+(** [simulate ?objective inst ~q ~schedule rng ~trials] runs the
+    schedule under per-page detection probability [q]; returns
+    (cost summary over all trials, success ratio). Trials that exhaust
+    the schedule contribute their full cost. *)
+val simulate :
+  ?objective:Objective.t ->
+  Instance.t ->
+  q:float ->
+  schedule:schedule ->
+  Prob.Rng.t ->
+  trials:int ->
+  Prob.Stats.summary * float
+
+(** [single_device_exact inst ~q ~schedule] — exact expected cells paged
+    and success probability for m = 1 (no sampling), by tracking the
+    per-cell posterior mass left undetected.
+    @raise Invalid_argument when [inst.m <> 1]. *)
+val single_device_exact :
+  Instance.t -> q:float -> schedule:schedule -> float * float

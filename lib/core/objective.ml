@@ -1,0 +1,83 @@
+module Q = Numeric.Rational
+
+type t = Find_all | Find_any | Find_at_least of int
+
+let validate t ~m =
+  match t with
+  | Find_all | Find_any -> Ok ()
+  | Find_at_least k ->
+    if k >= 1 && k <= m then Ok ()
+    else Error "Find_at_least k requires 1 <= k <= m"
+
+(* P[#devices in prefix >= k] for independent indicators, by the standard
+   Poisson-binomial DP over devices. *)
+let tail_at_least k probs =
+  let m = Array.length probs in
+  if k <= 0 then 1.0
+  else if k > m then 0.0
+  else begin
+    let dp = Array.make (m + 1) 0.0 in
+    dp.(0) <- 1.0;
+    Array.iteri
+      (fun i p ->
+        for j = i + 1 downto 1 do
+          dp.(j) <- (dp.(j) *. (1.0 -. p)) +. (dp.(j - 1) *. p)
+        done;
+        dp.(0) <- dp.(0) *. (1.0 -. p))
+      probs;
+    let s = ref 0.0 in
+    for j = k to m do
+      s := !s +. dp.(j)
+    done;
+    !s
+  end
+
+let success t probs =
+  match t with
+  | Find_all -> Array.fold_left ( *. ) 1.0 probs
+  | Find_any ->
+    1.0 -. Array.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 probs
+  | Find_at_least k -> tail_at_least k probs
+
+let tail_at_least_exact k probs =
+  let m = Array.length probs in
+  if k <= 0 then Q.one
+  else if k > m then Q.zero
+  else begin
+    let dp = Array.make (m + 1) Q.zero in
+    dp.(0) <- Q.one;
+    Array.iteri
+      (fun i p ->
+        let not_p = Q.sub Q.one p in
+        for j = i + 1 downto 1 do
+          dp.(j) <- Q.add (Q.mul dp.(j) not_p) (Q.mul dp.(j - 1) p)
+        done;
+        dp.(0) <- Q.mul dp.(0) not_p)
+      probs;
+    let s = ref Q.zero in
+    for j = k to m do
+      s := Q.add !s dp.(j)
+    done;
+    !s
+  end
+
+let success_exact t probs =
+  match t with
+  | Find_all -> Array.fold_left Q.mul Q.one probs
+  | Find_any ->
+    Q.sub Q.one
+      (Array.fold_left (fun acc p -> Q.mul acc (Q.sub Q.one p)) Q.one probs)
+  | Find_at_least k -> tail_at_least_exact k probs
+
+let found_enough t ~m ~found =
+  match t with
+  | Find_all -> found >= m
+  | Find_any -> found >= 1
+  | Find_at_least k -> found >= k
+
+let to_string = function
+  | Find_all -> "find-all"
+  | Find_any -> "find-any"
+  | Find_at_least k -> Printf.sprintf "find-%d" k
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

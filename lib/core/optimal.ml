@@ -1,0 +1,153 @@
+module Q = Numeric.Rational
+
+type result = { strategy : Strategy.t; expected_paging : float }
+
+let strategy_of_labels ~c ~d labels =
+  let buckets = Array.make d [] in
+  for j = c - 1 downto 0 do
+    buckets.(labels.(j)) <- j :: buckets.(labels.(j))
+  done;
+  let groups =
+    Array.of_list
+      (List.filter_map
+         (fun g -> if g = [] then None else Some (Array.of_list g))
+         (Array.to_list buckets))
+  in
+  Strategy.create groups
+
+let enumerate_strategies ~c ~d ~max_group visit =
+  (* Assign each cell a round label < d. Unused labels collapse, so every
+     strategy of length <= d appears (some more than once; harmless). *)
+  let labels = Array.make c 0 in
+  let counts = Array.make d 0 in
+  let rec go j =
+    if j = c then visit labels
+    else
+      for l = 0 to d - 1 do
+        if counts.(l) < max_group then begin
+          labels.(j) <- l;
+          counts.(l) <- counts.(l) + 1;
+          go (j + 1);
+          counts.(l) <- counts.(l) - 1
+        end
+      done
+  in
+  go 0
+
+let guard_size ~c ~d =
+  if c > 16 then invalid_arg "Optimal.exhaustive: c too large (max 16)"
+  else if float_of_int d ** float_of_int c > 8e6 then
+    invalid_arg "Optimal.exhaustive: d^c too large"
+
+let exhaustive ?objective ?max_group inst =
+  let c = inst.Instance.c and d = inst.Instance.d in
+  guard_size ~c ~d;
+  let max_group = Option.value max_group ~default:c in
+  let best = ref None in
+  enumerate_strategies ~c ~d ~max_group (fun labels ->
+      let strategy = strategy_of_labels ~c ~d labels in
+      let ep = Strategy.expected_paging_unchecked ?objective inst strategy in
+      match !best with
+      | Some (_, best_ep) when best_ep <= ep -> ()
+      | _ -> best := Some (strategy, ep));
+  match !best with
+  | Some (strategy, expected_paging) -> { strategy; expected_paging }
+  | None -> invalid_arg "Optimal.exhaustive: no feasible strategy"
+
+let exhaustive_exact ?objective inst =
+  let c = inst.Instance.Exact.c and d = inst.Instance.Exact.d in
+  guard_size ~c ~d;
+  let best = ref None in
+  enumerate_strategies ~c ~d ~max_group:c (fun labels ->
+      let strategy = strategy_of_labels ~c ~d labels in
+      let ep = Strategy.expected_paging_exact ?objective inst strategy in
+      match !best with
+      | Some (_, best_ep) when Q.compare best_ep ep <= 0 -> ()
+      | _ -> best := Some (strategy, ep));
+  match !best with
+  | Some pair -> pair
+  | None -> invalid_arg "Optimal.exhaustive_exact: no feasible strategy"
+
+let branch_and_bound_d2 ?(objective = Objective.Find_all) inst =
+  if inst.Instance.d <> 2 then
+    invalid_arg "Optimal.branch_and_bound_d2: requires d = 2"
+  else begin
+    let c = inst.Instance.c and m = inst.Instance.m in
+    let order = Instance.weight_order inst in
+    (* Maximize gain(S1) = (c - |S1|) * success(P(S1)); EP = c - gain.
+       The pruning bound relies only on success being monotone in the
+       per-device masses, which holds for every objective. *)
+    let rem_mass = Array.make_matrix m (c + 1) 0.0 in
+    for i = 0 to m - 1 do
+      for t = c - 1 downto 0 do
+        rem_mass.(i).(t) <-
+          rem_mass.(i).(t + 1) +. inst.Instance.p.(i).(order.(t))
+      done
+    done;
+    let best_gain = ref neg_infinity in
+    let best_set = ref [] in
+    let masses = Array.make m 0.0 in
+    let chosen = ref [] in
+    let rec go t size =
+      let gain_here =
+        if size >= 1 && size <= c - 1 then
+          float_of_int (c - size) *. Objective.success objective masses
+        else neg_infinity
+      in
+      if gain_here > !best_gain then begin
+        best_gain := gain_here;
+        best_set := !chosen
+      end;
+      if t < c then begin
+        (* Optimistic bound: smallest future size, largest future masses. *)
+        let optimistic_size = Stdlib.max 1 size in
+        if c - optimistic_size > 0 then begin
+          let optimistic_masses =
+            Array.mapi
+              (fun i mass -> Stdlib.min 1.0 (mass +. rem_mass.(i).(t)))
+              masses
+          in
+          let ub =
+            ref
+              (float_of_int (c - optimistic_size)
+              *. Objective.success objective optimistic_masses)
+          in
+          if !ub > !best_gain then begin
+            let cell = order.(t) in
+            (* Include cell [t] in S1. *)
+            for i = 0 to m - 1 do
+              masses.(i) <- masses.(i) +. inst.Instance.p.(i).(cell)
+            done;
+            chosen := cell :: !chosen;
+            go (t + 1) (size + 1);
+            chosen := List.tl !chosen;
+            for i = 0 to m - 1 do
+              masses.(i) <- masses.(i) -. inst.Instance.p.(i).(cell)
+            done;
+            (* Exclude cell [t]. *)
+            go (t + 1) size
+          end
+        end
+      end
+    in
+    go 0 0;
+    let s1 = Array.of_list !best_set in
+    let in_s1 = Array.make c false in
+    Array.iter (fun j -> in_s1.(j) <- true) s1;
+    let s2 =
+      Array.of_list
+        (List.filter (fun j -> not in_s1.(j)) (List.init c (fun j -> j)))
+    in
+    let strategy = Strategy.create [| s1; s2 |] in
+    {
+      strategy;
+      expected_paging = Strategy.expected_paging ~objective inst strategy;
+    }
+  end
+
+let best ?objective inst =
+  let c = inst.Instance.c and d = inst.Instance.d in
+  let combos = float_of_int d ** float_of_int c in
+  if c <= 16 && combos <= 8e6 then Some (exhaustive ?objective inst)
+  else if d = 2 && c <= 26 then Some (branch_and_bound_d2 ?objective inst)
+  else None

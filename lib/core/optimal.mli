@@ -1,0 +1,34 @@
+(** Exact solvers, used as ground truth for the approximation-ratio
+    experiments. The problem is NP-hard for every fixed m ≥ 2, d ≥ 2
+    (Theorem 3.8), so these are exponential in general: exhaustive
+    enumeration of ordered partitions for small c, and a pruned search
+    specialized to d = 2 for moderate c. *)
+
+type result = { strategy : Strategy.t; expected_paging : float }
+
+(** [exhaustive ?objective ?max_group inst] enumerates every strategy of
+    length at most [inst.d] (all dⁿ round assignments, skipping those
+    with an empty round among the used ones) and returns a minimizer.
+    Cost O(d^c · m · c); intended for c ≤ ~12.
+    @raise Invalid_argument when [c > 16] (guard against runaway cost). *)
+val exhaustive :
+  ?objective:Objective.t -> ?max_group:int -> Instance.t -> result
+
+(** Exact-rational exhaustive search on an exact instance: returns the
+    minimizer and its expected paging as a rational. *)
+val exhaustive_exact :
+  ?objective:Objective.t ->
+  Instance.Exact.t ->
+  Strategy.t * Numeric.Rational.t
+
+(** [branch_and_bound_d2 ?objective inst] computes an optimal two-round
+    strategy by depth-first search over first-round subsets with an
+    admissible pruning bound (success is monotone in the per-device
+    prefix masses for every objective); practical to c ≈ 24.
+    @raise Invalid_argument when [inst.d <> 2]. *)
+val branch_and_bound_d2 : ?objective:Objective.t -> Instance.t -> result
+
+(** [best ?objective inst] picks the cheapest applicable exact method
+    (exhaustive for small c, branch-and-bound when d = 2); [None] when
+    the instance is too large for exact solving. *)
+val best : ?objective:Objective.t -> Instance.t -> result option

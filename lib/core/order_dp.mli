@@ -1,0 +1,76 @@
+(** The dynamic program of Lemma 4.7 / Fig. 1, generalized.
+
+    Given a fixed cell ordering, this DP finds the strategy minimizing
+    expected paging among all strategies that page cells in that order —
+    in O(d·c²) time after an O(m·c) pass computing prefix success
+    probabilities. The paper instantiates it with the non-increasing
+    cell-weight order to obtain the e/(e−1)-approximation (§4.2.2); with
+    m = 1 it is the optimal single-device algorithm of [11,16,17]; the §5
+    remark that it works "for any predefined sequence" and for the
+    bandwidth-limited model is exposed through [order] and [max_group]. *)
+
+type result = {
+  strategy : Strategy.t;
+  sizes : int array;  (** g₁ … g_d, the chosen group sizes *)
+  expected_paging : float;  (** E(d, c) *)
+}
+
+(** [solve ?objective ?max_group ?cell_cost inst ~order] cuts [order]
+    (a permutation of the instance's cells) into at most [inst.d]
+    groups.
+
+    [max_group] bounds every group size (the §5 bandwidth model); the
+    problem is infeasible when [c > max_group · d].
+
+    [cell_cost] generalizes the objective from expected {e cells} paged
+    to expected paging {e cost}: entry [j] is the cost of paging cell
+    [j] (default: 1 everywhere). Models cells with unequal load or
+    radio footprint.
+
+    @raise Invalid_argument when [order] is not a permutation of the
+    cells, [cell_cost] has the wrong length, or the bandwidth constraint
+    is infeasible. *)
+val solve :
+  ?objective:Objective.t ->
+  ?max_group:int ->
+  ?cell_cost:float array ->
+  Instance.t ->
+  order:int array ->
+  result
+
+(** [solve_coarse ?objective ?block inst ~order] restricts cut points to
+    multiples of [block] cells (default 16), shrinking the DP from
+    O(d·c²) to O(d·(c/block)²). The reported expectation is exact for
+    the returned strategy (Lemma 2.1 only reads prefix success at cut
+    points), but the strategy is only optimal within the coarse family —
+    a practical solver for location areas with tens of thousands of
+    cells. *)
+val solve_coarse :
+  ?objective:Objective.t ->
+  ?block:int ->
+  Instance.t ->
+  order:int array ->
+  result
+
+(** [solve_with_prefix_success ~c ~d ?max_group ?cell_cost
+    ~prefix_success ~order] is the raw DP: [prefix_success j] must be
+    the probability that the search objective is met within the first
+    [j] cells of [order] (non-decreasing, [prefix_success 0 = 0]);
+    [cell_cost pos] is the cost of the cell at order position [pos].
+    Exposed for custom objectives and for the tests that cross-check the
+    recurrence. *)
+val solve_with_prefix_success :
+  c:int ->
+  d:int ->
+  ?max_group:int ->
+  ?cell_cost:(int -> float) ->
+  prefix_success:(int -> float) ->
+  order:int array ->
+  unit ->
+  result
+
+(** [prefix_success_table ?objective inst ~order] is the F[·] table of
+    Fig. 1 lines 07–14: entry [j] is the success probability of the
+    length-[j] prefix. Length c+1. *)
+val prefix_success_table :
+  ?objective:Objective.t -> Instance.t -> order:int array -> float array

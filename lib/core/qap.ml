@@ -1,0 +1,257 @@
+type t = { size : int; a : float array array; b : float array array }
+
+let create a b =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Qap.create: empty matrix"
+  else if Array.length b <> n then invalid_arg "Qap.create: size mismatch"
+  else begin
+    let square m =
+      Array.for_all (fun row -> Array.length row = n) m
+    in
+    if not (square a && square b) then
+      invalid_arg "Qap.create: matrices must be square"
+    else { size = n; a = Array.map Array.copy a; b = Array.map Array.copy b }
+  end
+
+let check_perm t perm =
+  if Array.length perm <> t.size then
+    invalid_arg "Qap: permutation length mismatch"
+  else begin
+    let seen = Array.make t.size false in
+    Array.iter
+      (fun v ->
+        if v < 0 || v >= t.size || seen.(v) then
+          invalid_arg "Qap: not a permutation"
+        else seen.(v) <- true)
+      perm
+  end
+
+let objective t perm =
+  check_perm t perm;
+  let total = ref 0.0 in
+  for x = 0 to t.size - 1 do
+    for y = 0 to t.size - 1 do
+      total := !total +. (t.a.(x).(y) *. t.b.(perm.(x)).(perm.(y)))
+    done
+  done;
+  !total
+
+let identity_permutation t = Array.init t.size (fun i -> i)
+
+(* Objective change from swapping the slots of cells x and y; O(n). *)
+let swap_delta t perm x y =
+  let n = t.size in
+  let px = perm.(x) and py = perm.(y) in
+  let delta = ref 0.0 in
+  for z = 0 to n - 1 do
+    if z <> x && z <> y then begin
+      let pz = perm.(z) in
+      delta :=
+        !delta
+        +. (t.a.(x).(z) *. (t.b.(py).(pz) -. t.b.(px).(pz)))
+        +. (t.a.(y).(z) *. (t.b.(px).(pz) -. t.b.(py).(pz)))
+        +. (t.a.(z).(x) *. (t.b.(pz).(py) -. t.b.(pz).(px)))
+        +. (t.a.(z).(y) *. (t.b.(pz).(px) -. t.b.(pz).(py)))
+    end
+  done;
+  delta :=
+    !delta
+    +. (t.a.(x).(x) *. (t.b.(py).(py) -. t.b.(px).(px)))
+    +. (t.a.(y).(y) *. (t.b.(px).(px) -. t.b.(py).(py)))
+    +. (t.a.(x).(y) *. (t.b.(py).(px) -. t.b.(px).(py)))
+    +. (t.a.(y).(x) *. (t.b.(px).(py) -. t.b.(py).(px)));
+  !delta
+
+let local_search t ~start =
+  check_perm t start;
+  let perm = Array.copy start in
+  let current = ref (objective t perm) in
+  let evaluations = ref 0 in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best_delta = ref 1e-12 and best_pair = ref None in
+    for x = 0 to t.size - 1 do
+      for y = x + 1 to t.size - 1 do
+        incr evaluations;
+        let delta = swap_delta t perm x y in
+        if delta > !best_delta then begin
+          best_delta := delta;
+          best_pair := Some (x, y)
+        end
+      done
+    done;
+    match !best_pair with
+    | Some (x, y) ->
+      let tmp = perm.(x) in
+      perm.(x) <- perm.(y);
+      perm.(y) <- tmp;
+      current := !current +. !best_delta;
+      improved := true
+    | None -> ()
+  done;
+  (* Recompute to shed accumulated float error. *)
+  perm, objective t perm, !evaluations
+
+let anneal t rng ~steps ~t0 ~cooling =
+  if steps < 0 || t0 <= 0.0 || cooling <= 0.0 || cooling >= 1.0 then
+    invalid_arg "Qap.anneal: bad parameters";
+  let perm = identity_permutation t in
+  let current = ref (objective t perm) in
+  let best = ref !current in
+  let best_perm = ref (Array.copy perm) in
+  let temperature = ref t0 in
+  for _ = 1 to steps do
+    let x = Prob.Rng.int rng t.size and y = Prob.Rng.int rng t.size in
+    if x <> y then begin
+      let delta = swap_delta t perm x y in
+      if
+        delta >= 0.0
+        || Prob.Rng.unit_float rng < exp (delta /. !temperature)
+      then begin
+        let tmp = perm.(x) in
+        perm.(x) <- perm.(y);
+        perm.(y) <- tmp;
+        current := !current +. delta;
+        if !current > !best then begin
+          best := !current;
+          best_perm := Array.copy perm
+        end
+      end
+    end;
+    temperature := !temperature *. cooling
+  done;
+  let final, value, _ = local_search t ~start:!best_perm in
+  final, value
+
+let exhaustive t =
+  if t.size > 9 then invalid_arg "Qap.exhaustive: size too large (max 9)"
+  else begin
+    let best = ref neg_infinity and best_perm = ref (identity_permutation t) in
+    let perm = identity_permutation t in
+    let rec go k =
+      if k = t.size then begin
+        let v = objective t perm in
+        if v > !best then begin
+          best := v;
+          best_perm := Array.copy perm
+        end
+      end
+      else
+        for i = k to t.size - 1 do
+          let tmp = perm.(k) in
+          perm.(k) <- perm.(i);
+          perm.(i) <- tmp;
+          go (k + 1);
+          let tmp = perm.(k) in
+          perm.(k) <- perm.(i);
+          perm.(i) <- tmp
+        done
+    in
+    go 0;
+    !best_perm, !best
+  end
+
+(* ---------- Conference Call (m = 2) encoding ---------- *)
+
+let round_of_slots ~sizes =
+  let d = Array.length sizes in
+  let c = Array.fold_left ( + ) 0 sizes in
+  let round = Array.make c 0 in
+  let pos = ref 0 in
+  for r = 0 to d - 1 do
+    for _ = 1 to sizes.(r) do
+      round.(!pos) <- r;
+      incr pos
+    done
+  done;
+  round
+
+let of_conference inst ~sizes =
+  if inst.Instance.m <> 2 then
+    invalid_arg "Qap.of_conference: requires exactly two devices"
+  else begin
+    let c = inst.Instance.c in
+    if Array.fold_left ( + ) 0 sizes <> c then
+      invalid_arg "Qap.of_conference: sizes must sum to c"
+    else if Array.exists (fun s -> s <= 0) sizes then
+      invalid_arg "Qap.of_conference: sizes must be positive"
+    else begin
+      let round = round_of_slots ~sizes in
+      (* b_r: cells paged within the first r+1 rounds. *)
+      let cumulative = Array.make (Array.length sizes) 0 in
+      let acc = ref 0 in
+      Array.iteri
+        (fun r s ->
+          acc := !acc + s;
+          cumulative.(r) <- !acc)
+        sizes;
+      let a =
+        Array.init c (fun x ->
+            Array.init c (fun y ->
+                inst.Instance.p.(0).(x) *. inst.Instance.p.(1).(y)))
+      in
+      let b =
+        Array.init c (fun u ->
+            Array.init c (fun v ->
+                let r = Stdlib.max round.(u) round.(v) in
+                float_of_int (c - cumulative.(r))))
+      in
+      create a b
+    end
+  end
+
+let ep_of_objective inst value = float_of_int inst.Instance.c -. value
+
+let strategy_of_permutation ~sizes perm =
+  let round = round_of_slots ~sizes in
+  let d = Array.length sizes in
+  let buckets = Array.make d [] in
+  Array.iteri
+    (fun cell slot -> buckets.(round.(slot)) <- cell :: buckets.(round.(slot)))
+    perm;
+  Strategy.create (Array.map (fun l -> Array.of_list (List.rev l)) buckets)
+
+let size_vectors ~c ~d =
+  (* All compositions of c into d positive parts. *)
+  let out = ref [] in
+  let rec go parts remaining slots =
+    if slots = 1 then out := Array.of_list (List.rev (remaining :: parts)) :: !out
+    else
+      for v = 1 to remaining - slots + 1 do
+        go (v :: parts) (remaining - v) (slots - 1)
+      done
+  in
+  go [] c d;
+  List.rev !out
+
+let solve_conference_m2 ?rng inst =
+  if inst.Instance.m <> 2 then
+    invalid_arg "Qap.solve_conference_m2: requires exactly two devices"
+  else begin
+    let c = inst.Instance.c in
+    let d = Stdlib.min inst.Instance.d c in
+    let rng =
+      match rng with
+      | Some rng -> rng
+      | None -> Prob.Rng.create ~seed:51
+    in
+    let best_ep = ref infinity and best_strategy = ref None in
+    List.iter
+      (fun sizes ->
+        let qap = of_conference inst ~sizes in
+        let steps = Stdlib.max 200 (20 * c) in
+        let perm, value =
+          anneal qap rng ~steps ~t0:(0.1 *. float_of_int c)
+            ~cooling:(1.0 -. (2.0 /. float_of_int steps))
+        in
+        let ep = ep_of_objective inst value in
+        if ep < !best_ep then begin
+          best_ep := ep;
+          best_strategy := Some (strategy_of_permutation ~sizes perm)
+        end)
+      (size_vectors ~c ~d);
+    match !best_strategy with
+    | Some strategy -> strategy, !best_ep
+    | None -> invalid_arg "Qap.solve_conference_m2: no size vectors"
+  end

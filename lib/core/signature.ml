@@ -1,0 +1,16 @@
+let check inst ~k =
+  match Objective.validate (Objective.Find_at_least k) ~m:inst.Instance.m with
+  | Ok () -> ()
+  | Error reason -> invalid_arg ("Signature: " ^ reason)
+
+let solve inst ~k =
+  check inst ~k;
+  Greedy.solve ~objective:(Objective.Find_at_least k) inst
+
+let exhaustive inst ~k =
+  check inst ~k;
+  Optimal.exhaustive ~objective:(Objective.Find_at_least k) inst
+
+let sweep inst =
+  Array.init inst.Instance.m (fun i ->
+      (solve inst ~k:(i + 1)).Order_dp.expected_paging)

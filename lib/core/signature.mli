@@ -1,0 +1,16 @@
+(** The Signature problem (§5): find any [k] of the [m] devices —
+    "finding k managers out of m to sign a document". [k = m] is the
+    Conference Call problem and [k = 1] the Yellow Pages problem. *)
+
+(** [solve inst ~k] — the cell-weight heuristic with the find-k
+    objective (the prefix success probability is a Poisson–binomial
+    tail).
+    @raise Invalid_argument unless 1 ≤ k ≤ m. *)
+val solve : Instance.t -> k:int -> Order_dp.result
+
+(** [exhaustive inst ~k] — ground truth for small c. *)
+val exhaustive : Instance.t -> k:int -> Optimal.result
+
+(** [sweep inst] — heuristic expected paging for every k = 1..m;
+    the interpolation curve of experiment E13. *)
+val sweep : Instance.t -> float array

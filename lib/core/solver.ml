@@ -1,0 +1,96 @@
+type spec =
+  | Greedy
+  | Page_all
+  | Within_order of int array
+  | Bandwidth_limited of int
+  | Exhaustive
+  | Branch_and_bound
+  | Best_exact
+  | Local_search
+  | Class_based
+
+type outcome = {
+  strategy : Strategy.t;
+  expected_paging : float;
+  exact : bool;
+}
+
+let of_order_dp exact (r : Order_dp.result) =
+  {
+    strategy = r.Order_dp.strategy;
+    expected_paging = r.Order_dp.expected_paging;
+    exact;
+  }
+
+let of_optimal (r : Optimal.result) =
+  {
+    strategy = r.Optimal.strategy;
+    expected_paging = r.Optimal.expected_paging;
+    exact = true;
+  }
+
+let solve ?objective spec inst =
+  match spec with
+  | Greedy ->
+    let exact = inst.Instance.m = 1 || inst.Instance.d = 1 in
+    of_order_dp exact (Greedy.solve ?objective inst)
+  | Page_all ->
+    let strategy = Strategy.page_all inst.Instance.c in
+    {
+      strategy;
+      expected_paging = Strategy.expected_paging ?objective inst strategy;
+      exact = inst.Instance.d = 1;
+    }
+  | Within_order order ->
+    of_order_dp false (Order_dp.solve ?objective inst ~order)
+  | Bandwidth_limited b ->
+    of_order_dp false (Bandwidth.solve ?objective inst ~b)
+  | Exhaustive -> of_optimal (Optimal.exhaustive ?objective inst)
+  | Branch_and_bound -> of_optimal (Optimal.branch_and_bound_d2 ?objective inst)
+  | Best_exact ->
+    (match Optimal.best ?objective inst with
+     | Some r -> of_optimal r
+     | None -> invalid_arg "Solver: instance too large for exact solving")
+  | Local_search ->
+    let r = Local_search.hill_climb ?objective inst in
+    {
+      strategy = r.Local_search.strategy;
+      expected_paging = r.Local_search.expected_paging;
+      exact = false;
+    }
+  | Class_based ->
+    let r = Class_solver.solve ?objective inst in
+    {
+      strategy = r.Class_solver.strategy;
+      expected_paging = r.Class_solver.expected_paging;
+      exact = true;
+    }
+
+let spec_to_string = function
+  | Greedy -> "greedy"
+  | Page_all -> "page-all"
+  | Within_order _ -> "within-order"
+  | Bandwidth_limited b -> Printf.sprintf "bandwidth-%d" b
+  | Exhaustive -> "exhaustive"
+  | Branch_and_bound -> "bnb"
+  | Best_exact -> "exact"
+  | Local_search -> "local-search"
+  | Class_based -> "class"
+
+let spec_of_string s =
+  match String.lowercase_ascii s with
+  | "greedy" -> Ok Greedy
+  | "page-all" | "pageall" -> Ok Page_all
+  | "exhaustive" -> Ok Exhaustive
+  | "bnb" | "branch-and-bound" -> Ok Branch_and_bound
+  | "exact" | "best-exact" -> Ok Best_exact
+  | "local-search" | "local" -> Ok Local_search
+  | "class" | "class-based" -> Ok Class_based
+  | s when String.length s > 10 && String.sub s 0 10 = "bandwidth-" ->
+    (match int_of_string_opt (String.sub s 10 (String.length s - 10)) with
+     | Some b when b >= 1 -> Ok (Bandwidth_limited b)
+     | _ -> Error "bandwidth-<b> needs a positive integer")
+  | other -> Error (Printf.sprintf "unknown solver %S" other)
+
+let basic_specs =
+  [ Greedy; Page_all; Exhaustive; Branch_and_bound; Best_exact; Local_search ]

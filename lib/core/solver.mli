@@ -1,0 +1,30 @@
+(** Uniform front-end over all strategy constructors; used by the CLI,
+    the simulator and the benchmark harness. *)
+
+type spec =
+  | Greedy  (** the §4 heuristic (Theorem 4.8) *)
+  | Page_all  (** the d = 1 / GSM-IS-41 baseline: one round, all cells *)
+  | Within_order of int array  (** Lemma 4.7 DP on a fixed cell order *)
+  | Bandwidth_limited of int  (** greedy with a per-round cap (§5) *)
+  | Exhaustive  (** exact, small c only *)
+  | Branch_and_bound  (** exact, d = 2, find-all *)
+  | Best_exact  (** cheapest applicable exact method *)
+  | Local_search  (** hill-climbing from the greedy solution *)
+  | Class_based  (** exact when cells fall into few types *)
+
+type outcome = {
+  strategy : Strategy.t;
+  expected_paging : float;
+  exact : bool;  (** whether the strategy is provably optimal *)
+}
+
+(** [solve ?objective spec inst] runs the chosen method.
+    @raise Invalid_argument when the method does not apply (e.g.
+    [Best_exact] on a huge instance, [Branch_and_bound] with d ≠ 2). *)
+val solve : ?objective:Objective.t -> spec -> Instance.t -> outcome
+
+val spec_of_string : string -> (spec, string) result
+val spec_to_string : spec -> string
+
+(** All parameterless specs, for CLI listings and comparison sweeps. *)
+val basic_specs : spec list

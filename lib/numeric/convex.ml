@@ -1,0 +1,80 @@
+let golden_ratio = (sqrt 5.0 -. 1.0) /. 2.0
+
+let golden_section_min f lo hi ~tol =
+  let rec go a b fa_x fa_fx fb_x fb_fx =
+    (* Invariant: fa_x < fb_x are interior probes of [a, b]. *)
+    if b -. a < tol then begin
+      let m = (a +. b) /. 2.0 in
+      m, f m
+    end
+    else if fa_fx < fb_fx then begin
+      let b = fb_x in
+      let x = b -. (golden_ratio *. (b -. a)) in
+      go a b x (f x) fa_x fa_fx
+    end
+    else begin
+      let a = fa_x in
+      let x = a +. (golden_ratio *. (b -. a)) in
+      go a b fb_x fb_fx x (f x)
+    end
+  in
+  if hi <= lo then lo, f lo
+  else begin
+    let x1 = hi -. (golden_ratio *. (hi -. lo)) in
+    let x2 = lo +. (golden_ratio *. (hi -. lo)) in
+    go lo hi x1 (f x1) x2 (f x2)
+  end
+
+let int_argmin f lo hi =
+  if lo > hi then invalid_arg "Convex.int_argmin: empty range"
+  else begin
+    let best = ref lo and best_v = ref (f lo) in
+    for x = lo + 1 to hi do
+      let v = f x in
+      if v < !best_v then begin
+        best := x;
+        best_v := v
+      end
+    done;
+    !best, !best_v
+  end
+
+let ternary_int_min f lo hi =
+  let rec go lo hi =
+    if hi - lo <= 3 then int_argmin f lo hi
+    else begin
+      let m1 = lo + ((hi - lo) / 3) in
+      let m2 = hi - ((hi - lo) / 3) in
+      if f m1 <= f m2 then go lo m2 else go m1 hi
+    end
+  in
+  if lo > hi then invalid_arg "Convex.ternary_int_min: empty range"
+  else go lo hi
+
+let is_convex_samples ?(eps = 1e-9) ys =
+  let n = Array.length ys in
+  let rec go i =
+    if i + 2 >= n then true
+    else if ys.(i + 2) -. (2.0 *. ys.(i + 1)) +. ys.(i) < -.eps then false
+    else go (i + 1)
+  in
+  go 0
+
+let is_nonincreasing ?(eps = 1e-9) ys =
+  let n = Array.length ys in
+  let rec go i =
+    if i + 1 >= n then true
+    else if ys.(i + 1) > ys.(i) +. eps then false
+    else go (i + 1)
+  in
+  go 0
+
+let amgm_upper xs =
+  match xs with
+  | [] -> invalid_arg "Convex.amgm_upper: empty list"
+  | _ ->
+    let n = float_of_int (List.length xs) in
+    let s = List.fold_left ( +. ) 0.0 xs in
+    (s /. n) ** n
+
+let e_over_e_minus_1 = exp 1.0 /. (exp 1.0 -. 1.0)

@@ -1,0 +1,34 @@
+(** One-dimensional minimization and convexity checks.
+
+    Small numeric toolkit backing the analytic lemmas of the paper
+    (Lemma 3.1, Lemma 3.4) and the branch-and-bound solver. *)
+
+(** [golden_section_min f lo hi ~tol] minimizes a unimodal [f] on
+    [[lo, hi]]; returns [(argmin, min)]. *)
+val golden_section_min :
+  (float -> float) -> float -> float -> tol:float -> float * float
+
+(** [int_argmin f lo hi] scans the integer range (inclusive) and returns
+    [(argmin, min)], preferring the smallest argmin on ties.
+    @raise Invalid_argument when [lo > hi]. *)
+val int_argmin : (int -> float) -> int -> int -> int * float
+
+(** [ternary_int_min f lo hi] minimizes a unimodal integer function by
+    ternary search; O(log(hi-lo)) evaluations. *)
+val ternary_int_min : (int -> float) -> int -> int -> int * float
+
+(** [is_convex_samples ?eps ys] checks that second differences of equally
+    spaced samples are ≥ -eps. *)
+val is_convex_samples : ?eps:float -> float array -> bool
+
+(** [is_nonincreasing ?eps ys] checks that samples never increase by more
+    than [eps]. *)
+val is_nonincreasing : ?eps:float -> float array -> bool
+
+(** [amgm_upper xs] is [((Σxs)/n)^n], the arithmetic–geometric-mean upper
+    bound on [Π xs] used throughout §4 of the paper.
+    @raise Invalid_argument on the empty list. *)
+val amgm_upper : float list -> float
+
+(** e/(e-1) ≈ 1.5819767…, the approximation factor of Theorem 4.8. *)
+val e_over_e_minus_1 : float

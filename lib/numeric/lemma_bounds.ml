@@ -1,0 +1,80 @@
+module Q = Rational
+
+let f_lemma31 ~c x y =
+  let c = float_of_int c in
+  (c -. y) *. (((1.0 -. (3.0 /. (2.0 *. c))) *. y) +. x) *. (y -. x)
+
+let f_lemma31_exact ~c x y =
+  let cq = Q.of_int c in
+  let twoc = 2 * c in
+  let coef = Q.(sub one (of_ints 3 twoc)) in
+  Q.(mul (mul (sub cq y) (add (mul coef y) x)) (sub y x))
+
+let f_lemma31_max ~c =
+  (* f(1/2, 2c/3) = 4c³/27 − 2c²/9 + c/12. *)
+  let cq = Q.of_int c in
+  Q.(
+    add
+      (sub (mul (of_ints 4 27) (pow cq 3)) (mul (of_ints 2 9) (pow cq 2)))
+      (mul (of_ints 1 12) cq))
+
+let lb_lemma32 ~c =
+  let pred_c = c - 1 in
+  let denom = Q.(mul (sub (of_int c) (of_ints 1 2)) (of_int pred_c)) in
+  Q.(sub (of_int c) (div (f_lemma31_max ~c) denom))
+
+let check_md m d =
+  if m < 2 || d < 2 then
+    invalid_arg "Lemma_bounds: requires m >= 2 and d >= 2"
+
+let alphas ~m ~d =
+  check_md m d;
+  let mf = float_of_int m in
+  let rec go k prev acc =
+    if k > d - 1 then List.rev acc
+    else begin
+      let a =
+        if k = 1 then mf /. (mf +. 1.0)
+        else mf /. (mf +. 1.0 -. (prev ** mf))
+      in
+      go (k + 1) a (a :: acc)
+    end
+  in
+  go 1 nan []
+
+let bs ~m ~d ~c =
+  let a = Array.of_list (alphas ~m ~d) in
+  let b = Array.make (d + 1) 0.0 in
+  b.(d) <- float_of_int c;
+  for k = d downto 2 do
+    b.(k - 1) <- a.(k - 2) *. b.(k)
+  done;
+  b.(0) <- 0.0;
+  b
+
+let optimal_group_fractions ~m ~d =
+  let b = bs ~m ~d ~c:1 in
+  Array.init d (fun j -> b.(j + 1) -. b.(j))
+
+let lemma34_bound ~m ~d ~c =
+  let b = bs ~m ~d ~c in
+  let cf = float_of_int c in
+  let coef =
+    ((2.0 *. cf) -. 1.0) ** 2.0
+    /. (4.0 *. (cf -. 1.0) *. (cf ** float_of_int (m + 1)))
+  in
+  let s = ref 0.0 in
+  for r = 1 to d - 1 do
+    s := !s +. ((b.(r + 1) -. b.(r)) *. (b.(r) ** float_of_int m))
+  done;
+  cf -. (coef *. !s)
+
+let xs_lemma34 ~m ~d =
+  let b = bs ~m ~d ~c:1 in
+  let xs = Array.make d 0.0 in
+  for j = 1 to d - 1 do
+    xs.(j - 1) <- (b.(j) -. b.(j - 1)) /. 2.0
+  done;
+  let partial = Array.fold_left ( +. ) 0.0 (Array.sub xs 0 (d - 1)) in
+  xs.(d - 1) <- 1.0 -. partial;
+  xs

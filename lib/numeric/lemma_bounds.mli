@@ -1,0 +1,46 @@
+(** Closed-form quantities from the analytic lemmas of Bar-Noy & Malewicz.
+
+    All formulas reference the journal version (J. Algorithms 51 (2004)):
+    - Lemma 3.1: the bivariate function [f] whose unique maximizer
+      (x = 1/2, y = 2c/3) drives the m = 2, d = 2 NP-hardness reduction;
+    - Lemma 3.4: the α_k / b_k recurrences giving the optimal group sizes
+      for "flat" instances with m devices and d rounds;
+    - Lemma 3.2: the lower bound LB on expected paging of the reduced
+      instance. *)
+
+(** [f_lemma31 ~c x y = (c - y) · ((1 - 3/(2c))·y + x) · (y - x)].
+    Domain of interest: 0 ≤ x ≤ 1, 0 ≤ y ≤ c. *)
+val f_lemma31 : c:int -> float -> float -> float
+
+(** Exact rational version of {!f_lemma31}. *)
+val f_lemma31_exact : c:int -> Rational.t -> Rational.t -> Rational.t
+
+(** The claimed unique maximum value f(1/2, 2c/3) = 4c³/27 − 2c²/9 + c/12. *)
+val f_lemma31_max : c:int -> Rational.t
+
+(** [lb_lemma32 ~c] is the reduction's target expected paging
+    LB = c − f(1/2, 2c/3) / ((c − 1/2)(c − 1)). *)
+val lb_lemma32 : c:int -> Rational.t
+
+(** [alphas ~m ~d] is [[α_1; …; α_{d-1}]] with α_1 = m/(m+1) and
+    α_k = m/(m+1−α_{k-1}^m); strictly increasing and < 1 (Lemma 3.4).
+    @raise Invalid_argument unless m ≥ 2 and d ≥ 2. *)
+val alphas : m:int -> d:int -> float list
+
+(** [bs ~m ~d ~c] is [[b_0; b_1; …; b_d]] with b_d = c and
+    b_{k-1} = α_{k-1} · b_k: the prefix sizes at which the Lemma 3.4
+    function is extremal. *)
+val bs : m:int -> d:int -> c:int -> float array
+
+(** [optimal_group_fractions ~m ~d] is the d-vector of fractions
+    (b_j − b_{j-1})/c — the r_j of §3.2, independent of c. *)
+val optimal_group_fractions : m:int -> d:int -> float array
+
+(** [lemma34_bound ~m ~d ~c] is the lower-bound value
+    c − (2c−1)²/(4(c−1)c^{m+1}) · Σ_{r=1}^{d−1} (b_{r+1} − b_r)·b_r^m. *)
+val lemma34_bound : m:int -> d:int -> c:int -> float
+
+(** [xs_lemma34 ~m ~d] is the d-vector of probability-mass fractions x_j:
+    x_j = b_j/(2c) − b_{j-1}/(2c) for j < d and x_d = 1 − Σ_{j<d} x_j
+    (per-group masses at the extremum; independent of c). *)
+val xs_lemma34 : m:int -> d:int -> float array

@@ -1,0 +1,42 @@
+(* Vose's alias method. Each slot i holds a biased coin [prob.(i)] and an
+   alias target; a draw picks a slot uniformly and flips its coin. *)
+
+type t = { prob : float array; alias : int array; p : float array }
+
+let create weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Sampling.create: empty weights"
+  else begin
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    if total <= 0.0 then invalid_arg "Sampling.create: zero total weight"
+    else begin
+      let scaled =
+        Array.map (fun w -> w *. float_of_int n /. total) weights
+      in
+      let prob = Array.make n 0.0 in
+      let alias = Array.make n 0 in
+      let small = Queue.create () and large = Queue.create () in
+      Array.iteri
+        (fun i s -> if s < 1.0 then Queue.add i small else Queue.add i large)
+        scaled;
+      while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+        let s = Queue.pop small and l = Queue.pop large in
+        prob.(s) <- scaled.(s);
+        alias.(s) <- l;
+        scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+        if scaled.(l) < 1.0 then Queue.add l small else Queue.add l large
+      done;
+      Queue.iter (fun i -> prob.(i) <- 1.0) small;
+      Queue.iter (fun i -> prob.(i) <- 1.0) large;
+      { prob; alias; p = Array.map (fun w -> w /. total) weights }
+    end
+  end
+
+let size t = Array.length t.prob
+
+let draw t rng =
+  let n = Array.length t.prob in
+  let i = Rng.int rng n in
+  if Rng.unit_float rng < t.prob.(i) then i else t.alias.(i)
+
+let probability t i = t.p.(i)

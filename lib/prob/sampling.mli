@@ -1,0 +1,21 @@
+(** O(1) categorical sampling by the alias method (Vose).
+
+    The end-to-end simulator draws device locations from the same
+    probability vectors many thousands of times per run; the alias table
+    amortizes the setup cost. *)
+
+type t
+
+(** [create weights] builds an alias table from non-negative weights.
+    @raise Invalid_argument when empty or all-zero. *)
+val create : float array -> t
+
+(** [size t] is the number of categories. *)
+val size : t -> int
+
+(** [draw t rng] samples a category index in O(1). *)
+val draw : t -> Rng.t -> int
+
+(** [probability t i] is the normalized probability of category [i]
+    (reconstructed from the table; accurate to float rounding). *)
+val probability : t -> int -> float

@@ -1,0 +1,92 @@
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+module Acc = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable lo : float;
+    mutable hi : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; lo = infinity; hi = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.lo then t.lo <- x;
+    if x > t.hi then t.hi <- x
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+  let summary t =
+    let variance = variance t in
+    {
+      n = t.n;
+      mean = t.mean;
+      variance;
+      stddev = sqrt variance;
+      min = t.lo;
+      max = t.hi;
+    }
+end
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty array"
+  else begin
+    let acc = Acc.create () in
+    Array.iter (Acc.add acc) xs;
+    Acc.summary acc
+  end
+
+let mean xs = (summarize xs).mean
+
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty array"
+  else if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of range"
+  else begin
+    let s = Array.copy xs in
+    Array.sort compare s;
+    let n = Array.length s in
+    let pos = q *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor pos) in
+    let frac = pos -. float_of_int i in
+    if i + 1 >= n then s.(n - 1)
+    else ((1.0 -. frac) *. s.(i)) +. (frac *. s.(i + 1))
+  end
+
+let median xs = quantile xs 0.5
+
+let ci95_halfwidth s =
+  if s.n = 0 then 0.0 else 1.96 *. s.stddev /. sqrt (float_of_int s.n)
+
+let histogram ~bins ~lo ~hi xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: non-positive bins"
+  else if hi <= lo then invalid_arg "Stats.histogram: empty range"
+  else begin
+    let counts = Array.make bins 0 in
+    let width = (hi -. lo) /. float_of_int bins in
+    Array.iter
+      (fun x ->
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = Stdlib.max 0 (Stdlib.min (bins - 1) b) in
+        counts.(b) <- counts.(b) + 1)
+      xs;
+    counts
+  end
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g" s.n s.mean
+    s.stddev s.min s.max

@@ -1,0 +1,44 @@
+(** Descriptive statistics and online accumulators for experiment output. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;  (** unbiased sample variance; 0 for n < 2 *)
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+(** Online mean/variance accumulator (Welford). *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val summary : t -> summary
+end
+
+(** [summarize xs] computes a {!summary} of a non-empty array.
+    @raise Invalid_argument on empty input. *)
+val summarize : float array -> summary
+
+val mean : float array -> float
+
+(** [quantile xs q] is the [q]-quantile (linear interpolation on a sorted
+    copy), q ∈ [0, 1]. *)
+val quantile : float array -> float -> float
+
+val median : float array -> float
+
+(** [ci95_halfwidth s] is the normal-approximation 95% confidence-interval
+    half width, 1.96·stddev/√n. *)
+val ci95_halfwidth : summary -> float
+
+(** [histogram ~bins ~lo ~hi xs] counts samples per equal-width bin;
+    out-of-range samples clamp to the edge bins. *)
+val histogram : bins:int -> lo:float -> hi:float -> float array -> int array
+
+val pp_summary : Format.formatter -> summary -> unit

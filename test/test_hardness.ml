@@ -1,0 +1,343 @@
+(* Tests for the §3 NP-hardness reduction pipeline. The centerpiece:
+   a Quasipartition1 instance is positive iff the reduced Conference Call
+   instance (m = 2, d = 2) has optimal expected paging exactly equal to
+   the closed-form bound LB of Lemma 3.2 — checked in exact rational
+   arithmetic against exhaustive search. *)
+
+module Q = Numeric.Rational
+module B = Numeric.Bigint
+
+open Confcall
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let qt = QCheck_alcotest.to_alcotest
+
+let q = Q.of_ints
+
+(* -------------------- brute-force deciders -------------------- *)
+
+let test_partition_brute_positive () =
+  (* {1,2,3,4}: {1,4} vs {2,3}. *)
+  match Hardness.partition_brute [| 1; 2; 3; 4 |] with
+  | Some p ->
+    check int_t "half the elements" 2 (List.length p);
+    let s = List.fold_left (fun acc i -> acc + [| 1; 2; 3; 4 |].(i)) 0 p in
+    check int_t "half the sum" 5 s
+  | None -> Alcotest.fail "expected a partition"
+
+let test_partition_brute_negative () =
+  check bool_t "odd total" true (Hardness.partition_brute [| 1; 2; 4; 8 |] = None);
+  check bool_t "unbalanced" true
+    (Hardness.partition_brute [| 1; 1; 1; 100 |] = None);
+  check bool_t "odd count" true (Hardness.partition_brute [| 1; 2; 3 |] = None)
+
+let test_qp1_brute_positive () =
+  (* c = 6, need |I| = 4 summing to half. sizes 1,1,1,1,2,2 total 8:
+     I = {1,1,2} has only 3 elements... choose sizes where a 4-subset
+     hits half: 3,1,1,1,1,1 (total 8, half 4): {3,1} no (2 elts)...
+     {1,1,1,1} = 4 yes. *)
+  let sizes = Array.map Q.of_int [| 3; 1; 1; 1; 1; 1 |] in
+  match Hardness.quasipartition1_brute sizes with
+  | Some i ->
+    check int_t "cardinality" 4 (List.length i);
+    let s = Q.sum (List.map (fun k -> sizes.(k)) i) in
+    check bool_t "sum" true (Q.equal s (Q.of_int 4))
+  | None -> Alcotest.fail "expected a quasipartition"
+
+let test_qp1_brute_negative () =
+  let sizes = Array.map Q.of_int [| 100; 1; 1; 1; 1; 1 |] in
+  check bool_t "no 4-subset hits half" true
+    (Hardness.quasipartition1_brute sizes = None);
+  check bool_t "c not divisible by 3" true
+    (Hardness.quasipartition1_brute (Array.map Q.of_int [| 1; 1 |]) = None)
+
+(* -------------------- Lemma 3.2 reduction -------------------- *)
+
+let test_qp1_instance_well_formed () =
+  let sizes = Array.map Q.of_int [| 3; 1; 1; 1; 1; 1 |] in
+  let inst = Hardness.qp1_to_conference sizes in
+  check int_t "m" 2 inst.Instance.Exact.m;
+  check int_t "c" 6 inst.Instance.Exact.c;
+  check int_t "d" 2 inst.Instance.Exact.d;
+  (* Rows sum to 1 exactly (checked by Exact.create, re-verify). *)
+  Array.iter
+    (fun row ->
+      check bool_t "row sums to one" true
+        (Q.equal (Q.sum (Array.to_list row)) Q.one))
+    inst.Instance.Exact.p
+
+let test_qp1_reduction_formulas () =
+  (* Spot-check p and q against the paper's formulas for c = 6. *)
+  let sizes = Array.map Q.of_int [| 3; 1; 1; 1; 1; 1 |] in
+  let inst = Hardness.qp1_to_conference sizes in
+  let total = Q.of_int 8 in
+  let c = 6 in
+  let p_expected j =
+    Q.(div
+         (add (sub one (of_ints 3 12)) (div sizes.(j) total))
+         (sub (of_int c) (of_ints 1 2)))
+  in
+  let q_expected j =
+    let pred_c = c - 1 in
+    Q.(div (sub one (div sizes.(j) total)) (of_int pred_c))
+  in
+  for j = 0 to c - 1 do
+    check bool_t "p formula" true
+      (Q.equal inst.Instance.Exact.p.(0).(j) (p_expected j));
+    check bool_t "q formula" true
+      (Q.equal inst.Instance.Exact.p.(1).(j) (q_expected j))
+  done
+
+let test_lemma32_equivalence_positive () =
+  (* Positive QP1 instances: optimal EP must equal LB exactly. *)
+  List.iter
+    (fun sizes ->
+      let sizes = Array.map Q.of_int sizes in
+      let brute = Hardness.quasipartition1_brute sizes <> None in
+      check bool_t "brute positive" true brute;
+      check bool_t "via conference" true
+        (Hardness.qp1_answer_via_conference sizes))
+    [ [| 3; 1; 1; 1; 1; 1 |]; [| 2; 2; 1; 1; 1; 1 |]; [| 5; 1; 2; 2; 1; 1 |] ]
+
+let test_lemma32_equivalence_negative () =
+  List.iter
+    (fun sizes ->
+      let sizes = Array.map Q.of_int sizes in
+      let brute = Hardness.quasipartition1_brute sizes <> None in
+      check bool_t "brute negative" false brute;
+      check bool_t "via conference negative" false
+        (Hardness.qp1_answer_via_conference sizes))
+    [ [| 7; 1; 1; 1; 1; 1 |]; [| 4; 3; 1; 1; 1; 1 |] ]
+
+let prop_lemma32_equivalence_random =
+  QCheck.Test.make ~name:"Lemma 3.2: QP1 <=> optimal EP = LB" ~count:25
+    (QCheck.list_of_size (QCheck.Gen.return 6) (QCheck.int_range 0 6))
+    (fun sizes_l ->
+      let sizes = Array.of_list (List.map Q.of_int sizes_l) in
+      let total = Q.sum (Array.to_list sizes) in
+      QCheck.assume (Q.sign total > 0);
+      QCheck.assume
+        (not (Array.exists (fun s -> Q.compare s total >= 0) sizes));
+      let brute = Hardness.quasipartition1_brute sizes <> None in
+      let via = Hardness.qp1_answer_via_conference sizes in
+      brute = via)
+
+let test_lb_below_c () =
+  List.iter
+    (fun c ->
+      let lb = Hardness.qp1_lower_bound ~c in
+      check bool_t "LB < c" true (Q.compare lb (Q.of_int c) < 0);
+      check bool_t "LB > 0" true (Q.sign lb > 0))
+    [ 3; 6; 9; 12 ]
+
+(* -------------------- Lemma 3.7: Partition -> QP1 -------------------- *)
+
+let test_partition_to_qp1_shape () =
+  let sizes = [| 1; 2; 3; 4 |] in
+  let qp1 = Hardness.partition_to_qp1 sizes in
+  let n = Array.length qp1 in
+  check int_t "length divisible by 3" 0 (n mod 3);
+  check bool_t "total is 1" true (Q.equal (Q.sum (Array.to_list qp1)) Q.one);
+  check bool_t "non-negative" true
+    (not (Array.exists (fun s -> Q.sign s < 0) qp1))
+
+let test_partition_to_qp1_equivalence_brute () =
+  (* Verify the reduction with both sides decided by brute force. *)
+  let cases_positive = [ [| 1; 2; 3; 4 |]; [| 2; 2; 2; 2 |]; [| 1; 1; 2; 2 |] ] in
+  let cases_negative = [ [| 1; 1; 1; 100 |]; [| 1; 2; 4; 8 |] ] in
+  List.iter
+    (fun sizes ->
+      check bool_t "positive side" true
+        (Hardness.partition_brute sizes <> None);
+      check bool_t "qp1 positive" true
+        (Hardness.quasipartition1_brute (Hardness.partition_to_qp1 sizes)
+        <> None))
+    cases_positive;
+  List.iter
+    (fun sizes ->
+      check bool_t "negative side" true (Hardness.partition_brute sizes = None);
+      check bool_t "qp1 negative" true
+        (Hardness.quasipartition1_brute (Hardness.partition_to_qp1 sizes)
+        = None))
+    cases_negative
+
+let prop_partition_to_qp1_equivalence =
+  QCheck.Test.make ~name:"Partition <=> reduced QP1 (brute force)" ~count:30
+    (QCheck.list_of_size (QCheck.Gen.return 4) (QCheck.int_range 1 12))
+    (fun sizes_l ->
+      let sizes = Array.of_list sizes_l in
+      let direct = Hardness.partition_brute sizes <> None in
+      let reduced =
+        Hardness.quasipartition1_brute (Hardness.partition_to_qp1 sizes)
+        <> None
+      in
+      direct = reduced)
+
+(* The full chain Partition -> QP1 -> Conference Call uses c = 3g cells,
+   too big for exhaustive search beyond g = 4; test g = 4 end to end. *)
+let test_full_chain () =
+  check bool_t "positive through the chain" true
+    (Hardness.partition_answer_via_chain [| 1; 2; 3; 4 |]);
+  check bool_t "negative through the chain" false
+    (Hardness.partition_answer_via_chain [| 1; 1; 1; 100 |])
+
+(* -------------------- §3.2 Multipartition parameters ------------------ *)
+
+let test_multipartition_params_m2_d2 () =
+  (* m = 2, d = 2: α₁ = 2/3, so r = (2/3, 1/3), x = (1/3, 2/3), M = 3.
+     (b₁ = α₁·c = 2c/3.) *)
+  let p = Hardness.multipartition_params ~m:2 ~d:2 in
+  check bool_t "alpha1" true (Q.equal p.Hardness.alphas.(0) (q 2 3));
+  check bool_t "r1" true (Q.equal p.Hardness.rs.(0) (q 2 3));
+  check bool_t "r2" true (Q.equal p.Hardness.rs.(1) (q 1 3));
+  check bool_t "x1" true (Q.equal p.Hardness.xs.(0) (q 1 3));
+  check bool_t "x2" true (Q.equal p.Hardness.xs.(1) (q 2 3));
+  check int_t "M" 3 (B.to_int_exn p.Hardness.modulus)
+
+let test_multipartition_params_consistency () =
+  List.iter
+    (fun (m, d) ->
+      let p = Hardness.multipartition_params ~m ~d in
+      check int_t "alphas" (d - 1) (Array.length p.Hardness.alphas);
+      check bool_t "rs sum to 1" true
+        (Q.equal (Q.sum (Array.to_list p.Hardness.rs)) Q.one);
+      check bool_t "xs sum to 1" true
+        (Q.equal (Q.sum (Array.to_list p.Hardness.xs)) Q.one);
+      Array.iter
+        (fun r -> check bool_t "r positive" true (Q.sign r > 0))
+        p.Hardness.rs;
+      (* Alphas strictly increase and stay below 1 (Lemma 3.4). *)
+      Array.iteri
+        (fun i a ->
+          check bool_t "alpha < 1" true (Q.compare a Q.one < 0);
+          if i > 0 then
+            check bool_t "alphas increase" true
+              (Q.compare a p.Hardness.alphas.(i - 1) > 0))
+        p.Hardness.alphas;
+      (* M·r_j are integers: the whole point of M. *)
+      Array.iter
+        (fun r ->
+          let prod = Q.mul (Q.of_bigint p.Hardness.modulus) r in
+          check bool_t "M*r integral" true (B.equal (Q.den prod) B.one))
+        p.Hardness.rs)
+    [ 2, 2; 2, 3; 3, 2; 3, 3; 2, 4 ]
+
+let test_multipartition_matches_float_lemma34 () =
+  (* Exact rational parameters agree with the float recurrences. *)
+  List.iter
+    (fun (m, d) ->
+      let p = Hardness.multipartition_params ~m ~d in
+      let fl = Numeric.Lemma_bounds.optimal_group_fractions ~m ~d in
+      Array.iteri
+        (fun j r ->
+          if abs_float (Q.to_float r -. fl.(j)) > 1e-9 then
+            Alcotest.failf "r_%d mismatch: %s vs %.12f" j (Q.to_string r)
+              fl.(j))
+        p.Hardness.rs)
+    [ 2, 2; 2, 3; 3, 3; 4, 2 ]
+
+let test_qp2_specializes_to_qp1 () =
+  (* m = d = 2 gives M = 3, r = (2/3, 1/3), x = (1/3, 2/3): the QP2
+     construction must match the QP1 one structurally. *)
+  let sizes = [| 1; 2; 3; 4 |] in
+  let qp2 = Hardness.partition_to_qp2 ~params:Hardness.qp1_params sizes in
+  let qp1 = Hardness.partition_to_qp1 sizes in
+  check int_t "same length" (Array.length qp1) (Array.length qp2.Hardness.q_sizes);
+  check bool_t "same cardinality" true
+    (qp2.Hardness.q_cardinality = 2 * Array.length qp1 / 3);
+  check bool_t "target 1/2" true
+    (Q.equal qp2.Hardness.q_target_fraction (q 1 2));
+  check bool_t "total 1" true
+    (Q.equal (Q.sum (Array.to_list qp2.Hardness.q_sizes)) Q.one)
+
+let test_qp2_equivalence_brute () =
+  (* Partition <=> reduced QP2, decided by brute force on both sides,
+     across several (m, d) parameterizations. *)
+  let cases_positive = [ [| 1; 2; 3; 4 |]; [| 2; 2; 2; 2 |]; [| 1; 1; 2; 2 |] ] in
+  let cases_negative = [ [| 1; 1; 1; 100 |]; [| 1; 2; 4; 8 |] ] in
+  List.iter
+    (fun (m, d) ->
+      List.iter
+        (fun sizes ->
+          let expected = Hardness.partition_brute sizes <> None in
+          let qp2 =
+            Hardness.partition_to_qp2 ~params:(Hardness.qp2_params ~m ~d) sizes
+          in
+          let got = Hardness.quasipartition2_brute qp2 in
+          if got <> expected then
+            Alcotest.failf "m=%d d=%d: QP2 %b but Partition %b" m d got
+              expected)
+        (cases_positive @ cases_negative))
+    [ 2, 2; 3, 2; 2, 3 ]
+
+let prop_qp2_equivalence_random =
+  QCheck.Test.make ~name:"Partition <=> reduced QP2 (m=3, d=2)" ~count:20
+    (QCheck.list_of_size (QCheck.Gen.return 4) (QCheck.int_range 1 10))
+    (fun sizes_l ->
+      let sizes = Array.of_list sizes_l in
+      let direct = Hardness.partition_brute sizes <> None in
+      let qp2 =
+        Hardness.partition_to_qp2 ~params:(Hardness.qp2_params ~m:3 ~d:2) sizes
+      in
+      Hardness.quasipartition2_brute qp2 = direct)
+
+let test_multipartition_rejects_bad_args () =
+  (match Hardness.multipartition_params ~m:1 ~d:2 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "m=1 accepted");
+  match Hardness.multipartition_params ~m:2 ~d:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "d=1 accepted"
+
+let () =
+  Alcotest.run "hardness"
+    [
+      ( "brute-force",
+        [
+          Alcotest.test_case "partition positive" `Quick
+            test_partition_brute_positive;
+          Alcotest.test_case "partition negative" `Quick
+            test_partition_brute_negative;
+          Alcotest.test_case "qp1 positive" `Quick test_qp1_brute_positive;
+          Alcotest.test_case "qp1 negative" `Quick test_qp1_brute_negative;
+        ] );
+      ( "lemma-3.2",
+        [
+          Alcotest.test_case "instance well formed" `Quick
+            test_qp1_instance_well_formed;
+          Alcotest.test_case "reduction formulas" `Quick
+            test_qp1_reduction_formulas;
+          Alcotest.test_case "equivalence positive" `Slow
+            test_lemma32_equivalence_positive;
+          Alcotest.test_case "equivalence negative" `Slow
+            test_lemma32_equivalence_negative;
+          Alcotest.test_case "LB sane" `Quick test_lb_below_c;
+          qt prop_lemma32_equivalence_random;
+        ] );
+      ( "lemma-3.7",
+        [
+          Alcotest.test_case "shape" `Quick test_partition_to_qp1_shape;
+          Alcotest.test_case "equivalence brute" `Quick
+            test_partition_to_qp1_equivalence_brute;
+          Alcotest.test_case "full chain" `Slow test_full_chain;
+          qt prop_partition_to_qp1_equivalence;
+        ] );
+      ( "multipartition",
+        [
+          Alcotest.test_case "m=2 d=2 parameters" `Quick
+            test_multipartition_params_m2_d2;
+          Alcotest.test_case "consistency" `Quick
+            test_multipartition_params_consistency;
+          Alcotest.test_case "matches float lemma 3.4" `Quick
+            test_multipartition_matches_float_lemma34;
+          Alcotest.test_case "bad args" `Quick
+            test_multipartition_rejects_bad_args;
+          Alcotest.test_case "qp2 specializes to qp1" `Quick
+            test_qp2_specializes_to_qp1;
+          Alcotest.test_case "qp2 equivalence (m,d) sweep" `Slow
+            test_qp2_equivalence_brute;
+          qt prop_qp2_equivalence_random;
+        ] );
+    ]

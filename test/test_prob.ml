@@ -1,0 +1,311 @@
+(* Tests for the probability substrate: Rng, Dist, Stats, Sampling. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let float_t eps = Alcotest.float eps
+let qt = QCheck_alcotest.to_alcotest
+
+(* -------------------- Rng -------------------- *)
+
+let test_rng_deterministic () =
+  let a = Prob.Rng.create ~seed:42 and b = Prob.Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check bool_t "same stream" true (Prob.Rng.bits64 a = Prob.Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Prob.Rng.create ~seed:1 and b = Prob.Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prob.Rng.bits64 a <> Prob.Rng.bits64 b then differs := true
+  done;
+  check bool_t "streams differ" true !differs
+
+let test_rng_split_independent () =
+  let a = Prob.Rng.create ~seed:7 in
+  let b = Prob.Rng.split a in
+  let c = Prob.Rng.split a in
+  check bool_t "children differ" true (Prob.Rng.bits64 b <> Prob.Rng.bits64 c)
+
+let test_rng_copy () =
+  let a = Prob.Rng.create ~seed:5 in
+  ignore (Prob.Rng.bits64 a);
+  let b = Prob.Rng.copy a in
+  check bool_t "copy replays" true (Prob.Rng.bits64 a = Prob.Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Prob.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prob.Rng.int rng 7 in
+    check bool_t "in range" true (v >= 0 && v < 7)
+  done;
+  match Prob.Rng.int rng 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bound 0 accepted"
+
+let test_rng_int_uniformity () =
+  let rng = Prob.Rng.create ~seed:17 in
+  let counts = Array.make 5 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Prob.Rng.int rng 5 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun cnt ->
+      let freq = float_of_int cnt /. float_of_int n in
+      check bool_t "roughly uniform" true (abs_float (freq -. 0.2) < 0.01))
+    counts
+
+let test_rng_unit_float_range () =
+  let rng = Prob.Rng.create ~seed:19 in
+  for _ = 1 to 1000 do
+    let u = Prob.Rng.unit_float rng in
+    check bool_t "in [0,1)" true (u >= 0.0 && u < 1.0)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Prob.Rng.create ~seed:23 in
+  let acc = Prob.Stats.Acc.create () in
+  for _ = 1 to 50_000 do
+    Prob.Stats.Acc.add acc (Prob.Rng.exponential rng ~rate:2.0)
+  done;
+  check bool_t "mean ~ 1/2" true
+    (abs_float (Prob.Stats.Acc.mean acc -. 0.5) < 0.02)
+
+let test_rng_normal_moments () =
+  let rng = Prob.Rng.create ~seed:29 in
+  let acc = Prob.Stats.Acc.create () in
+  for _ = 1 to 50_000 do
+    Prob.Stats.Acc.add acc (Prob.Rng.normal rng)
+  done;
+  let s = Prob.Stats.Acc.summary acc in
+  check bool_t "mean ~ 0" true (abs_float s.Prob.Stats.mean < 0.03);
+  check bool_t "var ~ 1" true (abs_float (s.Prob.Stats.variance -. 1.0) < 0.05)
+
+let test_rng_gamma_mean () =
+  let rng = Prob.Rng.create ~seed:31 in
+  List.iter
+    (fun shape ->
+      let acc = Prob.Stats.Acc.create () in
+      for _ = 1 to 30_000 do
+        Prob.Stats.Acc.add acc (Prob.Rng.gamma rng ~shape)
+      done;
+      check bool_t
+        (Printf.sprintf "gamma mean shape=%.2f" shape)
+        true
+        (abs_float (Prob.Stats.Acc.mean acc -. shape) < 0.1 *. Stdlib.max 1.0 shape))
+    [ 0.5; 1.0; 3.0 ]
+
+let test_rng_poisson_mean () =
+  let rng = Prob.Rng.create ~seed:37 in
+  let acc = Prob.Stats.Acc.create () in
+  for _ = 1 to 30_000 do
+    Prob.Stats.Acc.add acc (float_of_int (Prob.Rng.poisson rng ~mean:4.0))
+  done;
+  check bool_t "poisson mean" true (abs_float (Prob.Stats.Acc.mean acc -. 4.0) < 0.1)
+
+let test_rng_shuffle_permutes () =
+  let rng = Prob.Rng.create ~seed:41 in
+  let a = Array.init 20 (fun i -> i) in
+  Prob.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "still a permutation"
+    (Array.init 20 (fun i -> i))
+    sorted
+
+(* -------------------- Dist -------------------- *)
+
+let test_dist_generators_are_distributions () =
+  let rng = Prob.Rng.create ~seed:43 in
+  List.iter
+    (fun (name, v) ->
+      check bool_t name true (Prob.Dist.is_distribution v))
+    [
+      "uniform", Prob.Dist.uniform 7;
+      "zipf", Prob.Dist.zipf ~s:1.1 10;
+      "geometric", Prob.Dist.geometric ~ratio:0.5 8;
+      "point mass", Prob.Dist.point_mass ~eps:0.001 6 2;
+      "dirichlet", Prob.Dist.dirichlet rng ~alpha:0.5 9;
+      "simplex", Prob.Dist.uniform_simplex rng 5;
+    ]
+
+let test_dist_zipf_ordering () =
+  let v = Prob.Dist.zipf ~s:1.0 5 in
+  for j = 0 to 3 do
+    check bool_t "non-increasing" true (v.(j) >= v.(j + 1))
+  done;
+  (* s = 0 is uniform. *)
+  let u = Prob.Dist.zipf ~s:0.0 4 in
+  Array.iter (fun x -> check (float_t 1e-12) "uniform" 0.25 x) u
+
+let test_dist_point_mass () =
+  let v = Prob.Dist.point_mass ~eps:0.01 5 3 in
+  check (float_t 1e-12) "peak" 0.96 v.(3);
+  check (float_t 1e-12) "rest" 0.01 v.(0)
+
+let test_dist_sample_frequencies () =
+  let rng = Prob.Rng.create ~seed:47 in
+  let v = [| 0.5; 0.3; 0.2 |] in
+  let counts = Array.make 3 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let j = Prob.Dist.sample rng v in
+    counts.(j) <- counts.(j) + 1
+  done;
+  Array.iteri
+    (fun j cnt ->
+      check bool_t "frequency matches" true
+        (abs_float ((float_of_int cnt /. float_of_int n) -. v.(j)) < 0.01))
+    counts
+
+let test_dist_entropy () =
+  check (float_t 1e-9) "uniform 4" 2.0 (Prob.Dist.entropy (Prob.Dist.uniform 4));
+  check (float_t 1e-9) "point" 0.0 (Prob.Dist.entropy [| 1.0; 0.0 |])
+
+let test_dist_total_variation () =
+  check (float_t 1e-12) "identical" 0.0
+    (Prob.Dist.total_variation [| 0.5; 0.5 |] [| 0.5; 0.5 |]);
+  check (float_t 1e-12) "disjoint" 1.0
+    (Prob.Dist.total_variation [| 1.0; 0.0 |] [| 0.0; 1.0 |])
+
+let test_dist_perturb_keeps_distribution () =
+  let rng = Prob.Rng.create ~seed:53 in
+  let v = Prob.Dist.zipf ~s:1.0 6 in
+  let w = Prob.Dist.perturb rng ~eps:0.1 v in
+  check bool_t "still a distribution" true (Prob.Dist.is_distribution w);
+  check bool_t "close to original" true (Prob.Dist.total_variation v w < 0.1)
+
+let prop_normalize_sums_to_one =
+  QCheck.Test.make ~name:"normalize sums to 1" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 20) (QCheck.int_range 1 1000))
+    (fun l ->
+      let v = Prob.Dist.normalize (Array.of_list (List.map float_of_int l)) in
+      abs_float (Array.fold_left ( +. ) 0.0 v -. 1.0) < 1e-9)
+
+let prop_dirichlet_valid =
+  QCheck.Test.make ~name:"dirichlet always valid" ~count:100
+    (QCheck.pair (QCheck.int_range 1 20) (QCheck.int_range 1 1000000))
+    (fun (c, seed) ->
+      let rng = Prob.Rng.create ~seed in
+      Prob.Dist.is_distribution (Prob.Dist.dirichlet rng ~alpha:0.3 c))
+
+(* -------------------- Stats -------------------- *)
+
+let test_stats_summary () =
+  let s = Prob.Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  check int_t "n" 4 s.Prob.Stats.n;
+  check (float_t 1e-12) "mean" 2.5 s.Prob.Stats.mean;
+  check (float_t 1e-9) "variance" (5.0 /. 3.0) s.Prob.Stats.variance;
+  check (float_t 1e-12) "min" 1.0 s.Prob.Stats.min;
+  check (float_t 1e-12) "max" 4.0 s.Prob.Stats.max
+
+let test_stats_acc_matches_summarize () =
+  let xs = [| 3.1; -2.0; 7.7; 0.0; 5.5; 5.5 |] in
+  let acc = Prob.Stats.Acc.create () in
+  Array.iter (Prob.Stats.Acc.add acc) xs;
+  let a = Prob.Stats.Acc.summary acc and b = Prob.Stats.summarize xs in
+  check (float_t 1e-9) "mean" b.Prob.Stats.mean a.Prob.Stats.mean;
+  check (float_t 1e-9) "variance" b.Prob.Stats.variance a.Prob.Stats.variance
+
+let test_stats_quantiles () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check (float_t 1e-12) "median" 2.5 (Prob.Stats.median xs);
+  check (float_t 1e-12) "q0" 1.0 (Prob.Stats.quantile xs 0.0);
+  check (float_t 1e-12) "q1" 4.0 (Prob.Stats.quantile xs 1.0)
+
+let test_stats_histogram () =
+  let h = Prob.Stats.histogram ~bins:4 ~lo:0.0 ~hi:4.0 [| 0.5; 1.5; 1.6; 3.9; -1.0; 9.0 |] in
+  check Alcotest.(array int) "counts" [| 2; 2; 0; 2 |] h
+
+let test_stats_single_sample () =
+  let s = Prob.Stats.summarize [| 5.0 |] in
+  check (float_t 1e-12) "variance 0" 0.0 s.Prob.Stats.variance
+
+(* -------------------- Sampling (alias method) -------------------- *)
+
+let test_alias_matches_weights () =
+  let rng = Prob.Rng.create ~seed:59 in
+  let weights = [| 5.0; 3.0; 2.0; 0.0; 10.0 |] in
+  let table = Prob.Sampling.create weights in
+  check int_t "size" 5 (Prob.Sampling.size table);
+  let counts = Array.make 5 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let j = Prob.Sampling.draw table rng in
+    counts.(j) <- counts.(j) + 1
+  done;
+  check int_t "zero weight never drawn" 0 counts.(3);
+  Array.iteri
+    (fun j cnt ->
+      let expected = weights.(j) /. 20.0 in
+      check bool_t
+        (Printf.sprintf "frequency %d" j)
+        true
+        (abs_float ((float_of_int cnt /. float_of_int n) -. expected) < 0.01))
+    counts
+
+let test_alias_probability_reconstruction () =
+  let table = Prob.Sampling.create [| 1.0; 3.0 |] in
+  check (float_t 1e-12) "p0" 0.25 (Prob.Sampling.probability table 0);
+  check (float_t 1e-12) "p1" 0.75 (Prob.Sampling.probability table 1)
+
+let test_alias_rejects_bad_input () =
+  (match Prob.Sampling.create [||] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "empty accepted");
+  match Prob.Sampling.create [| 0.0; 0.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "all-zero accepted"
+
+let () =
+  Alcotest.run "prob"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int uniformity" `Slow test_rng_int_uniformity;
+          Alcotest.test_case "unit float" `Quick test_rng_unit_float_range;
+          Alcotest.test_case "exponential" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "normal" `Slow test_rng_normal_moments;
+          Alcotest.test_case "gamma" `Slow test_rng_gamma_mean;
+          Alcotest.test_case "poisson" `Slow test_rng_poisson_mean;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "generators valid" `Quick
+            test_dist_generators_are_distributions;
+          Alcotest.test_case "zipf" `Quick test_dist_zipf_ordering;
+          Alcotest.test_case "point mass" `Quick test_dist_point_mass;
+          Alcotest.test_case "sample frequencies" `Slow
+            test_dist_sample_frequencies;
+          Alcotest.test_case "entropy" `Quick test_dist_entropy;
+          Alcotest.test_case "total variation" `Quick test_dist_total_variation;
+          Alcotest.test_case "perturb" `Quick test_dist_perturb_keeps_distribution;
+          qt prop_normalize_sums_to_one;
+          qt prop_dirichlet_valid;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "acc = summarize" `Quick
+            test_stats_acc_matches_summarize;
+          Alcotest.test_case "quantiles" `Quick test_stats_quantiles;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "single sample" `Quick test_stats_single_sample;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "alias frequencies" `Slow test_alias_matches_weights;
+          Alcotest.test_case "probability" `Quick
+            test_alias_probability_reconstruction;
+          Alcotest.test_case "bad input" `Quick test_alias_rejects_bad_input;
+        ] );
+    ]
