@@ -18,6 +18,97 @@ let read_instance path =
   in
   Instance.of_string content
 
+(* ---------------- JSON emission ----------------
+
+   Machine-readable output for bench trajectories and CI. Hand-rolled:
+   the values are numbers, booleans and fixed keys, so no library is
+   needed. *)
+
+module Json = struct
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let str s = Printf.sprintf "\"%s\"" (escape s)
+  let num x =
+    if Float.is_finite x then Printf.sprintf "%.12g" x
+    else str (Printf.sprintf "%h" x)
+  let obj fields =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "%s: %s" (str k) v) fields)
+    ^ "}"
+  let arr items = "[" ^ String.concat ", " items ^ "]"
+
+  let strategy (s : Strategy.t) =
+    arr
+      (Array.to_list
+         (Array.map
+            (fun g -> arr (Array.to_list (Array.map string_of_int g)))
+            (Strategy.groups s)))
+
+  let summary (s : Prob.Stats.summary) =
+    obj
+      [
+        "n", string_of_int s.Prob.Stats.n;
+        "mean", num s.Prob.Stats.mean;
+        "stddev", num s.Prob.Stats.stddev;
+        "min", num s.Prob.Stats.min;
+        "max", num s.Prob.Stats.max;
+      ]
+
+  let sim_result (r : Cellsim.Sim.result) =
+    let robustness (f : Cellsim.Sim.fault_metrics) =
+      obj
+        [
+          "retries", string_of_int f.Cellsim.Sim.retries;
+          "retry_cells", string_of_int f.Cellsim.Sim.retry_cells;
+          "retry_rounds", string_of_int f.Cellsim.Sim.retry_rounds;
+          "escalations", string_of_int f.Cellsim.Sim.escalations;
+          "escalate_cells", string_of_int f.Cellsim.Sim.escalate_cells;
+          "residual_misses", string_of_int f.Cellsim.Sim.residual_misses;
+          "pages_lost", string_of_int f.Cellsim.Sim.pages_lost;
+          "pages_blocked", string_of_int f.Cellsim.Sim.pages_blocked;
+        ]
+    in
+    let scheme (s : Cellsim.Sim.scheme_metrics) =
+      obj
+        [
+          "scheme", str (Cellsim.Sim.scheme_to_string s.Cellsim.Sim.scheme);
+          "calls", string_of_int s.Cellsim.Sim.calls;
+          "devices_sought", string_of_int s.Cellsim.Sim.devices_sought;
+          "cells_paged", string_of_int s.Cellsim.Sim.cells_paged;
+          "expected_paging", num s.Cellsim.Sim.expected_paging;
+          "rounds_used", string_of_int s.Cellsim.Sim.rounds_used;
+          "per_call", summary s.Cellsim.Sim.per_call;
+          "robustness", robustness s.Cellsim.Sim.robustness;
+        ]
+    in
+    obj
+      [
+        "duration", num r.Cellsim.Sim.duration;
+        "moves", string_of_int r.Cellsim.Sim.moves;
+        "updates", string_of_int r.Cellsim.Sim.updates;
+        "total_calls", string_of_int r.Cellsim.Sim.total_calls;
+        "skipped_calls", string_of_int r.Cellsim.Sim.skipped_calls;
+        "reports_lost", string_of_int r.Cellsim.Sim.reports_lost;
+        "reports_delayed", string_of_int r.Cellsim.Sim.reports_delayed;
+        "outages", string_of_int r.Cellsim.Sim.outages;
+        "per_scheme",
+        arr (List.map scheme r.Cellsim.Sim.per_scheme);
+      ]
+end
+
 (* ---------------- generate ---------------- *)
 
 let dist_conv =
@@ -83,17 +174,33 @@ let solver_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Solver.spec_of_string s) in
   Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Solver.spec_to_string s))
 
-let solve path spec objective verbose =
+let solve path spec objective verbose json =
   let inst = read_instance path in
   let outcome = Solver.solve ~objective spec inst in
-  Printf.printf "strategy: %s\n" (Strategy.to_string outcome.Solver.strategy);
-  Printf.printf "expected paging: %.6f%s\n" outcome.Solver.expected_paging
-    (if outcome.Solver.exact then " (optimal)" else "");
-  if verbose then begin
-    Printf.printf "expected rounds: %.6f\n"
-      (Strategy.expected_rounds ~objective inst outcome.Solver.strategy);
-    Printf.printf "lower bound: %.6f\n" (Bounds.lower_bound ~objective inst);
-    Printf.printf "page-all cost: %d\n" inst.Instance.c
+  if json then
+    print_endline
+      (Json.obj
+         [
+           "solver", Json.str (Solver.spec_to_string spec);
+           "strategy", Json.strategy outcome.Solver.strategy;
+           "expected_paging", Json.num outcome.Solver.expected_paging;
+           "exact", (if outcome.Solver.exact then "true" else "false");
+           "expected_rounds",
+           Json.num
+             (Strategy.expected_rounds ~objective inst outcome.Solver.strategy);
+           "lower_bound", Json.num (Bounds.lower_bound ~objective inst);
+           "page_all_cost", string_of_int inst.Instance.c;
+         ])
+  else begin
+    Printf.printf "strategy: %s\n" (Strategy.to_string outcome.Solver.strategy);
+    Printf.printf "expected paging: %.6f%s\n" outcome.Solver.expected_paging
+      (if outcome.Solver.exact then " (optimal)" else "");
+    if verbose then begin
+      Printf.printf "expected rounds: %.6f\n"
+        (Strategy.expected_rounds ~objective inst outcome.Solver.strategy);
+      Printf.printf "lower bound: %.6f\n" (Bounds.lower_bound ~objective inst);
+      Printf.printf "page-all cost: %d\n" inst.Instance.c
+    end
   end
 
 let file_arg =
@@ -117,9 +224,12 @@ let solve_cmd =
       & info [ "objective" ] ~doc:"all (conference) | any (yellow pages) | k.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"More output.") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve an instance")
-    Term.(const solve $ file_arg $ spec $ objective $ verbose)
+    Term.(const solve $ file_arg $ spec $ objective $ verbose $ json)
 
 (* ---------------- compare ---------------- *)
 
@@ -230,8 +340,48 @@ let scenario_conv =
   in
   Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<scenario>")
 
+let retry_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Cellsim.Faults.retry_of_string s)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf r -> Format.pp_print_string ppf (Cellsim.Faults.retry_to_string r)
+    )
+
+(* Combine the fault flags into a [Faults.t option]. [None] when every
+   knob is at its clean default so a scenario preset's own fault model
+   (e.g. degraded-downtown) is not clobbered; any explicit fault flag
+   replaces the whole model. *)
+let build_faults page_loss detect_q outage_rate outage_repair report_loss
+    report_delay retry =
+  let f =
+    {
+      Cellsim.Faults.page_loss;
+      detect_q;
+      outage_rate;
+      outage_repair;
+      report_loss;
+      report_delay;
+      retry;
+    }
+  in
+  (* Exact comparison with the flag defaults, not [Faults.is_clean]:
+     an out-of-range value like a negative rate must reach [Sim.run]'s
+     validation rather than silently fold back to the clean run. *)
+  if
+    page_loss = 0.0 && detect_q = 1.0 && outage_rate = 0.0
+    && report_loss = 0.0 && report_delay = 0.0
+    && retry = Cellsim.Faults.No_retry
+  then None
+  else Some f
+
+let print_sim_result json result =
+  if json then print_endline (Json.sim_result result)
+  else Format.printf "%a@." Cellsim.Sim.pp_result result
+
 let simulate_custom rows cols users rate duration seed block d_list reporting
-    diffuse call_duration =
+    diffuse call_duration faults json =
   let hex = Cellsim.Hex.create ~rows ~cols in
   let selective d =
     if diffuse then Cellsim.Sim.Selective_diffuse d else Cellsim.Sim.Selective d
@@ -252,24 +402,34 @@ let simulate_custom rows cols users rate duration seed block d_list reporting
       mobility_schedule = [];
       call_duration;
       track_ongoing = true;
+      faults;
       profile_decay = 0.9;
       profile_smoothing = 0.05;
       duration;
       seed;
     }
   in
-  let result = Cellsim.Sim.run config in
-  Format.printf "%a@." Cellsim.Sim.pp_result result
+  print_sim_result json (Cellsim.Sim.run config)
 
 let simulate rows cols users rate duration seed block d_list reporting diffuse
-    call_duration scenario =
+    call_duration scenario page_loss detect_q outage_rate outage_repair
+    report_loss report_delay retry json =
+  let faults =
+    build_faults page_loss detect_q outage_rate outage_repair report_loss
+      report_delay retry
+  in
   match scenario with
   | Some build ->
-    let result = Cellsim.Sim.run (build ?seed:(Some seed) ()) in
-    Format.printf "%a@." Cellsim.Sim.pp_result result
+    let config = build ?seed:(Some seed) () in
+    let config =
+      match faults with
+      | None -> config
+      | Some _ -> { config with Cellsim.Sim.faults }
+    in
+    print_sim_result json (Cellsim.Sim.run config)
   | None ->
     simulate_custom rows cols users rate duration seed block d_list reporting
-      diffuse call_duration
+      diffuse call_duration faults json
 
 let simulate_cmd =
   let rows = Arg.(value & opt int 8 & info [ "rows" ] ~doc:"Hex field rows.") in
@@ -314,14 +474,66 @@ let simulate_cmd =
       value
       & opt scenario_conv None
       & info [ "scenario" ]
-          ~doc:"Preset: suburb | commuter-day | busy-campus (overrides the \
-                other simulation options).")
+          ~doc:"Preset: suburb | commuter-day | busy-campus | \
+                degraded-downtown (overrides the other simulation options; \
+                explicit fault flags still apply on top).")
+  in
+  let page_loss =
+    Arg.(
+      value & opt float 0.0
+      & info [ "page-loss" ]
+          ~doc:"Probability a transmitted page is lost in the channel.")
+  in
+  let detect_q =
+    Arg.(
+      value & opt float 1.0
+      & info [ "detect-q" ]
+          ~doc:"Per-round probability a paged, present device responds \
+                (Section 5's q).")
+  in
+  let outage_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "outage-rate" ]
+          ~doc:"Per-tick hazard of a cell going down.")
+  in
+  let outage_repair =
+    Arg.(
+      value & opt float 1.0
+      & info [ "outage-repair" ]
+          ~doc:"Mean ticks until a downed cell is repaired.")
+  in
+  let report_loss =
+    Arg.(
+      value & opt float 0.0
+      & info [ "report-loss" ]
+          ~doc:"Probability a location report is lost.")
+  in
+  let report_delay =
+    Arg.(
+      value & opt float 0.0
+      & info [ "report-delay" ]
+          ~doc:"Mean delivery delay (ticks) of surviving location reports \
+                (0 = instantaneous).")
+  in
+  let retry =
+    Arg.(
+      value
+      & opt retry_conv Cellsim.Faults.No_retry
+      & info [ "retry" ]
+          ~doc:"Re-paging policy: none | repeat:<cycles>[:<backoff>] | \
+                escalate:<after>[:blanket|universe].")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the end-to-end cellular simulation")
     Term.(
       const simulate $ rows $ cols $ users $ rate $ duration $ seed $ block
-      $ ds $ reporting $ diffuse $ call_duration $ scenario)
+      $ ds $ reporting $ diffuse $ call_duration $ scenario $ page_loss
+      $ detect_q $ outage_rate $ outage_repair $ report_loss $ report_delay
+      $ retry $ json)
 
 (* ---------------- analyze ---------------- *)
 

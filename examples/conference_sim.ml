@@ -29,6 +29,7 @@ let () =
       mobility_schedule = [];
       call_duration = 0.0;
       track_ongoing = true;
+      faults = None;
       profile_decay = 0.9;
       profile_smoothing = 0.05;
       duration = 600.0;

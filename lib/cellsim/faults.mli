@@ -1,0 +1,94 @@
+(** Fault injection for the end-to-end simulator.
+
+    The clean simulator assumes every page reaches its cell, every paged
+    device answers, every base station is up and every location report
+    arrives instantly. §5 of the paper already concedes the second
+    assumption (a paged device answers only with some probability — the
+    response-collision model that {!Confcall.Miss} analyzes in
+    isolation); real deployments break the other three as well. This
+    module defines a composable fault model that {!Sim} threads through
+    the whole paging loop:
+
+    - {b page loss}: each page transmitted to a cell is independently
+      lost with probability [page_loss] — the page costs wireless
+      bandwidth but cannot elicit an answer;
+    - {b no-response}: a device that receives a page answers only with
+      probability [detect_q], the §5 / Search-Theory detection parameter
+      [q] (Stone 1975), sampled per page via {!Confcall.Miss.page_round};
+    - {b cell outages}: base stations fail with per-tick hazard
+      [outage_rate] and are repaired after exponentially distributed
+      down-times with mean [outage_repair] ticks. A downed cell cannot be
+      paged at all; the scheduler knows it is down and skips it (no page
+      cost), but the coverage hole persists until repair;
+    - {b report loss / delay}: a location report is lost in transit with
+      probability [report_loss] — the network's view of the terminal goes
+      stale, so schemes page stale distributions — and surviving reports
+      are delivered after an exponential delay with mean [report_delay]
+      ticks when that is positive, so profiles learn old data.
+
+    All sampling is driven by a dedicated split of the simulation's
+    {!Prob.Rng}, so a faulty run is exactly as deterministic and
+    reproducible as a clean one, and enabling faults never perturbs the
+    mobility or traffic streams. *)
+
+(** What to do when the delay budget is exhausted and some conferees
+    still have not answered. *)
+type retry =
+  | No_retry  (** unanswered devices stay missing (residual miss) *)
+  | Repeat of { cycles : int; backoff : int }
+      (** re-run the strategy's rounds up to [cycles] more times (the
+          {!Confcall.Miss.repeat_strategy} schedule), waiting [backoff]
+          idle rounds before each extra cycle; stops early once everyone
+          has answered. [cycles >= 1], [backoff >= 0]. *)
+  | Escalate of { after : int; to_blanket : bool }
+      (** graceful degradation: [after] repeat cycles (possibly 0), then
+          one final blanket round — over the whole field when
+          [to_blanket] (this can recover devices whose lost reports put
+          them outside the computed uncertainty universe), otherwise over
+          the call's uncertainty universe only. *)
+
+type t = {
+  page_loss : float;  (** per-page loss probability, in [0, 1) *)
+  detect_q : float;  (** per-page response probability, in (0, 1] *)
+  outage_rate : float;  (** per-tick cell failure hazard, >= 0 *)
+  outage_repair : float;  (** mean down-time in ticks, >= 0 *)
+  report_loss : float;  (** per-report loss probability, in [0, 1) *)
+  report_delay : float;  (** mean report delivery delay in ticks, >= 0 *)
+  retry : retry;
+}
+
+(** All channels perfect: zero loss, [detect_q = 1], no outages, no
+    delays, [No_retry]. [Sim.run] with [faults = Some none] produces
+    results identical to [faults = None]. *)
+val none : t
+
+(** [is_clean t] — no fault can ever fire (the retry policy is
+    irrelevant because nothing is ever missed). *)
+val is_clean : t -> bool
+
+val validate : t -> (unit, string) result
+val retry_to_string : retry -> string
+val retry_of_string : string -> (retry, string) result
+val to_string : t -> string
+
+(** Per-cell outage processes: an independent two-state (up/down) Markov
+    chain per cell, sampled at tick boundaries. *)
+module Outage : sig
+  type state
+
+  (** [create ~cells] — all cells up. *)
+  val create : cells:int -> state
+
+  val down : state -> int -> bool
+
+  (** [failures state] — up-to-down transitions observed so far. *)
+  val failures : state -> int
+
+  (** [step state faults rng] advances every cell by one tick: an up
+      cell fails with probability [1 - exp (-. faults.outage_rate)], a
+      down cell is repaired with probability
+      [1 - exp (-1 / faults.outage_repair)] (immediately when
+      [outage_repair = 0]). Draws nothing when [faults.outage_rate <= 0]
+      and no cell is down. *)
+  val step : state -> t -> Prob.Rng.t -> unit
+end

@@ -44,6 +44,20 @@ let on_move policy ~areas ~hex state ~from_cell ~to_cell ~now =
 
 let observe_page state ~cell ~now = reset state ~cell ~now
 
+let snapshot state =
+  {
+    last_cell = state.last_cell;
+    moves = state.moves;
+    report_time = state.report_time;
+    ticks = state.ticks;
+  }
+
+let rollback state ~snapshot ~moved =
+  state.last_cell <- snapshot.last_cell;
+  state.report_time <- snapshot.report_time;
+  state.ticks <- snapshot.ticks + 1;
+  state.moves <- (snapshot.moves + if moved then 1 else 0)
+
 let uncertainty policy ~areas ~hex state ~now =
   ignore now;
   match policy with

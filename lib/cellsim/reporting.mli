@@ -56,6 +56,22 @@ val uncertainty :
     terminal's exact cell; equivalent to a fresh report from there. *)
 val observe_page : state -> cell:int -> now:float -> unit
 
+(** [snapshot state] — an immutable copy of the tracking state, taken
+    before an {!on_move} whose report might be lost in transit. *)
+val snapshot : state -> state
+
+(** [rollback state ~snapshot ~moved] — undo a report the network never
+    received: the anchor (last reported cell and time) reverts to
+    [snapshot]'s, while this tick's bookkeeping is re-applied (one more
+    tick, one more move when [moved]), so the terminal keeps
+    accumulating toward its next report exactly as if the trigger had
+    not fired. Note that a lost [Area] report breaks the containment
+    invariant — the terminal is in a new area the network doesn't know
+    about — which is precisely the staleness the fault layer injects;
+    the fault-aware paging loop tolerates devices outside their
+    uncertainty set. *)
+val rollback : state -> snapshot:state -> moved:bool -> unit
+
 (** [validate policy] — parameter sanity ([k ≥ 1]). *)
 val validate : policy -> (unit, string) result
 

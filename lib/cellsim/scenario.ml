@@ -14,6 +14,7 @@ let suburb ?(seed = 2002) () =
     mobility_schedule = [];
     call_duration = 0.0;
     track_ongoing = true;
+    faults = None;
     duration = 300.0;
     seed;
   }
@@ -56,6 +57,7 @@ let commuter_day ?(seed = 2002) () =
       [ 0.0, eastbound; duration /. 3.0, calm; 2.0 *. duration /. 3.0, westbound ];
     call_duration = 0.0;
     track_ongoing = true;
+    faults = None;
     duration;
     seed;
   }
@@ -77,9 +79,32 @@ let busy_campus ?(seed = 2002) () =
     mobility_schedule = [];
     call_duration = 5.0;
     track_ongoing = true;
+    faults = None;
     duration = 300.0;
     seed;
   }
 
+let degraded_downtown ?(seed = 2002) () =
+  let base = suburb ~seed () in
+  {
+    base with
+    Sim.faults =
+      Some
+        {
+          Faults.page_loss = 0.05;
+          detect_q = 0.85;
+          outage_rate = 0.002;
+          outage_repair = 10.0;
+          report_loss = 0.1;
+          report_delay = 2.0;
+          retry = Faults.Escalate { after = 1; to_blanket = true };
+        };
+  }
+
 let all =
-  [ "suburb", suburb; "commuter-day", commuter_day; "busy-campus", busy_campus ]
+  [
+    "suburb", suburb;
+    "commuter-day", commuter_day;
+    "busy-campus", busy_campus;
+    "degraded-downtown", degraded_downtown;
+  ]

@@ -21,4 +21,12 @@ val commuter_day : ?seed:int -> unit -> Sim.config
     lines, much free tracking. *)
 val busy_campus : ?seed:int -> unit -> Sim.config
 
+(** [degraded_downtown ?seed ()] — the {!suburb} workload on degraded
+    infrastructure: 5% page loss, §5 response probability q = 0.85,
+    transient cell outages (hazard 0.002/tick, mean repair 10 ticks),
+    10% report loss, mean report delay 2 ticks, and an
+    escalate-after-one-repeat retry policy. The robustness baseline for
+    comparing schemes' graceful degradation. *)
+val degraded_downtown : ?seed:int -> unit -> Sim.config
+
 val all : (string * (?seed:int -> unit -> Sim.config)) list

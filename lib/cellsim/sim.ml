@@ -2,8 +2,32 @@ module Instance = Confcall.Instance
 module Strategy = Confcall.Strategy
 module Greedy = Confcall.Greedy
 module Order_dp = Confcall.Order_dp
+module Miss = Confcall.Miss
 
 type scheme = Blanket | Selective of int | Selective_diffuse of int
+
+type fault_metrics = {
+  retries : int;
+  retry_cells : int;
+  retry_rounds : int;
+  escalations : int;
+  escalate_cells : int;
+  residual_misses : int;
+  pages_lost : int;
+  pages_blocked : int;
+}
+
+let no_faults_observed =
+  {
+    retries = 0;
+    retry_cells = 0;
+    retry_rounds = 0;
+    escalations = 0;
+    escalate_cells = 0;
+    residual_misses = 0;
+    pages_lost = 0;
+    pages_blocked = 0;
+  }
 
 type scheme_metrics = {
   scheme : scheme;
@@ -13,6 +37,7 @@ type scheme_metrics = {
   expected_paging : float;
   rounds_used : int;
   per_call : Prob.Stats.summary;
+  robustness : fault_metrics;
 }
 
 type result = {
@@ -21,6 +46,9 @@ type result = {
   updates : int;
   total_calls : int;
   skipped_calls : int;
+  reports_lost : int;
+  reports_delayed : int;
+  outages : int;
   per_scheme : scheme_metrics list;
 }
 
@@ -37,6 +65,7 @@ type config = {
   mobility_schedule : (float * Mobility.t) list;
   call_duration : float;
   track_ongoing : bool;
+  faults : Faults.t option;
   duration : float;
   seed : int;
 }
@@ -56,6 +85,7 @@ let default_config () =
     mobility_schedule = [];
     call_duration = 0.0;
     track_ongoing = true;
+    faults = None;
     duration = 400.0;
     seed = 2002;
   }
@@ -65,7 +95,48 @@ let scheme_to_string = function
   | Selective d -> Printf.sprintf "selective-d%d" d
   | Selective_diffuse d -> Printf.sprintf "diffuse-d%d" d
 
-type event_kind = Tick | Call
+let validate_config config =
+  if config.users <= 0 then invalid_arg "Sim.run: no users"
+  else if config.schemes = [] then invalid_arg "Sim.run: no schemes"
+  else if Location_area.(config.areas.cells) <> Hex.cells config.hex then
+    invalid_arg "Sim.run: area partition does not match the hex field"
+  else if
+    not
+      (Float.is_finite config.profile_decay
+      && config.profile_decay > 0.0
+      && config.profile_decay <= 1.0)
+  then invalid_arg "Sim.run: profile_decay must be in (0, 1]"
+  else if
+    not (Float.is_finite config.profile_smoothing && config.profile_smoothing > 0.0)
+  then invalid_arg "Sim.run: profile_smoothing must be positive"
+  else if not (Float.is_finite config.duration && config.duration >= 0.0) then
+    invalid_arg "Sim.run: duration must be finite and non-negative"
+  else begin
+    let rec check_sorted = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+        if a > b then
+          invalid_arg "Sim.run: mobility_schedule must be sorted by start time"
+        else check_sorted rest
+      | _ -> ()
+    in
+    check_sorted config.mobility_schedule;
+    List.iter
+      (fun (start, _) ->
+        if not (Float.is_finite start) then
+          invalid_arg "Sim.run: mobility_schedule start times must be finite")
+      config.mobility_schedule;
+    (match Reporting.validate config.reporting with
+     | Ok () -> ()
+     | Error reason -> invalid_arg ("Sim.run: " ^ reason));
+    match config.faults with
+    | None -> ()
+    | Some f ->
+      (match Faults.validate f with
+       | Ok () -> ()
+       | Error reason -> invalid_arg ("Sim.run: faults: " ^ reason))
+  end
+
+type event_kind = Tick | Call | Report_delivery of { user : int; cell : int }
 
 type scheme_acc = {
   s_scheme : scheme;
@@ -75,6 +146,14 @@ type scheme_acc = {
   mutable s_expected : float;
   mutable s_rounds : int;
   s_stats : Prob.Stats.Acc.t;
+  mutable s_retries : int;
+  mutable s_retry_cells : int;
+  mutable s_retry_rounds : int;
+  mutable s_escalations : int;
+  mutable s_escalate_cells : int;
+  mutable s_residual : int;
+  mutable s_pages_lost : int;
+  mutable s_pages_blocked : int;
 }
 
 (* Ground-truth rounds used by a strategy on one outcome. *)
@@ -109,17 +188,25 @@ let diffusion_cache mobility cells =
       dist
 
 let run config =
-  if config.users <= 0 then invalid_arg "Sim.run: no users"
-  else if Location_area.(config.areas.cells) <> Hex.cells config.hex then
-    invalid_arg "Sim.run: area partition does not match the hex field"
-  else begin
-    (match Reporting.validate config.reporting with
-     | Ok () -> ()
-     | Error reason -> invalid_arg ("Sim.run: " ^ reason));
+  validate_config config;
+  begin
     let cells = Hex.cells config.hex in
     let rng = Prob.Rng.create ~seed:config.seed in
     let rng_move = Prob.Rng.split rng in
     let rng_traffic = Prob.Rng.split rng in
+    (* A dedicated fault stream: splitting it here (whether or not faults
+       are enabled) keeps the mobility and traffic streams identical
+       across clean and faulty runs of the same seed. *)
+    let rng_faults = Prob.Rng.split rng in
+    let faults_on = config.faults <> None in
+    let fmodel =
+      match config.faults with None -> Faults.none | Some f -> f
+    in
+    let report_faults =
+      faults_on && (fmodel.Faults.report_loss > 0.0 || fmodel.Faults.report_delay > 0.0)
+    in
+    let outage = Faults.Outage.create ~cells in
+    let reports_lost = ref 0 and reports_delayed = ref 0 in
     (* Ground truth positions and the system's view. *)
     let position =
       Array.init config.users (fun _ -> Prob.Rng.int rng_move cells)
@@ -138,6 +225,8 @@ let run config =
     Array.iteri (fun u cell -> Profile.observe profiles.(u) cell) position;
     let busy_until = Array.make config.users neg_infinity in
     let diffuse = diffusion_cache config.mobility cells in
+    let all_cells = Array.init cells (fun i -> i) in
+    let paged_mask = Array.make cells false in
     let moves = ref 0
     and updates = ref 0
     and total_calls = ref 0
@@ -153,6 +242,14 @@ let run config =
             s_expected = 0.0;
             s_rounds = 0;
             s_stats = Prob.Stats.Acc.create ();
+            s_retries = 0;
+            s_retry_cells = 0;
+            s_retry_rounds = 0;
+            s_escalations = 0;
+            s_escalate_cells = 0;
+            s_residual = 0;
+            s_pages_lost = 0;
+            s_pages_blocked = 0;
           })
         config.schemes
     in
@@ -167,15 +264,17 @@ let run config =
       Reporting.observe_page report_state.(u) ~cell:position.(u) ~now
     in
 
-    (* Actual motion model in force at a given time. *)
+    (* Actual motion model in force at a given time; the schedule is
+       validated sorted, so the last entry not after [now] wins. *)
     let mobility_at now =
       List.fold_left
         (fun current (start, model) ->
           if now >= start then model else current)
-        config.mobility
-        (List.sort (fun (a, _) (b, _) -> compare a b) config.mobility_schedule)
+        config.mobility config.mobility_schedule
     in
     let handle_tick now =
+      if faults_on && fmodel.Faults.outage_rate > 0.0 then
+        Faults.Outage.step outage fmodel rng_faults;
       let mobility = mobility_at now in
       for u = 0 to config.users - 1 do
         let from_cell = position.(u) in
@@ -186,14 +285,49 @@ let run config =
           (* On a call: the network tracks the terminal continuously. *)
           observe_exactly u ~now
         else begin
+          let snap =
+            if report_faults then Some (Reporting.snapshot report_state.(u))
+            else None
+          in
           let reported =
             Reporting.on_move config.reporting ~areas:config.areas
               ~hex:config.hex report_state.(u) ~from_cell ~to_cell ~now
           in
           if reported then begin
-            incr updates;
-            (* The report reveals the exact new cell. *)
-            Profile.observe profiles.(u) to_cell
+            match snap with
+            | None ->
+              incr updates;
+              (* The report reveals the exact new cell. *)
+              Profile.observe profiles.(u) to_cell
+            | Some snapshot ->
+              let moved = to_cell <> from_cell in
+              if
+                fmodel.Faults.report_loss > 0.0
+                && Prob.Rng.unit_float rng_faults < fmodel.Faults.report_loss
+              then begin
+                (* Lost in transit: the network's view stays stale and
+                   the terminal keeps accumulating toward its next
+                   report attempt. *)
+                Reporting.rollback report_state.(u) ~snapshot ~moved;
+                incr reports_lost
+              end
+              else if fmodel.Faults.report_delay > 0.0 then begin
+                (* Delivered late: the anchor stays stale meanwhile, and
+                   only the profile estimator learns the (old) cell at
+                   delivery time. *)
+                Reporting.rollback report_state.(u) ~snapshot ~moved;
+                incr reports_delayed;
+                let delay =
+                  Prob.Rng.exponential rng_faults
+                    ~rate:(1.0 /. fmodel.Faults.report_delay)
+                in
+                Event.schedule_after engine ~delay
+                  (Report_delivery { user = u; cell = to_cell })
+              end
+              else begin
+                incr updates;
+                Profile.observe profiles.(u) to_cell
+              end
           end
         end
       done;
@@ -227,19 +361,6 @@ let run config =
           uncertain;
         let universe = Array.of_list (List.rev !universe_rev) in
         let c_local = Array.length universe in
-        let positions_local =
-          Array.map
-            (fun u ->
-              match Hashtbl.find_opt universe_tbl position.(u) with
-              | Some k -> k
-              | None ->
-                (* Disk-based policies assume at most one cell per tick;
-                   teleporting mobility models break that. *)
-                invalid_arg
-                  "Sim.run: user outside its uncertainty set (mobility \
-                   jumps farther than the reporting policy allows)")
-            group
-        in
         (* Row construction per estimator. *)
         let counts_row idx =
           let u = group.(idx) in
@@ -277,40 +398,174 @@ let run config =
             Array.iteri (fun k p -> row.(k) <- p /. !mass) (Array.copy row);
           row
         in
-        List.iter
-          (fun acc ->
-            let d, rows =
-              match acc.s_scheme with
-              | Blanket -> 1, Array.mapi (fun idx _ -> counts_row idx) group
-              | Selective d ->
-                ( Stdlib.min d c_local,
-                  Array.mapi (fun idx _ -> counts_row idx) group )
-              | Selective_diffuse d ->
-                ( Stdlib.min d c_local,
-                  Array.mapi (fun idx _ -> diffuse_row idx) group )
-            in
-            let inst = Instance.create ~d rows in
-            let strategy =
-              match acc.s_scheme with
-              | Blanket -> Strategy.page_all c_local
-              | Selective _ | Selective_diffuse _ ->
-                (Greedy.solve inst).Order_dp.strategy
-            in
-            let cost =
-              Strategy.cost_on_outcome strategy ~m:(Array.length group)
-                ~positions:positions_local
-            in
-            acc.s_calls <- acc.s_calls + 1;
-            acc.s_devices <- acc.s_devices + Array.length group;
-            acc.s_cells <- acc.s_cells + cost;
-            acc.s_expected <-
-              acc.s_expected +. Strategy.expected_paging inst strategy;
-            acc.s_rounds <-
-              acc.s_rounds
-              + rounds_on_outcome strategy ~positions:positions_local;
-            Prob.Stats.Acc.add acc.s_stats (float_of_int cost))
-          accs;
-        (* The call locates every participant, whatever the scheme. *)
+        let plan acc =
+          let d, rows =
+            match acc.s_scheme with
+            | Blanket -> 1, Array.mapi (fun idx _ -> counts_row idx) group
+            | Selective d ->
+              ( Stdlib.min d c_local,
+                Array.mapi (fun idx _ -> counts_row idx) group )
+            | Selective_diffuse d ->
+              ( Stdlib.min d c_local,
+                Array.mapi (fun idx _ -> diffuse_row idx) group )
+          in
+          let inst = Instance.create ~d rows in
+          let strategy =
+            match acc.s_scheme with
+            | Blanket -> Strategy.page_all c_local
+            | Selective _ | Selective_diffuse _ ->
+              (Greedy.solve inst).Order_dp.strategy
+          in
+          inst, strategy
+        in
+        if not faults_on then begin
+          (* Clean path: identical to the fault-free simulator. *)
+          let positions_local =
+            Array.map
+              (fun u ->
+                match Hashtbl.find_opt universe_tbl position.(u) with
+                | Some k -> k
+                | None ->
+                  (* Disk-based policies assume at most one cell per tick;
+                     teleporting mobility models break that. *)
+                  invalid_arg
+                    "Sim.run: user outside its uncertainty set (mobility \
+                     jumps farther than the reporting policy allows)")
+              group
+          in
+          List.iter
+            (fun acc ->
+              let inst, strategy = plan acc in
+              let cost =
+                Strategy.cost_on_outcome strategy ~m:(Array.length group)
+                  ~positions:positions_local
+              in
+              acc.s_calls <- acc.s_calls + 1;
+              acc.s_devices <- acc.s_devices + Array.length group;
+              acc.s_cells <- acc.s_cells + cost;
+              acc.s_expected <-
+                acc.s_expected +. Strategy.expected_paging inst strategy;
+              acc.s_rounds <-
+                acc.s_rounds
+                + rounds_on_outcome strategy ~positions:positions_local;
+              Prob.Stats.Acc.add acc.s_stats (float_of_int cost))
+            accs
+        end
+        else begin
+          (* Fault-aware path: execute the strategy round by round
+             against ground truth, sampling page loss, outage blocking
+             and imperfect detection, then apply the retry policy. Every
+             scheme replays the same per-call fault stream so their
+             numbers stay directly comparable. *)
+          let call_frng = Prob.Rng.split rng_faults in
+          let positions_true = Array.map (fun u -> position.(u)) group in
+          let m_group = Array.length group in
+          List.iter
+            (fun acc ->
+              let frng = Prob.Rng.copy call_frng in
+              let inst, strategy = plan acc in
+              let groups = Strategy.groups strategy in
+              let n_base = Array.length groups in
+              let found = Array.make m_group false in
+              let n_found = ref 0 in
+              let cells_paged = ref 0 in
+              let rounds = ref 0 in
+              let round_of_local g = Array.map (fun k -> universe.(k)) g in
+              let page_cells round_cells =
+                incr rounds;
+                let effective = ref [] in
+                Array.iter
+                  (fun cell ->
+                    if
+                      fmodel.Faults.outage_rate > 0.0
+                      && Faults.Outage.down outage cell
+                    then
+                      (* The MSC knows the base station is down: the page
+                         is never transmitted (no cost), but the
+                         coverage hole persists. *)
+                      acc.s_pages_blocked <- acc.s_pages_blocked + 1
+                    else begin
+                      incr cells_paged;
+                      if
+                        fmodel.Faults.page_loss > 0.0
+                        && Prob.Rng.unit_float frng < fmodel.Faults.page_loss
+                      then acc.s_pages_lost <- acc.s_pages_lost + 1
+                      else begin
+                        paged_mask.(cell) <- true;
+                        effective := cell :: !effective
+                      end
+                    end)
+                  round_cells;
+                (if fmodel.Faults.detect_q >= 1.0 then
+                   Array.iteri
+                     (fun i pos ->
+                       if (not found.(i)) && paged_mask.(pos) then begin
+                         found.(i) <- true;
+                         incr n_found
+                       end)
+                     positions_true
+                 else
+                   n_found :=
+                     !n_found
+                     + Miss.page_round frng ~q:fmodel.Faults.detect_q
+                         ~in_group:(fun cell -> paged_mask.(cell))
+                         ~positions:positions_true ~found);
+                List.iter (fun cell -> paged_mask.(cell) <- false) !effective
+              in
+              let r = ref 0 in
+              while !n_found < m_group && !r < n_base do
+                page_cells (round_of_local groups.(!r));
+                incr r
+              done;
+              let base_cells = !cells_paged and base_rounds = !rounds in
+              let repeat_cycles cycles ~backoff =
+                if cycles > 0 && !n_found < m_group then begin
+                  let sched = Miss.repeat_strategy strategy ~cycles in
+                  let i = ref 0 in
+                  while !n_found < m_group && !i < Array.length sched do
+                    if !i mod n_base = 0 then begin
+                      acc.s_retries <- acc.s_retries + 1;
+                      rounds := !rounds + backoff
+                    end;
+                    page_cells (round_of_local sched.(!i));
+                    incr i
+                  done
+                end
+              in
+              (match fmodel.Faults.retry with
+               | Faults.No_retry -> ()
+               | Faults.Repeat { cycles; backoff } ->
+                 repeat_cycles cycles ~backoff;
+                 acc.s_retry_cells <-
+                   acc.s_retry_cells + (!cells_paged - base_cells);
+                 acc.s_retry_rounds <-
+                   acc.s_retry_rounds + (!rounds - base_rounds)
+               | Faults.Escalate { after; to_blanket } ->
+                 repeat_cycles after ~backoff:0;
+                 acc.s_retry_cells <-
+                   acc.s_retry_cells + (!cells_paged - base_cells);
+                 acc.s_retry_rounds <-
+                   acc.s_retry_rounds + (!rounds - base_rounds);
+                 if !n_found < m_group then begin
+                   acc.s_escalations <- acc.s_escalations + 1;
+                   let before = !cells_paged in
+                   page_cells (if to_blanket then all_cells else universe);
+                   acc.s_escalate_cells <-
+                     acc.s_escalate_cells + (!cells_paged - before)
+                 end);
+              acc.s_residual <- acc.s_residual + (m_group - !n_found);
+              acc.s_calls <- acc.s_calls + 1;
+              acc.s_devices <- acc.s_devices + m_group;
+              acc.s_cells <- acc.s_cells + !cells_paged;
+              acc.s_expected <-
+                acc.s_expected +. Strategy.expected_paging inst strategy;
+              acc.s_rounds <- acc.s_rounds + !rounds;
+              Prob.Stats.Acc.add acc.s_stats (float_of_int !cells_paged))
+            accs
+        end;
+        (* The reference network establishes the call, whatever each
+           measured scheme achieved: all schemes observe identical
+           histories, keeping their costs directly comparable. *)
         Array.iter (fun u -> observe_exactly u ~now) group;
         if config.call_duration > 0.0 then begin
           let length =
@@ -328,7 +583,12 @@ let run config =
     Event.run_until engine ~stop:config.duration (fun at event ->
         match event with
         | Tick -> handle_tick at
-        | Call -> handle_call at);
+        | Call -> handle_call at
+        | Report_delivery { user; cell } ->
+          (* A delayed report finally arrives: the profile estimator
+             learns where the terminal was when it reported. *)
+          incr updates;
+          Profile.observe profiles.(user) cell);
 
     {
       duration = config.duration;
@@ -336,6 +596,9 @@ let run config =
       updates = !updates;
       total_calls = !total_calls;
       skipped_calls = !skipped_calls;
+      reports_lost = !reports_lost;
+      reports_delayed = !reports_delayed;
+      outages = Faults.Outage.failures outage;
       per_scheme =
         List.map
           (fun acc ->
@@ -347,6 +610,17 @@ let run config =
               expected_paging = acc.s_expected;
               rounds_used = acc.s_rounds;
               per_call = Prob.Stats.Acc.summary acc.s_stats;
+              robustness =
+                {
+                  retries = acc.s_retries;
+                  retry_cells = acc.s_retry_cells;
+                  retry_rounds = acc.s_retry_rounds;
+                  escalations = acc.s_escalations;
+                  escalate_cells = acc.s_escalate_cells;
+                  residual_misses = acc.s_residual;
+                  pages_lost = acc.s_pages_lost;
+                  pages_blocked = acc.s_pages_blocked;
+                };
             })
           accs;
     }
@@ -356,13 +630,23 @@ let pp_result ppf (r : result) =
   Format.fprintf ppf
     "@[<v>duration %.0f, %d moves, %d reports, %d calls (%d skipped)@,"
     r.duration r.moves r.updates r.total_calls r.skipped_calls;
+  if r.reports_lost > 0 || r.reports_delayed > 0 || r.outages > 0 then
+    Format.fprintf ppf "faults: %d reports lost, %d delayed, %d cell outages@,"
+      r.reports_lost r.reports_delayed r.outages;
   List.iter
     (fun s ->
       Format.fprintf ppf
-        "%-14s cells/call %.2f (expected %.2f) rounds/call %.2f@,"
+        "%-14s cells/call %.2f (expected %.2f) rounds/call %.2f"
         (scheme_to_string s.scheme)
         (float_of_int s.cells_paged /. float_of_int (Stdlib.max 1 s.calls))
         (s.expected_paging /. float_of_int (Stdlib.max 1 s.calls))
-        (float_of_int s.rounds_used /. float_of_int (Stdlib.max 1 s.calls)))
+        (float_of_int s.rounds_used /. float_of_int (Stdlib.max 1 s.calls));
+      if s.robustness <> no_faults_observed then
+        Format.fprintf ppf
+          " | retries %d esc %d lost %d blocked %d residual %d"
+          s.robustness.retries s.robustness.escalations
+          s.robustness.pages_lost s.robustness.pages_blocked
+          s.robustness.residual_misses;
+      Format.fprintf ppf "@,")
     r.per_scheme;
   Format.fprintf ppf "@]"

@@ -12,7 +12,16 @@
 
     Optionally calls have a duration: while a user is on a call the
     system tracks their cell continuously (an ongoing call needs no
-    search — §1.1), and busy users cannot join new conferences. *)
+    search — §1.1), and busy users cannot join new conferences.
+
+    With [faults = Some f] the run additionally injects the {!Faults}
+    model: pages are lost, paged devices answer only with probability
+    [q] (§5), cells suffer transient outages, and location reports are
+    lost or delayed — after which the configured retry policy re-pages
+    and possibly escalates to blanket paging. The fault stream has its
+    own split of the seed PRNG, so [faults = None] and
+    [faults = Some Faults.none] produce identical results and every
+    faulty run is reproducible. *)
 
 type scheme =
   | Blanket  (** page the whole uncertainty set in one round *)
@@ -22,22 +31,42 @@ type scheme =
       (** same heuristic, but rows are the mobility model's diffusion of
           the last known cell — "the system knows the motion statistics" *)
 
+(** Robustness observables accumulated over a run's calls; all zero when
+    faults are disabled or never fired. *)
+type fault_metrics = {
+  retries : int;  (** extra re-page cycles issued *)
+  retry_cells : int;  (** cells paged during retry cycles *)
+  retry_rounds : int;  (** rounds spent retrying, incl. backoff idling *)
+  escalations : int;  (** calls that fell back to a final blanket round *)
+  escalate_cells : int;  (** cells paged by escalation rounds *)
+  residual_misses : int;  (** devices never found by this scheme's paging *)
+  pages_lost : int;  (** pages lost on the wireless channel *)
+  pages_blocked : int;  (** pages suppressed because the cell was down *)
+}
+
+val no_faults_observed : fault_metrics
+
 type scheme_metrics = {
   scheme : scheme;
   calls : int;
   devices_sought : int;
-  cells_paged : int;  (** ground-truth total *)
-  expected_paging : float;  (** model EP summed over calls *)
-  rounds_used : int;  (** ground-truth rounds until all found *)
+  cells_paged : int;
+      (** ground-truth total, including retry and escalation pages *)
+  expected_paging : float;  (** model EP summed over calls (fault-free) *)
+  rounds_used : int;  (** ground-truth rounds until all found or given up *)
   per_call : Prob.Stats.summary;  (** cells paged per call *)
+  robustness : fault_metrics;
 }
 
 type result = {
   duration : float;
   moves : int;
-  updates : int;  (** reports sent under the configured policy *)
+  updates : int;  (** reports received under the configured policy *)
   total_calls : int;
   skipped_calls : int;  (** arrivals dropped because a participant was busy *)
+  reports_lost : int;  (** location reports lost in transit *)
+  reports_delayed : int;  (** location reports delivered late *)
+  outages : int;  (** cell up-to-down transitions over the run *)
   per_scheme : scheme_metrics list;
 }
 
@@ -66,18 +95,27 @@ type config = {
           an ongoing call each tick (§1.1: devices in a call communicate
           with base stations continuously); when false, on-call users are
           as opaque as idle ones — the ablation switch for E17 *)
+  faults : Faults.t option;
+      (** fault-injection model; [None] is the perfectly reliable
+          simulator. Note that with faults enabled a device may fall
+          outside the computed uncertainty universe (a lost report made
+          the network's view stale); the paging loop then counts it as a
+          residual miss instead of raising, and only an
+          [Escalate ~to_blanket:true] retry can still recover it. *)
   duration : float;  (** mobility ticks happen at every integer time *)
   seed : int;
 }
 
 (** [default_config ()] — an 8×8 field, 3×3 location areas, area
     reporting, 64 users, random-walk mobility, 3-party instantaneous
-    conferences, 400 time units. *)
+    conferences, 400 time units, no faults. *)
 val default_config : unit -> config
 
 (** [run config] executes the simulation deterministically for the
     config's seed.
-    @raise Invalid_argument on inconsistent dimensions or bad reporting
+    @raise Invalid_argument on inconsistent dimensions, non-positive
+    user counts, an empty scheme list, an unsorted mobility schedule,
+    out-of-range profile decay/smoothing, or bad reporting/fault
     parameters. *)
 val run : config -> result
 

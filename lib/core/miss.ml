@@ -59,6 +59,24 @@ let repeat_strategy strategy ~cycles =
     Array.concat (List.init cycles (fun _ -> groups))
   end
 
+let page_round rng ~q ~in_group ~positions ~found =
+  if q <= 0.0 || q > 1.0 then invalid_arg "Miss.page_round: q out of range"
+  else begin
+    let newly = ref 0 in
+    Array.iteri
+      (fun i pos ->
+        if
+          (not found.(i))
+          && in_group pos
+          && Prob.Rng.unit_float rng < q
+        then begin
+          found.(i) <- true;
+          incr newly
+        end)
+      positions;
+    !newly
+  end
+
 let simulate ?(objective = Objective.Find_all) inst ~q ~schedule rng ~trials =
   if q <= 0.0 || q > 1.0 then invalid_arg "Miss.simulate: q out of range"
   else begin
@@ -83,16 +101,11 @@ let simulate ?(objective = Objective.Find_all) inst ~q ~schedule rng ~trials =
             Array.fill in_group 0 c false;
             Array.iter (fun j -> in_group.(j) <- true) group;
             cost := !cost + Array.length group;
-            for i = 0 to m - 1 do
-              if
-                (not found.(i))
-                && in_group.(positions.(i))
-                && Prob.Rng.unit_float rng < q
-              then begin
-                found.(i) <- true;
-                incr n_found
-              end
-            done;
+            n_found :=
+              !n_found
+              + page_round rng ~q
+                  ~in_group:(fun j -> in_group.(j))
+                  ~positions ~found;
             if Objective.found_enough objective ~m ~found:!n_found then
               done_ := true
           end)

@@ -33,6 +33,22 @@ type schedule = int array array
     strategy's rounds [cycles] times — the natural re-paging heuristic. *)
 val repeat_strategy : Strategy.t -> cycles:int -> schedule
 
+(** [page_round rng ~q ~in_group ~positions ~found] performs one round of
+    imperfect detection: every not-yet-found device [i] whose position
+    satisfies [in_group positions.(i)] answers with probability [q]
+    (marking [found.(i)]); returns the number newly found. One [rng] draw
+    per candidate device, in index order. This is the round-level
+    detection sample shared by {!simulate} and the end-to-end simulator's
+    fault layer.
+    @raise Invalid_argument when [q] is outside (0, 1]. *)
+val page_round :
+  Prob.Rng.t ->
+  q:float ->
+  in_group:(int -> bool) ->
+  positions:int array ->
+  found:bool array ->
+  int
+
 (** [simulate ?objective inst ~q ~schedule rng ~trials] runs the
     schedule under per-page detection probability [q]; returns
     (cost summary over all trials, success ratio). Trials that exhaust

@@ -61,3 +61,26 @@ Scenario presets run end to end:
 
   $ $CLI simulate --scenario busy-campus --seed 9 | head -1
   duration 300, 7186 moves, 2529 reports, 247 calls (222 skipped)
+
+Fault flags leave the headline counters alone (faults touch paging, not
+the traffic or mobility streams) and surface robustness counters:
+
+  $ $CLI simulate --users 16 --duration 50 --seed 5 | head -1 > clean.txt
+  $ $CLI simulate --users 16 --duration 50 --seed 5 --detect-q 0.8 \
+  >   --retry escalate:1:blanket | head -1 > faulty.txt
+  $ cmp clean.txt faulty.txt
+  $ $CLI simulate --users 16 --duration 50 --seed 5 --detect-q 0.8 \
+  >   --retry escalate:1:blanket | grep -c 'retries'
+  3
+
+A malformed retry spec is rejected with a parse error:
+
+  $ $CLI simulate --retry sometimes 2>&1 | head -1
+  confcall: option '--retry': retry must be none | repeat:<cycles>[:<backoff>]
+
+JSON output is valid and carries the robustness block:
+
+  $ $CLI simulate --users 16 --duration 50 --seed 5 --json | head -c 16
+  {"duration": 50,
+  $ $CLI generate -m 1 -c 8 -d 2 --dist uniform | $CLI solve - --json
+  {"solver": "greedy", "strategy": [[0, 1, 2, 3], [4, 5, 6, 7]], "expected_paging": 6, "exact": true, "expected_rounds": 1.5, "lower_bound": 6, "page_all_cost": 8}

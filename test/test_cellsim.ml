@@ -350,6 +350,7 @@ let small_config () =
     mobility_schedule = [];
     call_duration = 0.0;
     track_ongoing = true;
+    faults = None;
     profile_decay = 0.9;
     profile_smoothing = 0.05;
     duration = 150.0;
@@ -389,6 +390,97 @@ let test_sim_deeper_delay_pages_less () =
   let d3 = find (Cellsim.Sim.Selective 3) in
   check bool_t "expected paging decreases with d" true
     (d3.Cellsim.Sim.expected_paging <= d2.Cellsim.Sim.expected_paging +. 1e-6)
+
+(* -------------------- Fault injection -------------------- *)
+
+let with_faults faults config = { config with Cellsim.Sim.faults }
+
+let test_sim_none_faults_identity () =
+  (* [faults = Some Faults.none] must reproduce the clean run exactly:
+     the fault executor consumes no extra randomness when every fault
+     probability is zero and q = 1. Structural equality pins every
+     metric, including the per-call float summaries. *)
+  let clean = Cellsim.Sim.run (small_config ()) in
+  let wired =
+    Cellsim.Sim.run (with_faults (Some Cellsim.Faults.none) (small_config ()))
+  in
+  check bool_t "identical results" true (clean = wired)
+
+let test_sim_zero_faults_with_retry_identity () =
+  (* A retry policy alone changes nothing when no fault can fire: every
+     device is found in the base rounds, so no retry cycle runs. *)
+  List.iter
+    (fun retry ->
+      let faults = Some { Cellsim.Faults.none with Cellsim.Faults.retry } in
+      let r = Cellsim.Sim.run (with_faults faults (small_config ())) in
+      let clean = Cellsim.Sim.run (small_config ()) in
+      check bool_t
+        (Printf.sprintf "retry %s is inert"
+           (Cellsim.Faults.retry_to_string retry))
+        true (r = clean))
+    [
+      Cellsim.Faults.Repeat { cycles = 2; backoff = 1 };
+      Cellsim.Faults.Escalate { after = 1; to_blanket = true };
+    ]
+
+let faulty_config () =
+  with_faults
+    (Some
+       {
+         Cellsim.Faults.page_loss = 0.1;
+         detect_q = 0.8;
+         outage_rate = 0.01;
+         outage_repair = 5.0;
+         report_loss = 0.2;
+         report_delay = 1.5;
+         retry = Cellsim.Faults.Escalate { after = 1; to_blanket = true };
+       })
+    (small_config ())
+
+let test_sim_faulty_run_deterministic () =
+  let r1 = Cellsim.Sim.run (faulty_config ()) in
+  let r2 = Cellsim.Sim.run (faulty_config ()) in
+  check bool_t "bitwise repeatable" true (r1 = r2);
+  check bool_t "faults fired" true
+    (r1.Cellsim.Sim.reports_lost > 0
+    && List.exists
+         (fun s -> s.Cellsim.Sim.robustness.Cellsim.Sim.retries > 0)
+         r1.Cellsim.Sim.per_scheme)
+
+let test_sim_degradation_costs_pages () =
+  (* Imperfect detection with re-paging can only increase the paging
+     bill relative to the clean run on the same seed. *)
+  let clean = Cellsim.Sim.run (small_config ()) in
+  let faults =
+    Some
+      {
+        Cellsim.Faults.none with
+        Cellsim.Faults.detect_q = 0.7;
+        retry = Cellsim.Faults.Repeat { cycles = 2; backoff = 0 };
+      }
+  in
+  let degraded = Cellsim.Sim.run (with_faults faults (small_config ())) in
+  List.iter2
+    (fun c d ->
+      check bool_t "degraded pages at least as many cells" true
+        (d.Cellsim.Sim.cells_paged >= c.Cellsim.Sim.cells_paged))
+    clean.Cellsim.Sim.per_scheme degraded.Cellsim.Sim.per_scheme
+
+let test_sim_heavy_report_loss_survives () =
+  (* Near-total report loss breaks the Area containment invariant; the
+     simulator must degrade to residual misses, not crash. *)
+  let faults =
+    Some
+      {
+        Cellsim.Faults.none with
+        Cellsim.Faults.report_loss = 0.95;
+        report_delay = 4.0;
+        detect_q = 0.9;
+      }
+  in
+  let r = Cellsim.Sim.run (with_faults faults (small_config ())) in
+  check bool_t "completed" true (r.Cellsim.Sim.total_calls > 0);
+  check bool_t "reports actually lost" true (r.Cellsim.Sim.reports_lost > 0)
 
 let test_sim_different_seeds_differ () =
   let c1 = small_config () in
@@ -467,5 +559,18 @@ let () =
           Alcotest.test_case "deeper delay helps" `Slow
             test_sim_deeper_delay_pages_less;
           Alcotest.test_case "seeds differ" `Slow test_sim_different_seeds_differ;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "Some none ≡ None" `Slow
+            test_sim_none_faults_identity;
+          Alcotest.test_case "inert retry" `Slow
+            test_sim_zero_faults_with_retry_identity;
+          Alcotest.test_case "deterministic" `Slow
+            test_sim_faulty_run_deterministic;
+          Alcotest.test_case "degradation costs pages" `Slow
+            test_sim_degradation_costs_pages;
+          Alcotest.test_case "heavy report loss" `Slow
+            test_sim_heavy_report_loss_survives;
         ] );
     ]

@@ -151,6 +151,7 @@ let base_config schemes reporting call_duration =
     mobility_schedule = [];
     call_duration;
     track_ongoing = true;
+    faults = None;
     duration = 150.0;
     seed = 99;
   }

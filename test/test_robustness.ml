@@ -95,6 +95,131 @@ let prop_exact_methods_agree =
       let cl = (Class_solver.solve inst).Class_solver.expected_paging in
       abs_float (a -. b) < 1e-9 && abs_float (a -. cl) < 1e-9)
 
+(* -------------------- simulator config validation -------------------- *)
+
+let base_sim_config () =
+  let hex = Cellsim.Hex.create ~rows:4 ~cols:4 in
+  {
+    Cellsim.Sim.hex;
+    mobility = Cellsim.Mobility.random_walk hex ~stay:0.4;
+    areas = Cellsim.Location_area.grid hex ~block_rows:2 ~block_cols:2;
+    users = 8;
+    traffic =
+      Cellsim.Traffic.create ~rate:0.4 ~group_size:(Cellsim.Traffic.Fixed 2)
+        ~users:8;
+    schemes = [ Cellsim.Sim.Blanket ];
+    reporting = Cellsim.Reporting.Area;
+    mobility_schedule = [];
+    call_duration = 0.0;
+    track_ongoing = true;
+    faults = None;
+    profile_decay = 0.9;
+    profile_smoothing = 0.05;
+    duration = 20.0;
+    seed = 5;
+  }
+
+let rejects name config =
+  match Cellsim.Sim.run config with
+  | _ -> Alcotest.failf "%s: accepted" name
+  | exception Invalid_argument _ -> ()
+
+let test_sim_config_validation () =
+  let base = base_sim_config () in
+  rejects "zero users" { base with Cellsim.Sim.users = 0 };
+  rejects "negative users" { base with Cellsim.Sim.users = -3 };
+  rejects "no schemes" { base with Cellsim.Sim.schemes = [] };
+  rejects "unsorted schedule"
+    {
+      base with
+      Cellsim.Sim.mobility_schedule =
+        [ 10.0, base.Cellsim.Sim.mobility; 5.0, base.Cellsim.Sim.mobility ];
+    };
+  rejects "decay zero" { base with Cellsim.Sim.profile_decay = 0.0 };
+  rejects "decay above one" { base with Cellsim.Sim.profile_decay = 1.5 };
+  rejects "smoothing zero" { base with Cellsim.Sim.profile_smoothing = 0.0 };
+  rejects "negative duration" { base with Cellsim.Sim.duration = -1.0 };
+  rejects "nan duration" { base with Cellsim.Sim.duration = Float.nan };
+  rejects "bad page_loss"
+    {
+      base with
+      Cellsim.Sim.faults =
+        Some { Cellsim.Faults.none with Cellsim.Faults.page_loss = 1.0 };
+    };
+  rejects "bad detect_q"
+    {
+      base with
+      Cellsim.Sim.faults =
+        Some { Cellsim.Faults.none with Cellsim.Faults.detect_q = 0.0 };
+    };
+  rejects "bad retry cycles"
+    {
+      base with
+      Cellsim.Sim.faults =
+        Some
+          {
+            Cellsim.Faults.none with
+            Cellsim.Faults.retry =
+              Cellsim.Faults.Repeat { cycles = 0; backoff = 0 };
+          };
+    }
+
+let prop_sim_fuzzed_knobs_controlled =
+  (* Random (possibly invalid) numeric knobs: Sim.run either runs to
+     completion or rejects with Invalid_argument — nothing else. *)
+  QCheck.Test.make ~name:"Sim.run: Invalid_argument or success" ~count:40
+    (QCheck.triple (QCheck.int_range (-2) 6)
+       (QCheck.float_range (-0.5) 1.5)
+       (QCheck.float_range (-0.5) 1.5))
+    (fun (users, decay, fault_p) ->
+      let base = base_sim_config () in
+      let config =
+        {
+          base with
+          Cellsim.Sim.users;
+          traffic =
+            Cellsim.Traffic.create ~rate:0.4
+              ~group_size:(Cellsim.Traffic.Fixed 2)
+              ~users:(Stdlib.max 2 users);
+          profile_decay = decay;
+          duration = 5.0;
+          faults =
+            Some
+              {
+                Cellsim.Faults.none with
+                Cellsim.Faults.page_loss = fault_p;
+                detect_q = 1.0 -. (fault_p /. 4.0);
+              };
+        }
+      in
+      match Cellsim.Sim.run config with
+      | _ -> true
+      | exception Invalid_argument _ -> true
+      | exception _ -> false)
+
+let prop_faults_retry_of_string_total =
+  QCheck.Test.make ~name:"Faults.retry_of_string never raises" ~count:500
+    garbage_string (fun s ->
+      match Cellsim.Faults.retry_of_string s with
+      | Ok r ->
+        (* Accepted specs round-trip through their printer. *)
+        Cellsim.Faults.retry_of_string (Cellsim.Faults.retry_to_string r)
+        = Ok r
+      | Error _ -> true)
+
+let prop_repeat_strategy_one_cycle_is_strategy =
+  (* With cycles = 1 the re-paging schedule is exactly the strategy's
+     own rounds — re-paging is a pure extension of clean paging. *)
+  QCheck.Test.make ~name:"Miss.repeat_strategy ~cycles:1 = rounds" ~count:100
+    (QCheck.int_range 1 1000000) (fun seed ->
+      let rng = Prob.Rng.create ~seed in
+      let c = 3 + Prob.Rng.int rng 6 in
+      let d = 1 + Prob.Rng.int rng c in
+      let inst = Instance.random_uniform_simplex rng ~m:1 ~c ~d in
+      let strategy = (Greedy.solve inst).Order_dp.strategy in
+      let schedule = Miss.repeat_strategy strategy ~cycles:1 in
+      schedule = Strategy.groups strategy)
+
 (* -------------------- regression pins -------------------- *)
 
 let test_regression_pins () =
@@ -155,6 +280,14 @@ let () =
       ( "cross-checks",
         [ qt prop_all_solvers_agree_on_validity; qt prop_exact_methods_agree ]
       );
+      ( "sim-validation",
+        [
+          Alcotest.test_case "config validation" `Quick
+            test_sim_config_validation;
+          qt prop_sim_fuzzed_knobs_controlled;
+          qt prop_faults_retry_of_string_total;
+          qt prop_repeat_strategy_one_cycle_is_strategy;
+        ] );
       ( "regression-pins",
         [
           Alcotest.test_case "instance pins" `Quick test_regression_pins;
