@@ -1155,6 +1155,104 @@ let e22 () =
        inert repeatable costlier retried)
 
 (* ------------------------------------------------------------------ *)
+(* E23: deadline-budgeted runner and the resumable sweep journal        *)
+(* ------------------------------------------------------------------ *)
+
+let e23 () =
+  header ~id:"e23" ~title:"deadline runner: fallback chain and resumable journal"
+    ~claim:
+      "exact solving is exponential (Theorem 3.8), so a budgeted runtime \
+       must fall back to the e/(e-1) heuristic of Theorem 4.8 within its \
+       deadline; a checkpointed sweep resumes without recomputing";
+  let module Runner = Confcall.Runner in
+  let module Journal = Confcall.Journal in
+  let module Cancel = Confcall.Cancel in
+  let module Solver = Confcall.Solver in
+  (* Part 1: c = 60 is far beyond any exact method. Under a 50 ms budget
+     the exact stage must time out and a heuristic must win in time. *)
+  let rng = Prob.Rng.create ~seed:23 in
+  let inst = Instance.random_uniform_simplex rng ~m:3 ~c:60 ~d:4 in
+  let t0 = Cancel.now () in
+  let report = Runner.run ~budget_ms:50.0 inst in
+  let wall_ms = (Cancel.now () -. t0) *. 1000.0 in
+  List.iter
+    (fun (s : Runner.stage_report) ->
+      Printf.printf "  %-14s %8.2f ms  %s\n"
+        (Solver.spec_to_string s.Runner.spec)
+        s.Runner.elapsed_ms
+        (Runner.stage_status_to_string s.Runner.status))
+    report.Runner.stages;
+  let exact_timed_out =
+    List.exists
+      (fun (s : Runner.stage_report) ->
+        s.Runner.spec = Solver.Best_exact
+        && s.Runner.status = Runner.Failed Runner.Timeout)
+      report.Runner.stages
+  in
+  let within_grace = wall_ms <= 50.0 +. 150.0 in
+  let heuristic_won =
+    match report.Runner.winner with
+    | Some ((Solver.Greedy | Solver.Local_search), _) -> true
+    | _ -> false
+  in
+  Printf.printf "wall: %.2f ms (budget 50 + grace)\n" wall_ms;
+  (* Part 2: the same six-item sweep run three times over one journal:
+     fresh (all ran), resumed (all skipped), and fresh-file control — the
+     resumed journal must be byte-identical to the control. *)
+  let sweep path seeds =
+    let journal = Journal.load_or_create path in
+    let ran = ref 0 and skipped = ref 0 in
+    List.iter
+      (fun seed ->
+        let id = Printf.sprintf "e23/c16/seed%d" seed in
+        let status, _ =
+          Journal.run journal ~id (fun () ->
+              let rng = Prob.Rng.create ~seed in
+              let inst = Instance.random_uniform_simplex rng ~m:2 ~c:16 ~d:3 in
+              let r = Runner.run inst in
+              match r.Runner.winner with
+              | Some (spec, o) ->
+                Printf.sprintf "%s %.9f" (Solver.spec_to_string spec)
+                  o.Solver.expected_paging
+              | None -> "failed")
+        in
+        match status with `Ran -> incr ran | `Replayed -> incr skipped)
+      seeds;
+    Journal.close journal;
+    (!ran, !skipped)
+  in
+  let read_file path = In_channel.with_open_bin path In_channel.input_all in
+  let path = Filename.temp_file "confcall_e23" ".journal" in
+  let control = Filename.temp_file "confcall_e23_control" ".journal" in
+  (* interrupted run: only the first three items complete *)
+  let r1 = sweep path [ 1; 2; 3 ] in
+  (* resumed run over all six: three skips, three fresh *)
+  let r2 = sweep path [ 1; 2; 3; 4; 5; 6 ] in
+  (* third run: everything already journalled *)
+  let r3 = sweep path [ 1; 2; 3; 4; 5; 6 ] in
+  let rc = sweep control [ 1; 2; 3; 4; 5; 6 ] in
+  let identical = read_file path = read_file control in
+  Sys.remove path;
+  Sys.remove control;
+  Printf.printf
+    "sweep: interrupted %d/%d, resumed %d/%d, replay %d/%d, control %d/%d, \
+     byte-identical: %b\n"
+    (fst r1) (snd r1) (fst r2) (snd r2) (fst r3) (snd r3) (fst rc) (snd rc)
+    identical;
+  record ~id:"e23"
+    ~pass:
+      (exact_timed_out && within_grace && heuristic_won
+      && r1 = (3, 0)
+      && r2 = (3, 3)
+      && r3 = (0, 6)
+      && rc = (6, 0)
+      && identical)
+    (Printf.sprintf
+       "exact timed out: %b; finished in budget+grace: %b; heuristic won: \
+        %b; resume skipped completed work and journal is byte-identical: %b"
+       exact_timed_out within_grace heuristic_won identical)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1180,6 +1278,7 @@ let experiments =
     "e20", e20;
     "e21", e21;
     "e22", e22;
+    "e23", e23;
   ]
 
 let () =

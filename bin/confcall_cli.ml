@@ -3,6 +3,7 @@
    Subcommands:
      generate   write a random instance to stdout
      solve      solve an instance file with a chosen solver
+     sweep      journaled multi-instance runner sweep (resumable)
      compare    run several solvers on one instance
      evaluate   expected paging of an explicit strategy
      simulate   run the end-to-end cellular simulation
@@ -10,6 +11,15 @@
 
 open Cmdliner
 open Confcall
+
+(* Every command body runs under [guard]: user-level failures (bad
+   instance file, inapplicable solver, missing file) go to stderr as one
+   message and exit 2 — never a backtrace, never exit 0. *)
+let guard f =
+  try f () with
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
+    Printf.eprintf "confcall: error: %s\n" msg;
+    exit 2
 
 let read_instance path =
   let content =
@@ -119,17 +129,19 @@ let dist_conv =
   in
   Arg.conv (parse, Format.pp_print_string)
 
+let make_instance ~dist ~skew rng ~m ~c ~d =
+  match dist with
+  | "uniform" -> Instance.all_uniform ~m ~c ~d
+  | "zipf" -> Instance.random_zipf rng ~s:skew ~m ~c ~d
+  | "geometric" ->
+    Instance.random rng ~m ~c ~d ~gen:(fun rng c ->
+        Prob.Dist.shuffled rng (Prob.Dist.geometric ~ratio:(1.0 /. skew) c))
+  | _ -> Instance.random_uniform_simplex rng ~m ~c ~d
+
 let generate m c d dist seed skew =
+  guard @@ fun () ->
   let rng = Prob.Rng.create ~seed in
-  let inst =
-    match dist with
-    | "uniform" -> Instance.all_uniform ~m ~c ~d
-    | "zipf" -> Instance.random_zipf rng ~s:skew ~m ~c ~d
-    | "geometric" ->
-      Instance.random rng ~m ~c ~d ~gen:(fun rng c ->
-          Prob.Dist.shuffled rng (Prob.Dist.geometric ~ratio:(1.0 /. skew) c))
-    | _ -> Instance.random_uniform_simplex rng ~m ~c ~d
-  in
+  let inst = make_instance ~dist ~skew rng ~m ~c ~d in
   print_string (Instance.to_string inst)
 
 let generate_cmd =
@@ -174,34 +186,124 @@ let solver_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Solver.spec_of_string s) in
   Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Solver.spec_to_string s))
 
-let solve path spec objective verbose json =
-  let inst = read_instance path in
-  let outcome = Solver.solve ~objective spec inst in
-  if json then
-    print_endline
-      (Json.obj
-         [
-           "solver", Json.str (Solver.spec_to_string spec);
-           "strategy", Json.strategy outcome.Solver.strategy;
-           "expected_paging", Json.num outcome.Solver.expected_paging;
-           "exact", (if outcome.Solver.exact then "true" else "false");
-           "expected_rounds",
-           Json.num
-             (Strategy.expected_rounds ~objective inst outcome.Solver.strategy);
-           "lower_bound", Json.num (Bounds.lower_bound ~objective inst);
-           "page_all_cost", string_of_int inst.Instance.c;
-         ])
+let runner_report_json (r : Runner.run_report) =
+  let stage (s : Runner.stage_report) =
+    Json.obj
+      ([
+         "spec", Json.str (Solver.spec_to_string s.Runner.spec);
+         "status", Json.str (Runner.stage_status_to_string s.Runner.status);
+         "elapsed_ms", Json.num s.Runner.elapsed_ms;
+       ]
+       @
+       match s.Runner.expected_paging with
+       | Some ep -> [ ("expected_paging", Json.num ep) ]
+       | None -> [])
+  in
+  let winner_fields =
+    match r.Runner.winner with
+    | Some (spec, o) ->
+      [
+        "winner", Json.str (Solver.spec_to_string spec);
+        "strategy", Json.strategy o.Solver.strategy;
+        "expected_paging", Json.num o.Solver.expected_paging;
+        "exact", (if o.Solver.exact then "true" else "false");
+      ]
+    | None -> []
+  in
+  let quality_fields =
+    match r.Runner.quality with
+    | Some q ->
+      [
+        ( "quality",
+          Json.obj
+            [
+              "lower_bound", Json.num q.Runner.lower_bound;
+              "ratio_to_lower_bound", Json.num q.Runner.ratio_to_lower_bound;
+              "guarantee", Json.num q.Runner.guarantee;
+              ( "within_guarantee",
+                if q.Runner.within_guarantee then "true" else "false" );
+            ] );
+      ]
+    | None -> []
+  in
+  let failure_fields =
+    match r.Runner.failure with
+    | Some e -> [ ("failure", Json.str (Runner.error_to_string e)) ]
+    | None -> []
+  in
+  Json.obj
+    ([
+       "chain", Json.str (Runner.chain_to_string r.Runner.chain);
+       "objective", Json.str (Objective.to_string r.Runner.objective);
+       ( "budget_ms",
+         match r.Runner.budget_ms with Some b -> Json.num b | None -> "null" );
+       "stages", Json.arr (List.map stage r.Runner.stages);
+       "total_ms", Json.num r.Runner.total_ms;
+     ]
+     @ winner_fields @ quality_fields @ failure_fields)
+
+let solve_budgeted inst objective json budget_ms chain =
+  let report = Runner.run ~objective ?budget_ms ~chain inst in
+  if json then print_endline (runner_report_json report)
   else begin
-    Printf.printf "strategy: %s\n" (Strategy.to_string outcome.Solver.strategy);
-    Printf.printf "expected paging: %.6f%s\n" outcome.Solver.expected_paging
-      (if outcome.Solver.exact then " (optimal)" else "");
-    if verbose then begin
-      Printf.printf "expected rounds: %.6f\n"
-        (Strategy.expected_rounds ~objective inst outcome.Solver.strategy);
-      Printf.printf "lower bound: %.6f\n" (Bounds.lower_bound ~objective inst);
-      Printf.printf "page-all cost: %d\n" inst.Instance.c
+    Format.printf "@[<v>%a@]@." Runner.pp_report report;
+    match report.Runner.winner with
+    | Some (_, o) ->
+      Printf.printf "strategy: %s\n" (Strategy.to_string o.Solver.strategy)
+    | None -> ()
+  end;
+  match report.Runner.winner with
+  | Some _ -> ()
+  | None ->
+    Printf.eprintf "confcall: error: %s\n"
+      (match report.Runner.failure with
+       | Some e -> Runner.error_to_string e
+       | None -> "no result");
+    exit 2
+
+let solve path spec objective verbose json budget_ms chain =
+  guard @@ fun () ->
+  let inst = read_instance path in
+  match (budget_ms, chain) with
+  | (Some _, _ | None, Some _) ->
+    (* Runner path: a budget or an explicit chain was requested. With a
+       budget but no chain, an explicit --solver becomes a one-stage
+       chain (plus the Page_all baseline); otherwise the default chain. *)
+    let chain =
+      match (chain, spec) with
+      | Some chain, _ -> chain
+      | None, Some spec -> [ spec ]
+      | None, None -> Runner.default_chain
+    in
+    solve_budgeted inst objective json budget_ms chain
+  | None, None ->
+    let spec = Option.value spec ~default:Solver.Greedy in
+    let outcome = Solver.solve ~objective spec inst in
+    if json then
+      print_endline
+        (Json.obj
+           [
+             "solver", Json.str (Solver.spec_to_string spec);
+             "strategy", Json.strategy outcome.Solver.strategy;
+             "expected_paging", Json.num outcome.Solver.expected_paging;
+             "exact", (if outcome.Solver.exact then "true" else "false");
+             "expected_rounds",
+             Json.num
+               (Strategy.expected_rounds ~objective inst outcome.Solver.strategy);
+             "lower_bound", Json.num (Bounds.lower_bound ~objective inst);
+             "page_all_cost", string_of_int inst.Instance.c;
+           ])
+    else begin
+      Printf.printf "strategy: %s\n" (Strategy.to_string outcome.Solver.strategy);
+      Printf.printf "expected paging: %.6f%s\n" outcome.Solver.expected_paging
+        (if outcome.Solver.exact then " (optimal)" else "");
+      if verbose then begin
+        Printf.printf "expected rounds: %.6f\n"
+          (Strategy.expected_rounds ~objective inst outcome.Solver.strategy);
+        Printf.printf "lower bound: %.6f\n" (Bounds.lower_bound ~objective inst);
+        Printf.printf "page-all cost: %d\n" inst.Instance.c
+      end
     end
-  end
 
 let file_arg =
   Arg.(
@@ -209,13 +311,35 @@ let file_arg =
     & pos 0 string "-"
     & info [] ~docv:"FILE" ~doc:"Instance file (\"-\" for stdin).")
 
+let chain_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Runner.chain_of_string s) in
+  Arg.conv
+    (parse, fun ppf c -> Format.pp_print_string ppf (Runner.chain_to_string c))
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-ms" ]
+        ~doc:"Wall-clock budget in milliseconds; enables the deadline \
+              runner with fallback chains.")
+
+let chain_arg =
+  Arg.(
+    value
+    & opt (some chain_conv) None
+    & info [ "chain" ]
+        ~doc:"Fallback chain: default|fast|heuristic|exact or a \
+              comma-separated solver list, e.g. bnb,local-search,greedy.")
+
 let solve_cmd =
   let spec =
     Arg.(
       value
-      & opt solver_conv Solver.Greedy
+      & opt (some solver_conv) None
       & info [ "solver" ]
-          ~doc:"greedy|page-all|exhaustive|bnb|exact|bandwidth-<b>.")
+          ~doc:"greedy|page-all|exhaustive|bnb|exact|local-search|class|\
+                bandwidth-<b> (default greedy).")
   in
   let objective =
     Arg.(
@@ -229,11 +353,114 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve an instance")
-    Term.(const solve $ file_arg $ spec $ objective $ verbose $ json)
+    Term.(
+      const solve $ file_arg $ spec $ objective $ verbose $ json $ budget_arg
+      $ chain_arg)
+
+(* ---------------- sweep ---------------- *)
+
+(* A journaled, resumable runner sweep over generated instances. Each
+   work item's id and payload are deterministic functions of the flags
+   (timings never enter the journal), so a killed sweep restarted with
+   --resume appends exactly the lines the uninterrupted run would have
+   written: the journal is byte-identical. *)
+let sweep m c d dist skew seeds objective budget_ms chain journal_path resume =
+  guard @@ fun () ->
+  let chain = Option.value chain ~default:Runner.default_chain in
+  if Sys.file_exists journal_path && not resume then
+    invalid_arg
+      (Printf.sprintf
+         "journal %s already exists; pass --resume to continue it" journal_path);
+  let journal = Journal.load_or_create journal_path in
+  Fun.protect
+    ~finally:(fun () -> Journal.close journal)
+    (fun () ->
+      List.iter
+        (fun seed ->
+          let id =
+            Printf.sprintf "%s/m%d/c%d/d%d/%s/seed%d"
+              (Objective.to_string objective)
+              m c d dist seed
+          in
+          let status, payload =
+            Journal.run journal ~id (fun () ->
+                let rng = Prob.Rng.create ~seed in
+                let inst = make_instance ~dist ~skew rng ~m ~c ~d in
+                let report = Runner.run ~objective ?budget_ms ~chain inst in
+                match report.Runner.winner with
+                | Some (spec, o) ->
+                  Printf.sprintf "winner=%s ep=%.9f exact=%b"
+                    (Solver.spec_to_string spec)
+                    o.Solver.expected_paging o.Solver.exact
+                | None ->
+                  Printf.sprintf "failed=%s"
+                    (match report.Runner.failure with
+                     | Some e -> Runner.error_to_string e
+                     | None -> "unknown"))
+          in
+          Printf.printf "%-4s %s\t%s\n"
+            (match status with `Ran -> "ran" | `Replayed -> "skip")
+            id payload)
+        seeds;
+      Printf.printf "journal %s: %d items\n" journal_path (Journal.count journal))
+
+let sweep_cmd =
+  let m =
+    Arg.(value & opt int 3 & info [ "m"; "devices" ] ~doc:"Number of devices.")
+  in
+  let c =
+    Arg.(value & opt int 20 & info [ "c"; "cells" ] ~doc:"Number of cells.")
+  in
+  let d =
+    Arg.(value & opt int 3 & info [ "d"; "delay" ] ~doc:"Delay budget (rounds).")
+  in
+  let dist =
+    Arg.(
+      value
+      & opt dist_conv "simplex"
+      & info [ "dist" ] ~doc:"Row distribution: uniform|zipf|simplex|geometric.")
+  in
+  let skew =
+    Arg.(
+      value & opt float 1.1
+      & info [ "skew" ] ~doc:"Zipf exponent / geometric slope.")
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3; 4; 5 ]
+      & info [ "seeds" ] ~doc:"PRNG seeds, one work item each.")
+  in
+  let objective =
+    Arg.(
+      value
+      & opt objective_conv Objective.Find_all
+      & info [ "objective" ] ~doc:"all|any|k.")
+  in
+  let journal =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:"Append-only journal file recording completed items.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Continue an existing journal, skipping completed items.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Journaled runner sweep over generated instances (resumable)")
+    Term.(
+      const sweep $ m $ c $ d $ dist $ skew $ seeds $ objective $ budget_arg
+      $ chain_arg $ journal $ resume)
 
 (* ---------------- compare ---------------- *)
 
 let compare_solvers path =
+  guard @@ fun () ->
   let inst = read_instance path in
   Printf.printf "m=%d c=%d d=%d\n" inst.Instance.m inst.Instance.c
     inst.Instance.d;
@@ -273,6 +500,7 @@ let parse_strategy s =
   Strategy.create groups
 
 let evaluate path strategy_s objective =
+  guard @@ fun () ->
   let inst = read_instance path in
   let strategy = parse_strategy strategy_s in
   Printf.printf "expected paging: %.6f\n"
@@ -414,6 +642,7 @@ let simulate_custom rows cols users rate duration seed block d_list reporting
 let simulate rows cols users rate duration seed block d_list reporting diffuse
     call_duration scenario page_loss detect_q outage_rate outage_repair
     report_loss report_delay retry json =
+  guard @@ fun () ->
   let faults =
     build_faults page_loss detect_q outage_rate outage_repair report_loss
       report_delay retry
@@ -538,6 +767,7 @@ let simulate_cmd =
 (* ---------------- analyze ---------------- *)
 
 let analyze path max_d =
+  guard @@ fun () ->
   let inst = read_instance path in
   let r = Greedy.solve inst in
   let dist = Analysis.cost_distribution inst r.Order_dp.strategy in
@@ -570,6 +800,7 @@ let analyze_cmd =
 (* ---------------- hardness ---------------- *)
 
 let hardness sizes =
+  guard @@ fun () ->
   let sizes = Array.of_list sizes in
   Printf.printf "Partition instance: [%s]\n"
     (String.concat "; " (Array.to_list (Array.map string_of_int sizes)));
@@ -619,6 +850,7 @@ let () =
           [
             generate_cmd;
             solve_cmd;
+            sweep_cmd;
             compare_cmd;
             evaluate_cmd;
             analyze_cmd;

@@ -7,7 +7,8 @@ let popcount mask =
   let rec go mask acc = if mask = 0 then acc else go (mask lsr 1) (acc + (mask land 1)) in
   go mask 0
 
-let solve ?(objective = Objective.Find_all) ?order inst =
+let solve ?(objective = Objective.Find_all) ?(cancel = Cancel.never) ?order
+    inst =
   let c = inst.Instance.c and m = inst.Instance.m and d = inst.Instance.d in
   (* Work estimate: states (c·2^m·d) times transitions (c·2^m). *)
   let work =
@@ -51,6 +52,9 @@ let solve ?(objective = Objective.Find_all) ?order inst =
         match Hashtbl.find_opt memo (pos, mask, l) with
         | Some v -> v
         | None ->
+          (* Poll only on memo misses: hits are cheap, and the policy
+             closure replays memoized states after the deadline. *)
+          Cancel.check cancel;
           let missing = devices_of_mask mask in
           let best = ref infinity and best_x = ref (c - pos) in
           for x = 1 to c - pos do
@@ -121,9 +125,11 @@ let solve ?(objective = Objective.Find_all) ?order inst =
     { expected_paging; policy }
   end
 
-let value ?objective ?order inst = (solve ?objective ?order inst).expected_paging
+let value ?objective ?cancel ?order inst =
+  (solve ?objective ?cancel ?order inst).expected_paging
 
-let unrestricted ?(objective = Objective.Find_all) inst =
+let unrestricted ?(objective = Objective.Find_all) ?(cancel = Cancel.never)
+    inst =
   let c = inst.Instance.c and m = inst.Instance.m and d = inst.Instance.d in
   (* 3^c (set, subset) pairs x 2^m masks x d rounds x 2^m outcomes. *)
   let work =
@@ -159,6 +165,7 @@ let unrestricted ?(objective = Objective.Find_all) inst =
         match Hashtbl.find_opt memo (remaining, missing, l) with
         | Some v -> v
         | None ->
+          Cancel.check cancel;
           let missing_list =
             let rec go i acc =
               if i >= m then List.rev acc

@@ -16,14 +16,27 @@ type result = {
   policy : Adaptive.policy;  (** realizes the optimum; feed to {!Adaptive} *)
 }
 
-(** [solve ?objective ?order inst] — optimal adaptive-within-order
-    expected paging. [order] defaults to the weight order.
+(** [solve ?objective ?cancel ?order inst] — optimal adaptive-within-order
+    expected paging. [order] defaults to the weight order. [cancel] is
+    polled on every memoization miss (the exponential part of the work).
     @raise Invalid_argument when the estimated DP work [c²·4^m·d]
-    exceeds 5·10⁸, or [order] is not a permutation. *)
-val solve : ?objective:Objective.t -> ?order:int array -> Instance.t -> result
+    exceeds 5·10⁸, or [order] is not a permutation.
+    @raise Cancel.Cancelled when the token fires mid-DP. *)
+val solve :
+  ?objective:Objective.t ->
+  ?cancel:Cancel.t ->
+  ?order:int array ->
+  Instance.t ->
+  result
 
-(** [value ?objective ?order inst] — just the optimal expectation. *)
-val value : ?objective:Objective.t -> ?order:int array -> Instance.t -> float
+(** [value ?objective ?cancel ?order inst] — just the optimal
+    expectation. *)
+val value :
+  ?objective:Objective.t ->
+  ?cancel:Cancel.t ->
+  ?order:int array ->
+  Instance.t ->
+  float
 
 (** [unrestricted ?objective inst] — the true optimal adaptive strategy,
     with {e no} order restriction: each round may page {e any} subset of
@@ -33,5 +46,7 @@ val value : ?objective:Objective.t -> ?order:int array -> Instance.t -> float
     only (the guard allows roughly c ≤ 12 for m = 2). This is the
     strongest solver in the repository and the reference point for
     quantifying both the order restriction and obliviousness.
-    @raise Invalid_argument when the state space is too large. *)
-val unrestricted : ?objective:Objective.t -> Instance.t -> float
+    @raise Invalid_argument when the state space is too large.
+    @raise Cancel.Cancelled when the token fires mid-DP. *)
+val unrestricted :
+  ?objective:Objective.t -> ?cancel:Cancel.t -> Instance.t -> float

@@ -1,0 +1,40 @@
+exception Cancelled
+
+type t = {
+  probe : unit -> bool;
+  every : int;
+  mutable countdown : int;
+  mutable fired : bool;
+}
+
+let last_now = ref 0.0
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last_now then last_now := t;
+  !last_now
+
+let never = { probe = (fun () -> false); every = max_int; countdown = max_int; fired = false }
+
+let of_probe ?(every = 256) probe =
+  if every < 1 then invalid_arg "Cancel.of_probe: every must be >= 1"
+  else { probe; every; countdown = every; fired = false }
+
+let deadline ?every ?(clock = now) t = of_probe ?every (fun () -> clock () >= t)
+
+let budget_ms ?every ?(clock = now) ms =
+  deadline ?every ~clock (clock () +. (ms /. 1000.0))
+
+let poll t =
+  if t.fired then true
+  else begin
+    t.countdown <- t.countdown - 1;
+    if t.countdown <= 0 then begin
+      t.countdown <- t.every;
+      if t.probe () then t.fired <- true
+    end;
+    t.fired
+  end
+
+let check t = if poll t then raise Cancelled
+let cancelled t = t.fired

@@ -6,7 +6,8 @@ type result = {
   expected_paging : Q.t;
 }
 
-let solve ?(objective = Objective.Find_all) inst ~order =
+let solve ?(objective = Objective.Find_all) ?(cancel = Cancel.never) inst
+    ~order =
   let c = inst.Instance.Exact.c in
   let d = Stdlib.min inst.Instance.Exact.d c in
   let m = inst.Instance.Exact.m in
@@ -40,6 +41,7 @@ let solve ?(objective = Objective.Find_all) inst ~order =
   done;
   for l = 2 to d do
     for k = l to c do
+      Cancel.check cancel;
       let tail_start = c - k in
       let denom = Q.sub Q.one f.(tail_start) in
       for v = 1 to k - l + 1 do
@@ -72,5 +74,5 @@ let solve ?(objective = Objective.Find_all) inst ~order =
     let strategy = Strategy.of_sizes ~order ~sizes in
     { strategy; sizes; expected_paging }
 
-let greedy ?objective inst =
-  solve ?objective inst ~order:(Instance.Exact.weight_order inst)
+let greedy ?objective ?cancel inst =
+  solve ?objective ?cancel inst ~order:(Instance.Exact.weight_order inst)

@@ -11,13 +11,21 @@ type result = {
   expected_paging : Numeric.Rational.t;
 }
 
-(** [solve ?objective inst ~order] — optimal cut of [order] into at most
-    [inst.d] groups, exactly. Objectives as in {!Order_dp}.
-    @raise Invalid_argument when [order] is not a permutation. *)
+(** [solve ?objective ?cancel inst ~order] — optimal cut of [order] into
+    at most [inst.d] groups, exactly. Objectives as in {!Order_dp}.
+    Rational arithmetic on adversarial inputs can blow up in digit count,
+    so the (l, k) loop polls [cancel].
+    @raise Invalid_argument when [order] is not a permutation.
+    @raise Cancel.Cancelled when the token fires mid-DP. *)
 val solve :
-  ?objective:Objective.t -> Instance.Exact.t -> order:int array -> result
+  ?objective:Objective.t ->
+  ?cancel:Cancel.t ->
+  Instance.Exact.t ->
+  order:int array ->
+  result
 
-(** [greedy ?objective inst] — the §4 heuristic end-to-end in exact
-    arithmetic: weight order (exact comparisons, ties by index) + exact
-    DP. *)
-val greedy : ?objective:Objective.t -> Instance.Exact.t -> result
+(** [greedy ?objective ?cancel inst] — the §4 heuristic end-to-end in
+    exact arithmetic: weight order (exact comparisons, ties by index) +
+    exact DP. *)
+val greedy :
+  ?objective:Objective.t -> ?cancel:Cancel.t -> Instance.Exact.t -> result

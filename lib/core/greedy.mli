@@ -7,10 +7,11 @@
     O(c(m + dc)) time and O(m + dc) space. The ratio cannot be better
     than 320/317 (§4.3). For m = 2 = d the bound improves to 4/3 (§4.1). *)
 
-(** [solve ?objective inst] runs the heuristic. Note the approximation
-    guarantee of Theorem 4.8 is proved for [Find_all]; other objectives
-    reuse the same machinery heuristically (§5). *)
-val solve : ?objective:Objective.t -> Instance.t -> Order_dp.result
+(** [solve ?objective ?cancel inst] runs the heuristic. Note the
+    approximation guarantee of Theorem 4.8 is proved for [Find_all];
+    other objectives reuse the same machinery heuristically (§5). *)
+val solve :
+  ?objective:Objective.t -> ?cancel:Cancel.t -> Instance.t -> Order_dp.result
 
 (** [order inst] is the heuristic's cell sequence (exposed for tests and
     for the adaptive solver). *)

@@ -2,6 +2,22 @@ type t = { m : int; c : int; d : int; p : float array array }
 
 let row_sum row = Array.fold_left ( +. ) 0.0 row
 
+(* First offending entry of a row, with its kind — so the error can name
+   device and cell instead of a generic "bad probability". *)
+let bad_entry row =
+  let n = Array.length row in
+  let rec go j =
+    if j >= n then None
+    else
+      let x = row.(j) in
+      if Float.is_nan x then Some (j, "NaN")
+      else if x = Float.infinity then Some (j, "+infinity")
+      else if x = Float.neg_infinity then Some (j, "-infinity")
+      else if x < 0.0 then Some (j, Printf.sprintf "negative value %g" x)
+      else go (j + 1)
+  in
+  go 0
+
 let validate ~d p =
   let m = Array.length p in
   if m = 0 then Error "no devices"
@@ -12,13 +28,30 @@ let validate ~d p =
     else begin
       let rec check i =
         if i >= m then Ok ()
-        else if Array.length p.(i) <> c then Error "ragged probability matrix"
-        else if Array.exists (fun x -> x < 0.0 || not (Float.is_finite x)) p.(i)
-        then Error "probabilities must be non-negative and finite"
-        else if row_sum p.(i) <= 0.0 then Error "device row has no mass"
-        else if abs_float (row_sum p.(i) -. 1.0) > 1e-6 then
-          Error "device row does not sum to 1"
-        else check (i + 1)
+        else if Array.length p.(i) <> c then
+          Error
+            (Printf.sprintf "device %d: row has %d cells, expected %d" i
+               (Array.length p.(i)) c)
+        else
+          match bad_entry p.(i) with
+          | Some (j, kind) ->
+            Error
+              (Printf.sprintf "device %d, cell %d: probability is %s" i j kind)
+          | None ->
+            let s = row_sum p.(i) in
+            (* A row of finite entries can still overflow: the sum must be
+               checked for finiteness on its own (NaN also fails the
+               tolerance test silently — NaN comparisons are all false). *)
+            if not (Float.is_finite s) then
+              Error
+                (Printf.sprintf "device %d: row sum is not finite (%s)" i
+                   (if Float.is_nan s then "NaN" else "infinite"))
+            else if s <= 0.0 then
+              Error (Printf.sprintf "device %d: row has no mass" i)
+            else if abs_float (s -. 1.0) > 1e-6 then
+              Error
+                (Printf.sprintf "device %d: row sums to %.9g, not 1" i s)
+            else check (i + 1)
       in
       check 0
     end

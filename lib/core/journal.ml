@@ -1,0 +1,99 @@
+type t = {
+  path : string;
+  oc : out_channel;
+  tbl : (string, string) Hashtbl.t;
+  mutable order : string list;  (* reverse file order *)
+}
+
+let split_line line =
+  match String.index_opt line '\t' with
+  | Some i ->
+    ( String.sub line 0 i,
+      String.sub line (i + 1) (String.length line - i - 1) )
+  | None -> (line, "")
+
+(* Read back completed entries; return them plus the byte offset of the
+   first partial (un-terminated) trailing line, if any. *)
+let read_existing path =
+  if not (Sys.file_exists path) then ([], 0, 0)
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let buf = really_input_string ic len in
+    close_in ic;
+    let entries = ref [] in
+    let pos = ref 0 in
+    let good = ref 0 in
+    while !pos < len do
+      match String.index_from_opt buf !pos '\n' with
+      | Some nl ->
+        let line = String.sub buf !pos (nl - !pos) in
+        if line <> "" then entries := split_line line :: !entries;
+        pos := nl + 1;
+        good := !pos
+      | None ->
+        (* trailing bytes without a newline: a write the previous run
+           did not finish — drop them, the item will be re-done *)
+        pos := len
+    done;
+    (List.rev !entries, !good, len)
+  end
+
+let load_or_create path =
+  let entries, good, len = read_existing path in
+  (* Physically truncate the partial trailing line before appending
+     anything new — seeking alone would leave the garbage tail in place
+     whenever the replacement record is shorter. *)
+  if good < len then Unix.truncate path good;
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
+      path
+  in
+  let tbl = Hashtbl.create 64 in
+  let order =
+    List.fold_left
+      (fun acc (id, payload) ->
+         Hashtbl.replace tbl id payload;
+         id :: acc)
+      [] entries
+  in
+  { path; oc; tbl; order }
+
+let path t = t.path
+let completed t id = Hashtbl.mem t.tbl id
+let count t = Hashtbl.length t.tbl
+
+let entries t =
+  List.rev_map (fun id -> (id, Hashtbl.find t.tbl id)) t.order
+
+let check_field ~what s ~allow_tab =
+  String.iter
+    (fun ch ->
+       if ch = '\n' || ch = '\r' || ((not allow_tab) && ch = '\t') then
+         invalid_arg
+           (Printf.sprintf "Journal: %s contains a forbidden character" what))
+    s
+
+let record t ~id ~payload =
+  if id = "" then invalid_arg "Journal: empty id";
+  check_field ~what:"id" id ~allow_tab:false;
+  check_field ~what:"payload" payload ~allow_tab:true;
+  if completed t id then
+    invalid_arg (Printf.sprintf "Journal: duplicate id %S" id);
+  output_string t.oc id;
+  output_char t.oc '\t';
+  output_string t.oc payload;
+  output_char t.oc '\n';
+  flush t.oc;
+  Hashtbl.replace t.tbl id payload;
+  t.order <- id :: t.order
+
+let run t ~id f =
+  match Hashtbl.find_opt t.tbl id with
+  | Some payload -> (`Replayed, payload)
+  | None ->
+    let payload = f () in
+    record t ~id ~payload;
+    (`Ran, payload)
+
+let close t = close_out t.oc

@@ -1,0 +1,48 @@
+(** Crash-safe append-only work journal for long sweeps.
+
+    A sweep (bench run, CLI parameter scan) records one line per
+    completed work item: [id TAB payload NEWLINE]. Restarting with the
+    same journal skips every id already present, so killing a sweep
+    mid-run and re-running it produces a byte-identical journal — the
+    replayed items append exactly the lines the killed run would have
+    written.
+
+    Crash safety is by construction: lines are flushed after each
+    append, and a partial trailing line (the process died mid-write) is
+    truncated away on load, so that item is simply re-done. Ids and
+    payloads must not contain tabs or newlines; ids must be unique per
+    item and deterministic across runs (e.g. ["e23/c60/seed7"]). *)
+
+type t
+
+(** [load_or_create path] opens the journal, recovering completed
+    entries and truncating any partial trailing line. Creates the file
+    (and nothing else — parent directories must exist) when absent.
+    @raise Invalid_argument if an id recorded in the file is malformed
+    (contains no tab separator on a non-trailing line is fine — the
+    whole line is then the id with an empty payload). *)
+val load_or_create : string -> t
+
+val path : t -> string
+
+(** [completed t id] — was this item finished by a previous (or this)
+    run? *)
+val completed : t -> string -> bool
+
+(** [record t ~id ~payload] appends one completed item and flushes.
+    @raise Invalid_argument on tabs/newlines in [id] or newlines in
+    [payload], or when [id] was already recorded. *)
+val record : t -> id:string -> payload:string -> unit
+
+(** Entries in file order, oldest first. *)
+val entries : t -> (string * string) list
+
+val count : t -> int
+
+(** [run t ~id f] — skip-or-do in one step: if [id] is already
+    journalled return its recorded payload, otherwise run [f ()],
+    record the returned payload, and pass it on. [`Replayed] vs [`Ran]
+    tells the caller whether work actually happened. *)
+val run : t -> id:string -> (unit -> string) -> [ `Replayed | `Ran ] * string
+
+val close : t -> unit

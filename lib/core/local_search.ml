@@ -88,69 +88,79 @@ let try_swap state cell_a cell_b =
   relocate state cell_a ra;
   v
 
-let hill_climb_state state =
+exception Out_of_budget
+
+let hill_climb_state ?(cancel = Cancel.never) state =
   let c = state.inst.Instance.c in
   let iterations = ref 0 in
   let current = ref (ep state) in
   let improved = ref true in
-  while !improved do
-    improved := false;
-    (* Best improving relocate. *)
-    let best_gain = ref 1e-12 in
-    let best_move = ref None in
-    for cell = 0 to c - 1 do
-      let src = state.round_of.(cell) in
-      if state.counts.(src) > 1 then
-        for target = 0 to state.rounds - 1 do
-          if target <> src then begin
-            incr iterations;
-            let v = try_relocate state cell target in
-            if !current -. v > !best_gain then begin
-              best_gain := !current -. v;
-              best_move := Some (`Relocate (cell, target))
-            end
-          end
-        done
-    done;
-    (* Best improving swap. *)
-    for a = 0 to c - 1 do
-      for b = a + 1 to c - 1 do
-        if state.round_of.(a) <> state.round_of.(b) then begin
-          incr iterations;
-          let v = try_swap state a b in
-          if !current -. v > !best_gain then begin
-            best_gain := !current -. v;
-            best_move := Some (`Swap (a, b))
-          end
-        end
-      done
-    done;
-    match !best_move with
-    | Some (`Relocate (cell, target)) ->
-      relocate state cell target;
-      current := ep state;
-      improved := true
-    | Some (`Swap (a, b)) ->
-      let ra = state.round_of.(a) and rb = state.round_of.(b) in
-      relocate state a rb;
-      relocate state b ra;
-      current := ep state;
-      improved := true
-    | None -> ()
-  done;
+  (* On cancellation the scan stops where it stands: the working state is
+     a valid strategy at every point, so best-so-far is always returnable
+     (the anytime contract the Runner relies on). *)
+  (try
+     while !improved do
+       improved := false;
+       (* Best improving relocate. *)
+       let best_gain = ref 1e-12 in
+       let best_move = ref None in
+       for cell = 0 to c - 1 do
+         let src = state.round_of.(cell) in
+         if state.counts.(src) > 1 then
+           for target = 0 to state.rounds - 1 do
+             if target <> src then begin
+               if Cancel.poll cancel then raise Out_of_budget;
+               incr iterations;
+               let v = try_relocate state cell target in
+               if !current -. v > !best_gain then begin
+                 best_gain := !current -. v;
+                 best_move := Some (`Relocate (cell, target))
+               end
+             end
+           done
+       done;
+       (* Best improving swap. *)
+       for a = 0 to c - 1 do
+         for b = a + 1 to c - 1 do
+           if state.round_of.(a) <> state.round_of.(b) then begin
+             if Cancel.poll cancel then raise Out_of_budget;
+             incr iterations;
+             let v = try_swap state a b in
+             if !current -. v > !best_gain then begin
+               best_gain := !current -. v;
+               best_move := Some (`Swap (a, b))
+             end
+           end
+         done
+       done;
+       match !best_move with
+       | Some (`Relocate (cell, target)) ->
+         relocate state cell target;
+         current := ep state;
+         improved := true
+       | Some (`Swap (a, b)) ->
+         let ra = state.round_of.(a) and rb = state.round_of.(b) in
+         relocate state a rb;
+         relocate state b ra;
+         current := ep state;
+         improved := true
+       | None -> ()
+     done
+   with Out_of_budget -> ());
   !current, !iterations
 
-let hill_climb ?(objective = Objective.Find_all) ?seed_strategy inst =
+let hill_climb ?(objective = Objective.Find_all) ?seed_strategy ?cancel inst =
   let seed =
     match seed_strategy with
     | Some s -> s
     | None -> (Greedy.solve ~objective inst).Order_dp.strategy
   in
   let state = state_of_strategy ~objective inst seed in
-  let expected_paging, iterations = hill_climb_state state in
+  let expected_paging, iterations = hill_climb_state ?cancel state in
   { strategy = strategy_of_state state; expected_paging; iterations }
 
-let anneal ?(objective = Objective.Find_all) inst rng ~steps ~t0 ~cooling =
+let anneal ?(objective = Objective.Find_all) ?(cancel = Cancel.never) inst rng
+    ~steps ~t0 ~cooling =
   if steps < 0 then invalid_arg "Local_search.anneal: negative steps"
   else if t0 <= 0.0 then invalid_arg "Local_search.anneal: t0 must be positive"
   else if cooling <= 0.0 || cooling >= 1.0 then
@@ -164,9 +174,11 @@ let anneal ?(objective = Objective.Find_all) inst rng ~steps ~t0 ~cooling =
     let best_assignment = ref (Array.copy state.round_of) in
     let temperature = ref t0 in
     let iterations = ref 0 in
-    if state.rounds > 1 then
-      for _ = 1 to steps do
-        incr iterations;
+    if state.rounds > 1 then begin
+      try
+        for _ = 1 to steps do
+          if Cancel.poll cancel then raise Out_of_budget;
+          incr iterations;
         let use_swap = Prob.Rng.bool rng in
         let candidate =
           if use_swap then begin
@@ -205,13 +217,15 @@ let anneal ?(objective = Objective.Find_all) inst rng ~steps ~t0 ~cooling =
                best_assignment := Array.copy state.round_of
              end
            end);
-        temperature := !temperature *. cooling
-      done;
+          temperature := !temperature *. cooling
+        done
+      with Out_of_budget -> ()
+    end;
     (* Restore the best visited assignment, then polish greedily. *)
     Array.iteri
       (fun cell r -> if state.round_of.(cell) <> r then relocate state cell r)
       !best_assignment;
-    let polished, extra = hill_climb_state state in
+    let polished, extra = hill_climb_state ~cancel state in
     {
       strategy = strategy_of_state state;
       expected_paging = polished;
@@ -219,8 +233,8 @@ let anneal ?(objective = Objective.Find_all) inst rng ~steps ~t0 ~cooling =
     }
   end
 
-let solve ?(objective = Objective.Find_all) inst rng =
+let solve ?(objective = Objective.Find_all) ?cancel inst rng =
   let c = inst.Instance.c in
   let steps = Stdlib.max 500 (50 * c) in
-  anneal ~objective inst rng ~steps ~t0:(0.05 *. float_of_int c)
+  anneal ~objective ?cancel inst rng ~steps ~t0:(0.05 *. float_of_int c)
     ~cooling:(1.0 -. (2.0 /. float_of_int steps))

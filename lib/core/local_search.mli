@@ -17,20 +17,28 @@ type result = {
   iterations : int;  (** total move evaluations *)
 }
 
-(** [hill_climb ?objective ?seed_strategy inst] — steepest-descent from
-    the greedy solution (or [seed_strategy]) until no improving move
-    exists. Deterministic. *)
+(** [hill_climb ?objective ?seed_strategy ?cancel inst] — steepest-descent
+    from the greedy solution (or [seed_strategy]) until no improving move
+    exists. Deterministic. Unlike the exact searches, local search is
+    anytime: when [cancel] fires mid-climb it returns its best-so-far
+    strategy instead of raising — the working state is valid at every
+    step, so there is always something to return. *)
 val hill_climb :
-  ?objective:Objective.t -> ?seed_strategy:Strategy.t -> Instance.t -> result
+  ?objective:Objective.t ->
+  ?seed_strategy:Strategy.t ->
+  ?cancel:Cancel.t ->
+  Instance.t ->
+  result
 
-(** [anneal ?objective inst rng ~steps ~t0 ~cooling] — simulated
+(** [anneal ?objective ?cancel inst rng ~steps ~t0 ~cooling] — simulated
     annealing: random relocate/swap moves accepted when improving or
     with probability exp(−Δ/T), T decaying geometrically from [t0] by
     [cooling] per step; returns the best strategy seen. Ends with a
-    hill-climb polish.
+    hill-climb polish. Anytime under [cancel], like {!hill_climb}.
     @raise Invalid_argument when parameters are out of range. *)
 val anneal :
   ?objective:Objective.t ->
+  ?cancel:Cancel.t ->
   Instance.t ->
   Prob.Rng.t ->
   steps:int ->
@@ -38,7 +46,8 @@ val anneal :
   cooling:float ->
   result
 
-(** [solve ?objective inst rng] — annealing with sensible defaults
-    scaled to instance size, then hill-climbing; never worse than the
-    greedy heuristic (it starts there). *)
-val solve : ?objective:Objective.t -> Instance.t -> Prob.Rng.t -> result
+(** [solve ?objective ?cancel inst rng] — annealing with sensible
+    defaults scaled to instance size, then hill-climbing; never worse
+    than the greedy heuristic (it starts there). *)
+val solve :
+  ?objective:Objective.t -> ?cancel:Cancel.t -> Instance.t -> Prob.Rng.t -> result

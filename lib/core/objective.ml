@@ -25,11 +25,14 @@ let tail_at_least k probs =
         done;
         dp.(0) <- dp.(0) *. (1.0 -. p))
       probs;
-    let s = ref 0.0 in
+    (* The tail can mix magnitudes badly (many tiny dp cells below a few
+       dominant ones); compensated summation keeps the result faithful
+       to the exact-rational path. *)
+    let s = ref Numeric.Kahan.zero in
     for j = k to m do
-      s := !s +. dp.(j)
+      s := Numeric.Kahan.step !s dp.(j)
     done;
-    !s
+    Numeric.Kahan.value !s
   end
 
 let success t probs =

@@ -39,12 +39,17 @@ let guard_size ~c ~d =
   else if float_of_int d ** float_of_int c > 8e6 then
     invalid_arg "Optimal.exhaustive: d^c too large"
 
-let exhaustive ?objective ?max_group inst =
+let exhaustive ?objective ?max_group ?(cancel = Cancel.never) ?(guard = true)
+    inst =
   let c = inst.Instance.c and d = inst.Instance.d in
-  guard_size ~c ~d;
+  (* The size guard protects direct callers from runaway cost; a caller
+     holding a cancellation token has its own bound, so it may disable
+     the guard and let the deadline cut the enumeration short. *)
+  if guard then guard_size ~c ~d;
   let max_group = Option.value max_group ~default:c in
   let best = ref None in
   enumerate_strategies ~c ~d ~max_group (fun labels ->
+      Cancel.check cancel;
       let strategy = strategy_of_labels ~c ~d labels in
       let ep = Strategy.expected_paging_unchecked ?objective inst strategy in
       match !best with
@@ -54,11 +59,12 @@ let exhaustive ?objective ?max_group inst =
   | Some (strategy, expected_paging) -> { strategy; expected_paging }
   | None -> invalid_arg "Optimal.exhaustive: no feasible strategy"
 
-let exhaustive_exact ?objective inst =
+let exhaustive_exact ?objective ?(cancel = Cancel.never) inst =
   let c = inst.Instance.Exact.c and d = inst.Instance.Exact.d in
   guard_size ~c ~d;
   let best = ref None in
   enumerate_strategies ~c ~d ~max_group:c (fun labels ->
+      Cancel.check cancel;
       let strategy = strategy_of_labels ~c ~d labels in
       let ep = Strategy.expected_paging_exact ?objective inst strategy in
       match !best with
@@ -68,7 +74,8 @@ let exhaustive_exact ?objective inst =
   | Some pair -> pair
   | None -> invalid_arg "Optimal.exhaustive_exact: no feasible strategy"
 
-let branch_and_bound_d2 ?(objective = Objective.Find_all) inst =
+let branch_and_bound_d2 ?(objective = Objective.Find_all)
+    ?(cancel = Cancel.never) inst =
   if inst.Instance.d <> 2 then
     invalid_arg "Optimal.branch_and_bound_d2: requires d = 2"
   else begin
@@ -89,6 +96,7 @@ let branch_and_bound_d2 ?(objective = Objective.Find_all) inst =
     let masses = Array.make m 0.0 in
     let chosen = ref [] in
     let rec go t size =
+      Cancel.check cancel;
       let gain_here =
         if size >= 1 && size <= c - 1 then
           float_of_int (c - size) *. Objective.success objective masses
@@ -145,9 +153,12 @@ let branch_and_bound_d2 ?(objective = Objective.Find_all) inst =
     }
   end
 
-let best ?objective inst =
+let best ?objective ?cancel ?(unguarded = false) inst =
   let c = inst.Instance.c and d = inst.Instance.d in
   let combos = float_of_int d ** float_of_int c in
-  if c <= 16 && combos <= 8e6 then Some (exhaustive ?objective inst)
-  else if d = 2 && c <= 26 then Some (branch_and_bound_d2 ?objective inst)
+  if c <= 16 && combos <= 8e6 then Some (exhaustive ?objective ?cancel inst)
+  else if d = 2 && (c <= 26 || unguarded) then
+    Some (branch_and_bound_d2 ?objective ?cancel inst)
+  else if unguarded then
+    Some (exhaustive ?objective ?cancel ~guard:false inst)
   else None

@@ -2,33 +2,56 @@
     experiments. The problem is NP-hard for every fixed m ≥ 2, d ≥ 2
     (Theorem 3.8), so these are exponential in general: exhaustive
     enumeration of ordered partitions for small c, and a pruned search
-    specialized to d = 2 for moderate c. *)
+    specialized to d = 2 for moderate c.
+
+    Every search accepts a {!Cancel.t} token polled in its hot loop, so
+    a deadline-driven caller (the {!Runner}) can abandon it mid-search;
+    a cancelled search raises {!Cancel.Cancelled}. *)
 
 type result = { strategy : Strategy.t; expected_paging : float }
 
-(** [exhaustive ?objective ?max_group inst] enumerates every strategy of
-    length at most [inst.d] (all dⁿ round assignments, skipping those
-    with an empty round among the used ones) and returns a minimizer.
-    Cost O(d^c · m · c); intended for c ≤ ~12.
-    @raise Invalid_argument when [c > 16] (guard against runaway cost). *)
+(** [exhaustive ?objective ?max_group ?cancel ?guard inst] enumerates
+    every strategy of length at most [inst.d] (all dⁿ round assignments,
+    skipping those with an empty round among the used ones) and returns
+    a minimizer. Cost O(d^c · m · c); intended for c ≤ ~12.
+    [guard] (default [true]) bounds the instance size; pass
+    [~guard:false] only together with a real [cancel] token, letting the
+    deadline bound the cost instead.
+    @raise Invalid_argument when guarded and [c > 16] or d^c is huge.
+    @raise Cancel.Cancelled when the token fires mid-enumeration. *)
 val exhaustive :
-  ?objective:Objective.t -> ?max_group:int -> Instance.t -> result
+  ?objective:Objective.t ->
+  ?max_group:int ->
+  ?cancel:Cancel.t ->
+  ?guard:bool ->
+  Instance.t ->
+  result
 
 (** Exact-rational exhaustive search on an exact instance: returns the
     minimizer and its expected paging as a rational. *)
 val exhaustive_exact :
   ?objective:Objective.t ->
+  ?cancel:Cancel.t ->
   Instance.Exact.t ->
   Strategy.t * Numeric.Rational.t
 
-(** [branch_and_bound_d2 ?objective inst] computes an optimal two-round
-    strategy by depth-first search over first-round subsets with an
-    admissible pruning bound (success is monotone in the per-device
-    prefix masses for every objective); practical to c ≈ 24.
-    @raise Invalid_argument when [inst.d <> 2]. *)
-val branch_and_bound_d2 : ?objective:Objective.t -> Instance.t -> result
+(** [branch_and_bound_d2 ?objective ?cancel inst] computes an optimal
+    two-round strategy by depth-first search over first-round subsets
+    with an admissible pruning bound (success is monotone in the
+    per-device prefix masses for every objective); practical to c ≈ 24.
+    @raise Invalid_argument when [inst.d <> 2].
+    @raise Cancel.Cancelled when the token fires mid-search. *)
+val branch_and_bound_d2 :
+  ?objective:Objective.t -> ?cancel:Cancel.t -> Instance.t -> result
 
-(** [best ?objective inst] picks the cheapest applicable exact method
-    (exhaustive for small c, branch-and-bound when d = 2); [None] when
-    the instance is too large for exact solving. *)
-val best : ?objective:Objective.t -> Instance.t -> result option
+(** [best ?objective ?cancel ?unguarded inst] picks the cheapest
+    applicable exact method (exhaustive for small c, branch-and-bound
+    when d = 2); [None] when the instance is too large for exact solving.
+    With [~unguarded:true] (runner-only: pair it with a deadline token)
+    no instance is "too large" — the search runs until the token fires. *)
+val best :
+  ?objective:Objective.t ->
+  ?cancel:Cancel.t ->
+  ?unguarded:bool ->
+  Instance.t ->
+  result option

@@ -20,20 +20,31 @@ let check_order ~c order =
 let prefix_success_table ?(objective = Objective.Find_all) inst ~order =
   let c = inst.Instance.c and m = inst.Instance.m in
   check_order ~c order;
+  (* Per-device prefix masses are long running sums over cells; keep a
+     Neumaier compensation term per device so c in the hundreds of
+     thousands does not drift the masses (and with them every DP
+     decision) away from the exact-rational values. *)
   let acc = Array.make m 0.0 in
+  let comp = Array.make m 0.0 in
+  let masses = Array.make m 0.0 in
   let table = Array.make (c + 1) 0.0 in
-  table.(0) <- Objective.success objective (Array.make m 0.0);
+  table.(0) <- Objective.success objective masses;
   for j = 1 to c do
     let cell = order.(j - 1) in
     for i = 0 to m - 1 do
-      acc.(i) <- acc.(i) +. inst.Instance.p.(i).(cell)
+      let sum, cmp =
+        Numeric.Kahan.step (acc.(i), comp.(i)) inst.Instance.p.(i).(cell)
+      in
+      acc.(i) <- sum;
+      comp.(i) <- cmp;
+      masses.(i) <- Numeric.Kahan.value (sum, cmp)
     done;
-    table.(j) <- Objective.success objective acc
+    table.(j) <- Objective.success objective masses
   done;
   table
 
-let solve_with_prefix_success ~c ~d ?max_group ?cell_cost ~prefix_success
-    ~order () =
+let solve_with_prefix_success ~c ~d ?max_group ?cell_cost
+    ?(cancel = Cancel.never) ~prefix_success ~order () =
   check_order ~c order;
   let b =
     match max_group with
@@ -67,6 +78,7 @@ let solve_with_prefix_success ~c ~d ?max_group ?cell_cost ~prefix_success
     done;
     for l = 2 to d do
       for k = l to c do
+        Cancel.check cancel;
         (* First group of size v: v >= 1, leave >= l-1 cells for the rest,
            respect the cap on this group, and keep the rest schedulable. *)
         let v_lo = Stdlib.max 1 (k - (b * (l - 1))) in
@@ -107,7 +119,7 @@ let solve_with_prefix_success ~c ~d ?max_group ?cell_cost ~prefix_success
     end
   end
 
-let solve ?objective ?max_group ?cell_cost inst ~order =
+let solve ?objective ?max_group ?cell_cost ?cancel inst ~order =
   let c = inst.Instance.c and d = inst.Instance.d in
   let table = prefix_success_table ?objective inst ~order in
   let cell_cost =
@@ -118,7 +130,7 @@ let solve ?objective ?max_group ?cell_cost inst ~order =
         else fun pos -> costs.(order.(pos)))
       cell_cost
   in
-  solve_with_prefix_success ~c ~d ?max_group ?cell_cost
+  solve_with_prefix_success ~c ~d ?max_group ?cell_cost ?cancel
     ~prefix_success:(fun j -> table.(j))
     ~order ()
 

@@ -27,13 +27,18 @@ type result = {
     [j] (default: 1 everywhere). Models cells with unequal load or
     radio footprint.
 
+    [cancel] is polled once per DP cell (the quadratic part): the DP is
+    polynomial, but at metropolitan c it still outlives tight budgets.
+
     @raise Invalid_argument when [order] is not a permutation of the
     cells, [cell_cost] has the wrong length, or the bandwidth constraint
-    is infeasible. *)
+    is infeasible.
+    @raise Cancel.Cancelled when the token fires mid-DP. *)
 val solve :
   ?objective:Objective.t ->
   ?max_group:int ->
   ?cell_cost:float array ->
+  ?cancel:Cancel.t ->
   Instance.t ->
   order:int array ->
   result
@@ -64,6 +69,7 @@ val solve_with_prefix_success :
   d:int ->
   ?max_group:int ->
   ?cell_cost:(int -> float) ->
+  ?cancel:Cancel.t ->
   prefix_success:(int -> float) ->
   order:int array ->
   unit ->

@@ -1,0 +1,229 @@
+type error =
+  | Timeout
+  | Inapplicable of string
+  | Invalid_input of string
+  | Internal of string
+
+type stage_status = Completed | Degraded | Failed of error
+
+type stage_report = {
+  spec : Solver.spec;
+  status : stage_status;
+  elapsed_ms : float;
+  expected_paging : float option;
+}
+
+type quality = {
+  expected_paging : float;
+  lower_bound : float;
+  ratio_to_lower_bound : float;
+  guarantee : float;
+  within_guarantee : bool;
+}
+
+type run_report = {
+  chain : Solver.spec list;
+  objective : Objective.t;
+  budget_ms : float option;
+  winner : (Solver.spec * Solver.outcome) option;
+  stages : stage_report list;
+  total_ms : float;
+  quality : quality option;
+  failure : error option;
+}
+
+let default_chain =
+  Solver.
+    [ Best_exact; Branch_and_bound; Local_search; Greedy; Page_all ]
+
+let chain_to_string chain =
+  String.concat "," (List.map Solver.spec_to_string chain)
+
+let chain_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "default" | "best-exact-chain" -> Ok default_chain
+  | "fast" -> Ok Solver.[ Greedy; Page_all ]
+  | "heuristic" -> Ok Solver.[ Local_search; Greedy; Page_all ]
+  | "exact" -> Ok Solver.[ Best_exact; Branch_and_bound; Exhaustive ]
+  | "" -> Error "empty fallback chain"
+  | _ ->
+    let parts = String.split_on_char ',' s |> List.map String.trim in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | "" :: _ -> Error "empty solver name in chain"
+      | p :: rest ->
+        (match Solver.spec_of_string p with
+         | Ok spec -> go (spec :: acc) rest
+         | Error e -> Error e)
+    in
+    go [] parts
+
+(* Stages cheap enough to run after the deadline, inside the grace
+   window: polynomial, small constants. Everything else is skipped once
+   the budget is gone. *)
+let always_fast = function
+  | Solver.Greedy | Solver.Page_all | Solver.Within_order _
+  | Solver.Bandwidth_limited _ ->
+    true
+  | Solver.Exhaustive | Solver.Branch_and_bound | Solver.Best_exact
+  | Solver.Local_search | Solver.Class_based ->
+    false
+
+let error_to_string = function
+  | Timeout -> "timeout"
+  | Inapplicable msg -> Printf.sprintf "inapplicable: %s" msg
+  | Invalid_input msg -> Printf.sprintf "invalid input: %s" msg
+  | Internal msg -> Printf.sprintf "internal error: %s" msg
+
+let stage_status_to_string = function
+  | Completed -> "ok"
+  | Degraded -> "ok (degraded: budget hit, best-so-far)"
+  | Failed e -> error_to_string e
+
+let quality_of ?objective inst (outcome : Solver.outcome) =
+  let lower_bound = Bounds.lower_bound ?objective inst in
+  let ep = outcome.Solver.expected_paging in
+  let ratio = if lower_bound > 0.0 then ep /. lower_bound else Float.nan in
+  let guarantee = Greedy.approximation_factor in
+  {
+    expected_paging = ep;
+    lower_bound;
+    ratio_to_lower_bound = ratio;
+    guarantee;
+    within_guarantee = (ratio <= guarantee +. 1e-9);
+  }
+
+let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
+    ?(clock = Cancel.now) ?(ensure_baseline = true) ?(chain = default_chain)
+    inst =
+  let chain =
+    if ensure_baseline && not (List.mem Solver.Page_all chain) then
+      chain @ [ Solver.Page_all ]
+    else chain
+  in
+  let start = clock () in
+  let deadline = Option.map (fun b -> start +. (b /. 1000.0)) budget_ms in
+  let unguarded = Option.is_some deadline in
+  let finish ~stages ~winner ~failure =
+    let quality =
+      Option.map (fun (_, o) -> quality_of ~objective inst o) winner
+    in
+    {
+      chain;
+      objective;
+      budget_ms;
+      winner;
+      stages = List.rev stages;
+      total_ms = (clock () -. start) *. 1000.0;
+      quality;
+      failure;
+    }
+  in
+  match Objective.validate objective ~m:inst.Instance.m with
+  | Error msg ->
+    finish ~stages:[] ~winner:None ~failure:(Some (Invalid_input msg))
+  | Ok () ->
+    let rec go stages = function
+      | [] ->
+        let failure =
+          if
+            List.exists
+              (fun s -> s.status = Failed Timeout)
+              stages
+          then Timeout
+          else Internal "fallback chain exhausted without a result"
+        in
+        finish ~stages ~winner:None ~failure:(Some failure)
+      | spec :: rest ->
+        let t0 = clock () in
+        let overdue =
+          match deadline with Some d -> t0 >= d | None -> false
+        in
+        if overdue && not (always_fast spec) then
+          let stage =
+            { spec; status = Failed Timeout; elapsed_ms = 0.0;
+              expected_paging = None }
+          in
+          go (stage :: stages) rest
+        else begin
+          (* Fresh token per stage: a token fired during one stage must
+             not instantly cancel the next. Overdue fast stages get the
+             grace window; [Page_all] is O(m·c) and runs untokened. *)
+          let cancel =
+            match (spec, deadline) with
+            | Solver.Page_all, _ | _, None -> Cancel.never
+            | _, Some d ->
+              let d = if overdue then clock () +. (grace_ms /. 1000.0) else d in
+              Cancel.deadline ~clock d
+          in
+          let result =
+            match Solver.solve ~objective ~cancel ~unguarded spec inst with
+            | outcome ->
+              if Cancel.cancelled cancel then Ok (Degraded, outcome)
+              else Ok (Completed, outcome)
+            | exception Cancel.Cancelled -> Error Timeout
+            | exception Invalid_argument msg -> Error (Inapplicable msg)
+            | exception exn -> Error (Internal (Printexc.to_string exn))
+          in
+          let elapsed_ms = (clock () -. t0) *. 1000.0 in
+          match result with
+          | Ok (status, outcome) ->
+            let stage =
+              { spec; status; elapsed_ms;
+                expected_paging = Some outcome.Solver.expected_paging }
+            in
+            finish ~stages:(stage :: stages)
+              ~winner:(Some (spec, outcome)) ~failure:None
+          | Error err ->
+            let stage =
+              { spec; status = Failed err; elapsed_ms;
+                expected_paging = None }
+            in
+            go (stage :: stages) rest
+        end
+    in
+    go [] chain
+
+let solve ?objective ?budget_ms ?grace_ms ?clock ?chain inst =
+  let report = run ?objective ?budget_ms ?grace_ms ?clock ?chain inst in
+  match (report.winner, report.failure) with
+  | Some (_, outcome), _ -> Ok outcome
+  | None, Some err -> Error err
+  | None, None -> Error (Internal "runner produced neither winner nor failure")
+
+let pp_report fmt r =
+  let open Format in
+  fprintf fmt "chain: %s@," (chain_to_string r.chain);
+  fprintf fmt "objective: %s@," (Objective.to_string r.objective);
+  (match r.budget_ms with
+   | Some b -> fprintf fmt "budget: %.1f ms@," b
+   | None -> fprintf fmt "budget: none@,");
+  List.iter
+    (fun s ->
+       fprintf fmt "  %-14s %8.2f ms  %s%s@,"
+         (Solver.spec_to_string s.spec)
+         s.elapsed_ms
+         (stage_status_to_string s.status)
+         (match s.expected_paging with
+          | Some ep -> sprintf "  EP=%.6f" ep
+          | None -> ""))
+    r.stages;
+  (match r.winner with
+   | Some (spec, outcome) ->
+     fprintf fmt "winner: %s (EP=%.6f%s)@,"
+       (Solver.spec_to_string spec)
+       outcome.Solver.expected_paging
+       (if outcome.Solver.exact then ", exact" else "")
+   | None -> fprintf fmt "winner: none@,");
+  (match r.quality with
+   | Some q ->
+     fprintf fmt
+       "quality: EP=%.6f  LB=%.6f  ratio=%.4f  e/(e-1)=%.4f  %s@,"
+       q.expected_paging q.lower_bound q.ratio_to_lower_bound q.guarantee
+       (if q.within_guarantee then "within guarantee"
+        else "above guarantee line")
+   | None -> ());
+  (match r.failure with
+   | Some e -> fprintf fmt "failure: %s@," (error_to_string e)
+   | None -> ());
+  fprintf fmt "total: %.2f ms" r.total_ms

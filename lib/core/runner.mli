@@ -1,0 +1,124 @@
+(** Deadline-budgeted anytime solver runtime.
+
+    The exact methods are exponential (Theorem 3.8 makes that
+    unavoidable) and the §4 heuristic is the only always-fast path, yet
+    a paging controller serving live calls must return the best strategy
+    it can find {e within a time budget}, every time. The runner wraps
+    {!Solver.solve} with:
+
+    - a budget on the wall clock ({!Cancel.now}: monotonized wall time),
+      enforced through the cooperative cancellation tokens threaded into
+      every solver hot loop;
+    - a declarative {e fallback chain} — an ordered list of
+      {!Solver.spec}s, tried best-first; a stage that times out or does
+      not apply falls through to the next, and the report records why;
+    - a structured error taxonomy replacing the stringly
+      [Invalid_argument] escapes of the raw solvers at this boundary.
+
+    Guarantees, for any valid instance and any budget:
+    + {!run} terminates within budget plus a small grace window (the
+      terminal [Page_all] stage is O(m·c) and runs unconditionally);
+    + the winner is a valid strategy for the instance ({!Strategy}
+      partition invariants);
+    + winner EP ≤ the [Page_all] baseline EP = c (Lemma 2.1 gives
+      EP ≤ c for every strategy, and [Page_all] always completes). *)
+
+(** Why a stage (or a whole run) failed. *)
+type error =
+  | Timeout  (** budget fired mid-search, or stage skipped: budget gone *)
+  | Inapplicable of string
+      (** the method does not apply to this instance (e.g. B&B with
+          d ≠ 2, guarded exact search on a huge instance) *)
+  | Invalid_input of string  (** the instance/objective failed validation *)
+  | Internal of string  (** unexpected exception — a bug, not user error *)
+
+type stage_status =
+  | Completed  (** ran to its normal end within budget *)
+  | Degraded
+      (** anytime stage: the deadline fired mid-search and it returned
+          its best-so-far result (still a valid strategy) *)
+  | Failed of error
+
+type stage_report = {
+  spec : Solver.spec;
+  status : stage_status;
+  elapsed_ms : float;
+  expected_paging : float option;  (** when the stage produced a result *)
+}
+
+(** Winner quality against the certified machinery: the Lemma 3.1/3.4
+    lower bound and the e/(e−1) guarantee of Theorem 4.8 (proved for the
+    greedy heuristic under [Find_all]; reported as the reference line for
+    every winner). *)
+type quality = {
+  expected_paging : float;
+  lower_bound : float;
+  ratio_to_lower_bound : float;
+  guarantee : float;  (** e/(e−1) ≈ 1.582 *)
+  within_guarantee : bool;  (** ratio ≤ e/(e−1) + 1e-9 *)
+}
+
+type run_report = {
+  chain : Solver.spec list;  (** as actually executed (baseline appended) *)
+  objective : Objective.t;
+  budget_ms : float option;
+  winner : (Solver.spec * Solver.outcome) option;
+  stages : stage_report list;  (** in execution order, winner last *)
+  total_ms : float;
+  quality : quality option;
+  failure : error option;  (** set iff [winner = None] *)
+}
+
+(** [Best_exact → Branch_and_bound → Local_search → Greedy → Page_all]. *)
+val default_chain : Solver.spec list
+
+(** Chains by name ("default", "fast", "heuristic", "exact") or as
+    comma-separated solver specs ("bnb,local-search,page-all"); specs as
+    in {!Solver.spec_of_string}. *)
+val chain_of_string : string -> (Solver.spec list, string) result
+
+val chain_to_string : Solver.spec list -> string
+
+(** [run ?objective ?budget_ms ?grace_ms ?clock ?ensure_baseline ?chain
+    inst] executes the chain best-first and returns the full report.
+
+    Budget semantics: all stages share one deadline, [budget_ms] from
+    the start of the run. A stage started before the deadline runs with
+    a cancellation token on it; once the deadline has passed, remaining
+    expensive stages are skipped (recorded as [Failed Timeout]) and only
+    the always-fast ones ([Greedy], [Page_all], [Within_order],
+    [Bandwidth_limited]) still run, under a [grace_ms] token (default
+    100 ms). Without a budget no token is armed and the exact methods
+    keep their size guards; with a budget the guards are lifted — the
+    deadline, not the guard, bounds the work.
+
+    [ensure_baseline] (default true) appends [Page_all] when absent so
+    the chain cannot end empty-handed. [clock] (default {!Cancel.now})
+    is exposed for tests. Never raises: all solver escapes are folded
+    into the taxonomy above. *)
+val run :
+  ?objective:Objective.t ->
+  ?budget_ms:float ->
+  ?grace_ms:float ->
+  ?clock:(unit -> float) ->
+  ?ensure_baseline:bool ->
+  ?chain:Solver.spec list ->
+  Instance.t ->
+  run_report
+
+(** [solve ...] is {!run} reduced to its outcome: the winning strategy,
+    or the run's failure. *)
+val solve :
+  ?objective:Objective.t ->
+  ?budget_ms:float ->
+  ?grace_ms:float ->
+  ?clock:(unit -> float) ->
+  ?chain:Solver.spec list ->
+  Instance.t ->
+  (Solver.outcome, error) result
+
+val error_to_string : error -> string
+val stage_status_to_string : stage_status -> string
+
+(** One line per stage plus winner and quality; for the CLI and logs. *)
+val pp_report : Format.formatter -> run_report -> unit

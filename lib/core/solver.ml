@@ -29,11 +29,11 @@ let of_optimal (r : Optimal.result) =
     exact = true;
   }
 
-let solve ?objective spec inst =
+let solve ?objective ?cancel ?unguarded spec inst =
   match spec with
   | Greedy ->
     let exact = inst.Instance.m = 1 || inst.Instance.d = 1 in
-    of_order_dp exact (Greedy.solve ?objective inst)
+    of_order_dp exact (Greedy.solve ?objective ?cancel inst)
   | Page_all ->
     let strategy = Strategy.page_all inst.Instance.c in
     {
@@ -42,17 +42,20 @@ let solve ?objective spec inst =
       exact = inst.Instance.d = 1;
     }
   | Within_order order ->
-    of_order_dp false (Order_dp.solve ?objective inst ~order)
+    of_order_dp false (Order_dp.solve ?objective ?cancel inst ~order)
   | Bandwidth_limited b ->
     of_order_dp false (Bandwidth.solve ?objective inst ~b)
-  | Exhaustive -> of_optimal (Optimal.exhaustive ?objective inst)
-  | Branch_and_bound -> of_optimal (Optimal.branch_and_bound_d2 ?objective inst)
+  | Exhaustive ->
+    let guard = not (Option.value unguarded ~default:false) in
+    of_optimal (Optimal.exhaustive ?objective ?cancel ~guard inst)
+  | Branch_and_bound ->
+    of_optimal (Optimal.branch_and_bound_d2 ?objective ?cancel inst)
   | Best_exact ->
-    (match Optimal.best ?objective inst with
+    (match Optimal.best ?objective ?cancel ?unguarded inst with
      | Some r -> of_optimal r
      | None -> invalid_arg "Solver: instance too large for exact solving")
   | Local_search ->
-    let r = Local_search.hill_climb ?objective inst in
+    let r = Local_search.hill_climb ?objective ?cancel inst in
     {
       strategy = r.Local_search.strategy;
       expected_paging = r.Local_search.expected_paging;

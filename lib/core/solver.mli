@@ -18,10 +18,22 @@ type outcome = {
   exact : bool;  (** whether the strategy is provably optimal *)
 }
 
-(** [solve ?objective spec inst] runs the chosen method.
+(** [solve ?objective ?cancel ?unguarded spec inst] runs the chosen
+    method. [cancel] is threaded into the method's hot loop (see
+    {!Cancel}); [~unguarded:true] lifts the instance-size guards of the
+    exact methods — only meaningful together with a deadline token, as
+    the {!Runner} does.
     @raise Invalid_argument when the method does not apply (e.g.
-    [Best_exact] on a huge instance, [Branch_and_bound] with d ≠ 2). *)
-val solve : ?objective:Objective.t -> spec -> Instance.t -> outcome
+    [Best_exact] on a huge instance, [Branch_and_bound] with d ≠ 2).
+    @raise Cancel.Cancelled when the token fires before a non-anytime
+    method finishes ([Local_search] instead returns best-so-far). *)
+val solve :
+  ?objective:Objective.t ->
+  ?cancel:Cancel.t ->
+  ?unguarded:bool ->
+  spec ->
+  Instance.t ->
+  outcome
 
 val spec_of_string : string -> (spec, string) result
 val spec_to_string : spec -> string

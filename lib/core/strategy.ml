@@ -84,15 +84,22 @@ let check inst t =
 let prefix_masses inst t =
   let m = inst.Instance.m in
   let rounds = Array.length t.groups in
+  (* Neumaier-compensated per-device accumulation: the Lemma 2.1 masses
+     are running sums over up to c cells. *)
   let acc = Array.make m 0.0 in
+  let comp = Array.make m 0.0 in
   Array.init rounds (fun r ->
       Array.iter
         (fun j ->
           for i = 0 to m - 1 do
-            acc.(i) <- acc.(i) +. inst.Instance.p.(i).(j)
+            let sum, cmp =
+              Numeric.Kahan.step (acc.(i), comp.(i)) inst.Instance.p.(i).(j)
+            in
+            acc.(i) <- sum;
+            comp.(i) <- cmp
           done)
         t.groups.(r);
-      Array.copy acc)
+      Array.init m (fun i -> Numeric.Kahan.value (acc.(i), comp.(i))))
 
 let success_by_round ?(objective = Objective.Find_all) inst t =
   Array.map (Objective.success objective) (prefix_masses inst t)
@@ -100,11 +107,15 @@ let success_by_round ?(objective = Objective.Find_all) inst t =
 let expected_paging_unchecked ?(objective = Objective.Find_all) inst t =
   let f = success_by_round ~objective inst t in
   let rounds = Array.length t.groups in
-  let ep = ref (float_of_int inst.Instance.c) in
+  (* Lemma 2.1: EP = c − Σ_r |S_{r+1}|·F_r, compensated — the subtracted
+     terms can span many orders of magnitude when some F_r ≈ 0. *)
+  let ep = ref (Numeric.Kahan.step Numeric.Kahan.zero (float_of_int inst.Instance.c)) in
   for r = 0 to rounds - 2 do
-    ep := !ep -. (float_of_int (Array.length t.groups.(r + 1)) *. f.(r))
+    ep :=
+      Numeric.Kahan.step !ep
+        (-.(float_of_int (Array.length t.groups.(r + 1)) *. f.(r)))
   done;
-  !ep
+  Numeric.Kahan.value !ep
 
 let expected_paging ?objective inst t =
   check inst t;

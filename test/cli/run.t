@@ -84,3 +84,57 @@ JSON output is valid and carries the robustness block:
   {"duration": 50,
   $ $CLI generate -m 1 -c 8 -d 2 --dist uniform | $CLI solve - --json
   {"solver": "greedy", "strategy": [[0, 1, 2, 3], [4, 5, 6, 7]], "expected_paging": 6, "exact": true, "expected_rounds": 1.5, "lower_bound": 6, "page_all_cost": 8}
+
+Errors leave stdout, land on stderr and exit non-zero: a malformed
+instance file, an inapplicable method, and an unknown solver name.
+
+  $ echo garbage > bad.txt
+  $ $CLI solve bad.txt 2> err.txt; echo "exit=$?"; cat err.txt
+  exit=2
+  confcall: error: Instance.of_string: missing header
+  $ $CLI generate -m 2 -c 6 -d 3 --seed 3 > inst3.txt
+  $ $CLI solve inst3.txt --solver bnb 2> err.txt; echo "exit=$?"; cat err.txt
+  exit=2
+  confcall: error: Optimal.branch_and_bound_d2: requires d = 2
+  $ $CLI solve inst.txt --solver nonsense > /dev/null 2> err.txt; echo "exit=$?"
+  exit=124
+  $ head -1 err.txt
+  confcall: option '--solver': unknown solver "nonsense"
+
+A budget enables the runner: the report names every stage, the winner
+line is present, and a strategy is always returned even when the exact
+stage times out.
+
+  $ $CLI solve inst.txt --budget-ms 500 --chain fast | grep -c 'winner:'
+  1
+  $ $CLI generate -m 3 -c 60 -d 4 --seed 7 > big.txt
+  $ $CLI solve big.txt --budget-ms 50 --chain default | grep 'exact' | grep -c 'timeout'
+  1
+  $ $CLI solve big.txt --budget-ms 50 --chain default | grep -c 'strategy:'
+  1
+  $ $CLI solve big.txt --budget-ms 50 --json | grep -c '"winner"'
+  1
+
+An invalid chain is a usage error:
+
+  $ $CLI solve inst.txt --chain greedy,bogus 2>&1 | head -1 | grep -c bogus
+  1
+
+The journaled sweep is resumable: a second run with --resume skips the
+completed items and appends only the new ones, and the journal ends up
+byte-identical to an uninterrupted run.
+
+  $ $CLI sweep --seeds 1,2 -c 10 --journal j.tsv | sed 's/\t.*//'
+  ran  find-all/m3/c10/d3/simplex/seed1
+  ran  find-all/m3/c10/d3/simplex/seed2
+  journal j.tsv: 2 items
+  $ $CLI sweep --seeds 1,2 -c 10 --journal j.tsv 2>&1; echo "exit=$?"
+  confcall: error: journal j.tsv already exists; pass --resume to continue it
+  exit=2
+  $ $CLI sweep --seeds 1,2,3 -c 10 --journal j.tsv --resume | sed 's/\t.*//'
+  skip find-all/m3/c10/d3/simplex/seed1
+  skip find-all/m3/c10/d3/simplex/seed2
+  ran  find-all/m3/c10/d3/simplex/seed3
+  journal j.tsv: 3 items
+  $ $CLI sweep --seeds 1,2,3 -c 10 --journal j2.tsv > /dev/null
+  $ cmp j.tsv j2.tsv

@@ -41,6 +41,42 @@ let test_instance_create_invalid () =
   expect_invalid "zero row" (fun () ->
       Instance.create ~d:1 [| [| 0.0; 0.0 |] |])
 
+(* One test per rejection path of the hardened validator: the message
+   must name the offending row (and cell, for entry-level defects). *)
+let test_instance_validate_named_errors () =
+  let expect name needle rows =
+    match Instance.validate ~d:1 rows with
+    | Error msg ->
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i =
+          i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+        in
+        go 0
+      in
+      if not (contains msg needle) then
+        Alcotest.failf "%s: message %S does not mention %S" name msg needle
+    | Ok () -> Alcotest.failf "%s: expected rejection" name
+  in
+  expect "NaN entry" "device 1, cell 1: probability is NaN"
+    [| [| 0.5; 0.5 |]; [| 0.5; Float.nan |] |];
+  expect "+inf entry" "device 0, cell 0: probability is +infinity"
+    [| [| Float.infinity; 0.0 |]; [| 0.5; 0.5 |] |];
+  expect "-inf entry" "device 0, cell 1: probability is -infinity"
+    [| [| 0.5; Float.neg_infinity |] |];
+  expect "negative entry" "device 0, cell 1: probability is negative"
+    [| [| 1.5; -0.5 |] |];
+  (* Finite entries whose sum overflows: the row-sum finiteness check,
+     not the entry check, must catch this. *)
+  expect "row sum overflows" "device 0: row sum is not finite"
+    [| [| 1e308; 1e308 |] |];
+  expect "row sum off" "device 0: row sums to"
+    [| [| 0.5; 0.2 |] |];
+  expect "zero row" "device 0: row has no mass"
+    [| [| 0.0; 0.0 |] |];
+  expect "ragged row" "device 1: row has 1 cells, expected 2"
+    [| [| 0.5; 0.5 |]; [| 1.0 |] |]
+
 let test_instance_zero_probabilities_allowed () =
   (* The §4.3 instance needs zeros. *)
   let t = Instance.create ~d:2 [| [| 0.0; 1.0; 0.0 |] |] in
@@ -181,6 +217,56 @@ let test_strategy_create_invalid () =
   (match Strategy.create [| [||] |] with
    | exception Invalid_argument _ -> ()
    | _ -> Alcotest.fail "empty group accepted")
+
+(* Pins the compensated-summation float path (prefix masses, Lemma 2.1
+   sum, Poisson-binomial tail) to the exact-rational path: on instances
+   with small-integer-weight rows, float EP must match rational EP to
+   1e-12 per cell, for all three objectives. *)
+let prop_expected_paging_matches_exact =
+  QCheck.Test.make ~name:"expected_paging matches exact rational path"
+    ~count:150
+    (QCheck.quad (QCheck.int_range 1 4) (QCheck.int_range 2 9)
+       (QCheck.int_range 1 4) (QCheck.int_range 0 1_000_000))
+    (fun (m, c, d, seed) ->
+      QCheck.assume (d <= c);
+      let rng = Prob.Rng.create ~seed in
+      let rows_q =
+        Array.init m (fun _ ->
+            let w = Array.init c (fun _ -> Prob.Rng.int rng 20) in
+            if Array.for_all (fun x -> x = 0) w then
+              w.(Prob.Rng.int rng c) <- 1;
+            let s = Array.fold_left ( + ) 0 w in
+            Array.map (fun n -> Numeric.Rational.of_ints n s) w)
+      in
+      let exact = Instance.Exact.create ~d rows_q in
+      let inst = Instance.Exact.to_float exact in
+      let order = Array.init c (fun j -> j) in
+      for j = c - 1 downto 1 do
+        let k = Prob.Rng.int rng (j + 1) in
+        let t = order.(j) in
+        order.(j) <- order.(k);
+        order.(k) <- t
+      done;
+      let rounds = 1 + Prob.Rng.int rng d in
+      let sizes = Array.make rounds 1 in
+      for _ = 1 to c - rounds do
+        let r = Prob.Rng.int rng rounds in
+        sizes.(r) <- sizes.(r) + 1
+      done;
+      let strat = Strategy.of_sizes ~order ~sizes in
+      List.for_all
+        (fun objective ->
+          let ef = Strategy.expected_paging ~objective inst strat in
+          let eq =
+            Numeric.Rational.to_float
+              (Strategy.expected_paging_exact ~objective exact strat)
+          in
+          abs_float (ef -. eq) <= 1e-12 *. float_of_int c)
+        [
+          Objective.Find_all;
+          Objective.Find_any;
+          Objective.Find_at_least (1 + (m / 2));
+        ])
 
 let test_strategy_of_sizes () =
   let s = Strategy.of_sizes ~order:[| 3; 1; 0; 2 |] ~sizes:[| 2; 2 |] in
@@ -465,6 +551,8 @@ let () =
         [
           Alcotest.test_case "create valid" `Quick test_instance_create_valid;
           Alcotest.test_case "create invalid" `Quick test_instance_create_invalid;
+          Alcotest.test_case "validate names the bad row" `Quick
+            test_instance_validate_named_errors;
           Alcotest.test_case "zeros allowed" `Quick
             test_instance_zero_probabilities_allowed;
           Alcotest.test_case "cell weight/order" `Quick test_cell_weight_and_order;
@@ -501,6 +589,7 @@ let () =
           Alcotest.test_case "round limit" `Quick
             test_strategy_rejects_too_many_rounds;
           qt prop_ep_between_bounds;
+          qt prop_expected_paging_matches_exact;
           qt prop_find_any_cheaper_than_find_all;
           qt prop_signature_monotone_in_k;
         ] );

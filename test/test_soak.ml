@@ -1,0 +1,166 @@
+(* Chaos–soak harness for the deadline runner.
+
+   Adversarial instances — near-zero rows, 1e-308 masses, heavy ties,
+   hundreds of cells — are pushed through every fallback chain under
+   tight budgets. Three invariants must survive every case:
+
+     1. the run terminates within budget + grace (plus scheduling slack
+        for loaded CI machines);
+     2. the winning strategy is valid: partitions the cells, respects d;
+     3. expected paging never regresses below the Page_all baseline.
+
+   Seeds are fixed so CI failures reproduce; the default run stays fast
+   (a few seconds). SOAK_CASES=<n> scales the sweep up for long runs. *)
+
+open Confcall
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+(* ---------------- adversarial generators ---------------- *)
+
+(* All mass on one cell; the rest at 1e-308, which underflows to nothing
+   when summed against 1.0 — exercises denormal handling end to end. *)
+let near_zero_rows ~m ~c ~d rng =
+  let rows =
+    Array.init m (fun _ ->
+        let home = Prob.Rng.int rng c in
+        Array.init c (fun j -> if j = home then 1.0 else 1e-308))
+  in
+  Instance.create ~d rows
+
+(* Every cell weight identical: maximal ties, the sort and every
+   tie-break in the DP sees equal keys. *)
+let heavy_ties ~m ~c ~d =
+  Instance.all_uniform ~m ~c ~d
+
+(* A few huge cells and a long tail of tiny ones, mixed magnitudes. *)
+let skewed ~m ~c ~d rng =
+  Instance.random_zipf rng ~s:2.5 ~m ~c ~d
+
+(* Tiny-but-nonzero tail: one dominant cell, the rest share 1e-9. *)
+let tiny_tail ~m ~c ~d rng =
+  let eps = 1e-9 /. float_of_int c in
+  let rows =
+    Array.init m (fun _ ->
+        let home = Prob.Rng.int rng c in
+        Array.init c (fun j ->
+            if j = home then 1.0 -. (eps *. float_of_int (c - 1)) else eps))
+  in
+  Instance.create ~d rows
+
+let generic ~m ~c ~d rng = Instance.random_uniform_simplex rng ~m ~c ~d
+
+let generators =
+  [
+    "near-zero", near_zero_rows;
+    "heavy-ties", (fun ~m ~c ~d _rng -> heavy_ties ~m ~c ~d);
+    "skewed", skewed;
+    "tiny-tail", tiny_tail;
+    "simplex", generic;
+  ]
+
+(* ---------------- the soak loop ---------------- *)
+
+let soak_case ~name ~objective ~budget_ms ~chain inst =
+  let c = inst.Instance.c and d = inst.Instance.d in
+  let t0 = Cancel.now () in
+  let report = Runner.run ~objective ~budget_ms ~chain inst in
+  let wall_ms = (Cancel.now () -. t0) *. 1000.0 in
+  let slack_ms = 400.0 in
+  check bool_t
+    (Printf.sprintf "%s: wall %.1f ms within %.0f + grace" name wall_ms
+       budget_ms)
+    true
+    (wall_ms <= budget_ms +. 100.0 +. slack_ms);
+  match report.Runner.winner with
+  | None ->
+    Alcotest.failf "%s: no winner (%s)" name
+      (match report.Runner.failure with
+       | Some e -> Runner.error_to_string e
+       | None -> "no failure recorded")
+  | Some (_, o) ->
+    (match Strategy.validate ~c o.Solver.strategy with
+     | Ok () -> ()
+     | Error msg -> Alcotest.failf "%s: invalid strategy: %s" name msg);
+    check bool_t
+      (Printf.sprintf "%s: rounds within d" name)
+      true
+      (Array.length (Strategy.groups o.Solver.strategy) <= d);
+    let page_all_ep =
+      (Solver.solve ~objective Solver.Page_all inst).Solver.expected_paging
+    in
+    check bool_t
+      (Printf.sprintf "%s: EP %.6f <= page-all %.6f" name
+         o.Solver.expected_paging page_all_ep)
+      true
+      (o.Solver.expected_paging <= page_all_ep +. 1e-9)
+
+let cases =
+  match Sys.getenv_opt "SOAK_CASES" with
+  | Some n -> (try max 1 (int_of_string n) with _ -> 40)
+  | None -> 40
+
+let chains =
+  [
+    Runner.default_chain;
+    Solver.[ Local_search; Greedy; Page_all ];
+    Solver.[ Exhaustive; Greedy ];
+    Solver.[ Branch_and_bound; Local_search ];
+  ]
+
+let test_soak () =
+  let rng = Prob.Rng.create ~seed:9001 in
+  for case = 1 to cases do
+    let gen_name, gen =
+      List.nth generators (Prob.Rng.int rng (List.length generators))
+    in
+    let m = 1 + Prob.Rng.int rng 6 in
+    let c = 2 + Prob.Rng.int rng 299 in
+    let d = 1 + Prob.Rng.int rng (min 8 c) in
+    let inst = gen ~m ~c ~d rng in
+    let objective =
+      match Prob.Rng.int rng 3 with
+      | 0 -> Objective.Find_all
+      | 1 -> Objective.Find_any
+      | _ -> Objective.Find_at_least (1 + Prob.Rng.int rng m)
+    in
+    let budget_ms =
+      match Prob.Rng.int rng 3 with 0 -> 1.0 | 1 -> 5.0 | _ -> 20.0
+    in
+    let chain = List.nth chains (Prob.Rng.int rng (List.length chains)) in
+    let name =
+      Printf.sprintf "case %d: %s m=%d c=%d d=%d %s budget=%.0fms" case
+        gen_name m c d
+        (Objective.to_string objective)
+        budget_ms
+    in
+    soak_case ~name ~objective ~budget_ms ~chain inst
+  done
+
+(* The degenerate corners deserve their own deterministic pass: the
+   smallest instances, d = 1, d = c, single device, all under a 1 ms
+   budget. *)
+let test_soak_corners () =
+  List.iter
+    (fun (m, c, d) ->
+      let rng = Prob.Rng.create ~seed:(m + (17 * c) + (1009 * d)) in
+      List.iter
+        (fun (gname, gen) ->
+          let inst = gen ~m ~c ~d rng in
+          soak_case
+            ~name:(Printf.sprintf "corner %s m=%d c=%d d=%d" gname m c d)
+            ~objective:Objective.Find_all ~budget_ms:1.0
+            ~chain:Runner.default_chain inst)
+        generators)
+    [ (1, 1, 1); (1, 2, 2); (2, 2, 1); (3, 2, 2); (1, 300, 8); (6, 50, 50) ]
+
+let () =
+  Alcotest.run "soak"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "randomized soak" `Quick test_soak;
+          Alcotest.test_case "degenerate corners" `Quick test_soak_corners;
+        ] );
+    ]
