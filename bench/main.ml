@@ -25,13 +25,58 @@ module Bandwidth = Confcall.Bandwidth
 module Miss = Confcall.Miss
 module Hardness = Confcall.Hardness
 
-let results : (string * bool * string) list ref = ref []
+(* id, pass, detail, machine-readable metrics (values are JSON
+   fragments; see [json_out]). *)
+let results : (string * bool * string * (string * string) list) list ref =
+  ref []
 
-let record ~id ~pass detail =
-  results := (id, pass, detail) :: !results;
+let record ~id ~pass ?(metrics = []) detail =
+  results := (id, pass, detail, metrics) :: !results;
   Printf.printf "shape check [%s]: %s %s\n\n" id
     (if pass then "PASS" else "FAIL")
     detail
+
+(* --json-out DIR: after the run, one BENCH_<id>.json per experiment
+   with the shape-check verdict and any metrics the experiment
+   recorded. Values in [metrics] are already JSON fragments. *)
+let json_out : string option ref = ref None
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = Printf.sprintf "\"%s\"" (json_escape s)
+let json_num x =
+  if Float.is_finite x then Printf.sprintf "%.12g" x
+  else json_str (Printf.sprintf "%h" x)
+
+let json_out_result dir (id, pass, detail, metrics) =
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" id) in
+  let fields =
+    [
+      "id", json_str id;
+      "pass", (if pass then "true" else "false");
+      "detail", json_str detail;
+    ]
+    @ metrics
+  in
+  let body =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "%s: %s" (json_str k) v) fields)
+    ^ "}\n"
+  in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc body)
 
 let header ~id ~title ~claim =
   Printf.printf "=== %s: %s ===\n" (String.uppercase_ascii id) title;
@@ -441,6 +486,7 @@ let e10 () =
       call_duration = 0.0;
       track_ongoing = true;
       faults = None;
+      estimator = Cellsim.Sim.Live;
       profile_decay = 0.9;
       profile_smoothing = 0.05;
       duration = 300.0;
@@ -705,6 +751,7 @@ let sim_config ?(users = 64) ?(rate = 0.5) ?(track_ongoing = true) ~schemes
     call_duration;
     track_ongoing;
     faults = None;
+    estimator = Cellsim.Sim.Live;
     duration = 300.0;
     seed;
   }
@@ -1253,6 +1300,143 @@ let e23 () =
        exact_timed_out within_grace heuristic_won identical)
 
 (* ------------------------------------------------------------------ *)
+(* E24: uncertainty ball — certified EP bounds, worst case, drift      *)
+(* ------------------------------------------------------------------ *)
+
+let e24 () =
+  header ~id:"e24" ~title:"uncertainty ball: certified EP bounds, drift recovery"
+    ~claim:
+      "Lemma 2.1 extends to perturbed matrices: per-round prefix-mass \
+       intervals certify EP over an L-inf ball around the estimate, a \
+       canonical transport attains the worst case, and the simulator's \
+       drift-triggered re-solve returns realized paging cost to the \
+       re-solved nominal EP while a stale matrix stays miscalibrated";
+  let module Solver = Confcall.Solver in
+  (* Part 1: eps sweep on one instance and its greedy strategy. *)
+  let rng = Prob.Rng.create ~seed:424 in
+  let inst = Instance.random_uniform_simplex rng ~m:3 ~c:24 ~d:3 in
+  let outcome = Solver.solve Solver.Greedy inst in
+  let strat = outcome.Solver.strategy in
+  let nominal = outcome.Solver.expected_paging in
+  let epss = [ 0.0; 0.005; 0.01; 0.02; 0.05; 0.1 ] in
+  Printf.printf "instance: m=3 c=24 d=3 (simplex, seed 424); greedy EP %.6f\n"
+    nominal;
+  Printf.printf "%8s %12s %12s %12s %12s\n" "eps" "lo" "nominal" "hi"
+    "worst-case";
+  let rows =
+    List.map
+      (fun eps ->
+        let u = Confcall.Uncertainty.uniform eps in
+        let b = Confcall.Uncertainty.ep_bounds u inst strat in
+        let worst = Confcall.Uncertainty.robust_ep u inst strat in
+        Printf.printf "%8.3f %12.6f %12.6f %12.6f %12.6f\n" eps
+          b.Confcall.Uncertainty.lo nominal b.Confcall.Uncertainty.hi worst;
+        (eps, b.Confcall.Uncertainty.lo, b.Confcall.Uncertainty.hi, worst))
+      epss
+  in
+  let bracket =
+    List.for_all
+      (fun (_, lo, hi, worst) ->
+        lo <= nominal +. 1e-9
+        && nominal <= hi +. 1e-9
+        && nominal <= worst +. 1e-9
+        && worst <= hi +. 1e-9)
+      rows
+  in
+  let rec pairwise ok = function
+    | (_, lo1, hi1, w1) :: ((_, lo2, hi2, w2) :: _ as rest) ->
+      pairwise
+        (ok && lo2 <= lo1 +. 1e-9 && hi1 <= hi2 +. 1e-9 && w1 <= w2 +. 1e-9)
+        rest
+    | _ -> ok
+  in
+  let monotone = pairwise true rows in
+  (* Part 2: drifting-commuter — realized cost vs the (re-)solved
+     nominal EP over the recovered phase t in (280, 360], by
+     differencing two cumulative runs (same seed => shared prefix). *)
+  let cfg = Cellsim.Scenario.drifting_commuter () in
+  let stale_cfg =
+    {
+      cfg with
+      Cellsim.Sim.estimator =
+        (match cfg.Cellsim.Sim.estimator with
+         | Cellsim.Sim.Snapshot s -> Cellsim.Sim.Snapshot { s with drift = None }
+         | e -> e);
+    }
+  in
+  let recovered c =
+    let run_to d = Cellsim.Sim.run { c with Cellsim.Sim.duration = d } in
+    let a = run_to 280.0 and b = run_to 360.0 in
+    let pick (r : Cellsim.Sim.result) =
+      List.find
+        (fun (s : Cellsim.Sim.scheme_metrics) ->
+          match s.Cellsim.Sim.scheme with
+          | Cellsim.Sim.Selective _ -> true
+          | _ -> false)
+        r.Cellsim.Sim.per_scheme
+    in
+    let sa = pick a and sb = pick b in
+    let calls = sb.Cellsim.Sim.calls - sa.Cellsim.Sim.calls in
+    let realized =
+      float_of_int (sb.Cellsim.Sim.cells_paged - sa.Cellsim.Sim.cells_paged)
+      /. float_of_int calls
+    in
+    let nominal =
+      (sb.Cellsim.Sim.expected_paging -. sa.Cellsim.Sim.expected_paging)
+      /. float_of_int calls
+    in
+    (realized, nominal, b.Cellsim.Sim.drift)
+  in
+  let drift_realized, drift_nominal, drift_metrics = recovered cfg in
+  let stale_realized, stale_nominal, _ = recovered stale_cfg in
+  let resolves =
+    match drift_metrics with
+    | Some d -> d.Cellsim.Sim.resolves
+    | None -> 0
+  in
+  Printf.printf
+    "\nrecovered phase (t in (280, 360], selective-d3, cells/call):\n";
+  Printf.printf "  %-10s realized %7.2f  nominal %7.2f  (%d re-solves)\n"
+    "drift-on" drift_realized drift_nominal resolves;
+  Printf.printf "  %-10s realized %7.2f  nominal %7.2f\n" "stale"
+    stale_realized stale_nominal;
+  let recovered_ok = drift_realized <= 1.10 *. drift_nominal in
+  let stale_degrades =
+    stale_realized > 1.10 *. stale_nominal
+    && stale_realized > 2.0 *. drift_realized
+  in
+  record ~id:"e24"
+    ~pass:(bracket && monotone && resolves >= 1 && recovered_ok && stale_degrades)
+    ~metrics:
+      [
+        "nominal_ep", json_num nominal;
+        ( "eps_sweep",
+          "["
+          ^ String.concat ", "
+              (List.map
+                 (fun (eps, lo, hi, worst) ->
+                   Printf.sprintf
+                     "{\"eps\": %s, \"lo\": %s, \"hi\": %s, \"worst\": %s}"
+                     (json_num eps) (json_num lo) (json_num hi)
+                     (json_num worst))
+                 rows)
+          ^ "]" );
+        "drift_realized", json_num drift_realized;
+        "drift_nominal", json_num drift_nominal;
+        "stale_realized", json_num stale_realized;
+        "stale_nominal", json_num stale_nominal;
+        "resolves", string_of_int resolves;
+      ]
+    (Printf.sprintf
+       "bounds bracket nominal and worst case: %b; widen monotonically: %b; \
+        drift re-solved %d times and realized/nominal = %.2f (<= 1.10); \
+        stale realized/nominal = %.2f and %.1fx the drift-on realized cost"
+       bracket monotone resolves
+       (drift_realized /. drift_nominal)
+       (stale_realized /. stale_nominal)
+       (stale_realized /. drift_realized))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1279,10 +1463,25 @@ let experiments =
     "e21", e21;
     "e22", e22;
     "e23", e23;
+    "e24", e24;
   ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let rec strip_json_out acc = function
+    | "--json-out" :: dir :: rest ->
+      json_out := Some dir;
+      strip_json_out acc rest
+    | "--json-out" :: [] ->
+      prerr_endline "--json-out requires a directory argument";
+      exit 1
+    | a :: rest -> strip_json_out (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = strip_json_out [] args in
+  (match !json_out with
+   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+   | _ -> ());
   let no_bechamel = List.mem "--no-bechamel" args in
   let selected =
     List.filter (fun a -> a <> "--no-bechamel") args
@@ -1306,12 +1505,15 @@ let () =
   print_endline "==================== summary ====================";
   let all_pass = ref true in
   List.iter
-    (fun (id, pass, detail) ->
+    (fun (id, pass, detail, _) ->
       if not pass then all_pass := false;
       Printf.printf "%-5s %-5s %s\n" id
         (if pass then "PASS" else "FAIL")
         detail)
     (List.rev !results);
+  (match !json_out with
+   | Some dir -> List.iter (json_out_result dir) (List.rev !results)
+   | None -> ());
   print_newline ();
   if !all_pass then print_endline "all shape checks passed"
   else begin

@@ -105,7 +105,7 @@ module Json = struct
         ]
     in
     obj
-      [
+      ([
         "duration", num r.Cellsim.Sim.duration;
         "moves", string_of_int r.Cellsim.Sim.moves;
         "updates", string_of_int r.Cellsim.Sim.updates;
@@ -117,6 +117,24 @@ module Json = struct
         "per_scheme",
         arr (List.map scheme r.Cellsim.Sim.per_scheme);
       ]
+      @
+      (match r.Cellsim.Sim.drift with
+      | Some d ->
+        [
+          ( "drift",
+            obj
+              [
+                "checks", string_of_int d.Cellsim.Sim.checks;
+                "evaluated", string_of_int d.Cellsim.Sim.evaluated;
+                "resolves", string_of_int d.Cellsim.Sim.resolves;
+                ( "last_resolve",
+                  match d.Cellsim.Sim.last_resolve with
+                  | Some t -> num t
+                  | None -> "null" );
+                "max_mean_tv", num d.Cellsim.Sim.max_mean_tv;
+              ] );
+        ]
+      | None -> []))
 end
 
 (* ---------------- generate ---------------- *)
@@ -186,6 +204,9 @@ let solver_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Solver.spec_of_string s) in
   Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Solver.spec_to_string s))
 
+let bounds_json (b : Uncertainty.bounds) =
+  Json.obj [ "lo", Json.num b.Uncertainty.lo; "hi", Json.num b.Uncertainty.hi ]
+
 let runner_report_json (r : Runner.run_report) =
   let stage (s : Runner.stage_report) =
     Json.obj
@@ -194,9 +215,12 @@ let runner_report_json (r : Runner.run_report) =
          "status", Json.str (Runner.stage_status_to_string s.Runner.status);
          "elapsed_ms", Json.num s.Runner.elapsed_ms;
        ]
+       @ (match s.Runner.expected_paging with
+          | Some ep -> [ ("expected_paging", Json.num ep) ]
+          | None -> [])
        @
-       match s.Runner.expected_paging with
-       | Some ep -> [ ("expected_paging", Json.num ep) ]
+       match s.Runner.robust_ep with
+       | Some rep -> [ ("robust_ep", Json.num rep) ]
        | None -> [])
   in
   let winner_fields =
@@ -226,6 +250,20 @@ let runner_report_json (r : Runner.run_report) =
       ]
     | None -> []
   in
+  let robust_fields =
+    match r.Runner.robust with
+    | Some rb ->
+      [
+        ( "robust",
+          Json.obj
+            [
+              "uncertainty", Json.str (Uncertainty.to_string rb.Runner.uncertainty);
+              "winner_robust_ep", Json.num rb.Runner.winner_robust_ep;
+              "ep_bounds", bounds_json rb.Runner.winner_bounds;
+            ] );
+      ]
+    | None -> []
+  in
   let failure_fields =
     match r.Runner.failure with
     | Some e -> [ ("failure", Json.str (Runner.error_to_string e)) ]
@@ -240,10 +278,10 @@ let runner_report_json (r : Runner.run_report) =
        "stages", Json.arr (List.map stage r.Runner.stages);
        "total_ms", Json.num r.Runner.total_ms;
      ]
-     @ winner_fields @ quality_fields @ failure_fields)
+     @ winner_fields @ quality_fields @ robust_fields @ failure_fields)
 
-let solve_budgeted inst objective json budget_ms chain =
-  let report = Runner.run ~objective ?budget_ms ~chain inst in
+let solve_budgeted inst objective json budget_ms chain uncertainty =
+  let report = Runner.run ~objective ?budget_ms ?uncertainty ~chain inst in
   if json then print_endline (runner_report_json report)
   else begin
     Format.printf "@[<v>%a@]@." Runner.pp_report report;
@@ -261,42 +299,106 @@ let solve_budgeted inst objective json budget_ms chain =
        | None -> "no result");
     exit 2
 
-let solve path spec objective verbose json budget_ms chain =
+let solve path spec objective verbose json budget_ms chain eps tv samples
+    confidence robust =
   guard @@ fun () ->
   let inst = read_instance path in
+  (* The perturbation ball: an explicit --eps wins; --samples derives a
+     DKW-style per-entry radius at --confidence; --robust alone uses
+     the same default radius as the "robust" solver spec. *)
+  let eff_eps =
+    match (eps, samples) with
+    | Some e, _ -> Some e
+    | None, Some n -> Some (Prob.Estimate.dkw_eps ~n ~confidence)
+    | None, None -> if robust || tv <> None then Some 0.05 else None
+  in
+  let uncertainty = Option.map (fun e -> Uncertainty.uniform ?tv e) eff_eps in
+  (match uncertainty with
+   | Some u ->
+     (match Uncertainty.validate u ~m:inst.Instance.m with
+      | Ok () -> ()
+      | Error e -> invalid_arg e)
+   | None -> ());
+  (* Text-mode certification printed for the direct (non-runner) path;
+     the runner prints its own robust report. *)
+  let certification strategy =
+    match uncertainty with
+    | None -> None
+    | Some u ->
+      let b = Uncertainty.ep_bounds ~objective u inst strategy in
+      let worst = Uncertainty.robust_ep ~objective u inst strategy in
+      Some (u, b, worst)
+  in
   match (budget_ms, chain) with
   | (Some _, _ | None, Some _) ->
     (* Runner path: a budget or an explicit chain was requested. With a
        budget but no chain, an explicit --solver becomes a one-stage
-       chain (plus the Page_all baseline); otherwise the default chain. *)
+       chain (plus the Page_all baseline); otherwise the default chain.
+       With --robust the uncertainty flows into the runner, which
+       re-ranks the chain by worst-case EP and certifies the winner;
+       without it the certification is computed for the winner only. *)
     let chain =
       match (chain, spec) with
       | Some chain, _ -> chain
       | None, Some spec -> [ spec ]
       | None, None -> Runner.default_chain
     in
-    solve_budgeted inst objective json budget_ms chain
+    if robust then
+      solve_budgeted inst objective json budget_ms chain uncertainty
+    else begin
+      solve_budgeted inst objective json budget_ms chain None;
+      match uncertainty with
+      | Some u when not json ->
+        Printf.printf "uncertainty (%s): see `solve --robust` for \
+                       worst-case ranking\n"
+          (Uncertainty.to_string u)
+      | _ -> ()
+    end
   | None, None ->
-    let spec = Option.value spec ~default:Solver.Greedy in
+    let spec =
+      match (robust, spec) with
+      | true, _ ->
+        let u = Option.get uncertainty in
+        Solver.Robust { eps = u.Uncertainty.eps; tv = u.Uncertainty.tv }
+      | false, Some spec -> spec
+      | false, None -> Solver.Greedy
+    in
     let outcome = Solver.solve ~objective spec inst in
+    let cert = certification outcome.Solver.strategy in
     if json then
       print_endline
         (Json.obj
-           [
-             "solver", Json.str (Solver.spec_to_string spec);
-             "strategy", Json.strategy outcome.Solver.strategy;
-             "expected_paging", Json.num outcome.Solver.expected_paging;
-             "exact", (if outcome.Solver.exact then "true" else "false");
-             "expected_rounds",
-             Json.num
-               (Strategy.expected_rounds ~objective inst outcome.Solver.strategy);
-             "lower_bound", Json.num (Bounds.lower_bound ~objective inst);
-             "page_all_cost", string_of_int inst.Instance.c;
-           ])
+           ([
+              "solver", Json.str (Solver.spec_to_string spec);
+              "strategy", Json.strategy outcome.Solver.strategy;
+              "expected_paging", Json.num outcome.Solver.expected_paging;
+              "exact", (if outcome.Solver.exact then "true" else "false");
+              "expected_rounds",
+              Json.num
+                (Strategy.expected_rounds ~objective inst
+                   outcome.Solver.strategy);
+              "lower_bound", Json.num (Bounds.lower_bound ~objective inst);
+              "page_all_cost", string_of_int inst.Instance.c;
+            ]
+           @
+           match cert with
+           | Some (u, b, worst) ->
+             [
+               "uncertainty", Json.str (Uncertainty.to_string u);
+               "ep_bounds", bounds_json b;
+               "robust_ep", Json.num worst;
+             ]
+           | None -> []))
     else begin
       Printf.printf "strategy: %s\n" (Strategy.to_string outcome.Solver.strategy);
       Printf.printf "expected paging: %.6f%s\n" outcome.Solver.expected_paging
         (if outcome.Solver.exact then " (optimal)" else "");
+      (match cert with
+       | Some (u, b, worst) ->
+         Printf.printf "uncertainty (%s): certified EP in [%.6f, %.6f], \
+                        worst-case EP %.6f\n"
+           (Uncertainty.to_string u) b.Uncertainty.lo b.Uncertainty.hi worst
+       | None -> ());
       if verbose then begin
         Printf.printf "expected rounds: %.6f\n"
           (Strategy.expected_rounds ~objective inst outcome.Solver.strategy);
@@ -351,11 +453,50 @@ let solve_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
   in
+  let eps =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "eps" ]
+          ~doc:"Per-entry perturbation radius of the uncertainty ball; \
+                prints certified EP bounds for the returned strategy.")
+  in
+  let tv =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "tv" ]
+          ~doc:"Total-variation budget per device row (default unlimited).")
+  in
+  let samples =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "samples" ]
+          ~doc:"Sample count behind the instance's rows; derives $(b,--eps) \
+                from the DKW bound when no explicit radius is given.")
+  in
+  let confidence =
+    Arg.(
+      value
+      & opt float 0.95
+      & info [ "confidence" ]
+          ~doc:"Confidence level for the $(b,--samples)-derived radius.")
+  in
+  let robust =
+    Arg.(
+      value & flag
+      & info [ "robust" ]
+          ~doc:"Rank candidates by worst-case expected paging over the \
+                uncertainty ball instead of nominal EP (chains re-rank in \
+                the runner; otherwise the robust solver runs its \
+                candidate list).")
+  in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve an instance")
     Term.(
       const solve $ file_arg $ spec $ objective $ verbose $ json $ budget_arg
-      $ chain_arg)
+      $ chain_arg $ eps $ tv $ samples $ confidence $ robust)
 
 (* ---------------- sweep ---------------- *)
 
@@ -631,6 +772,7 @@ let simulate_custom rows cols users rate duration seed block d_list reporting
       call_duration;
       track_ongoing = true;
       faults;
+      estimator = Cellsim.Sim.Live;
       profile_decay = 0.9;
       profile_smoothing = 0.05;
       duration;
@@ -703,7 +845,7 @@ let simulate_cmd =
       value
       & opt scenario_conv None
       & info [ "scenario" ]
-          ~doc:"Preset: suburb | commuter-day | busy-campus | \
+          ~doc:"Preset: suburb | commuter-day | drifting-commuter | busy-campus | \
                 degraded-downtown (overrides the other simulation options; \
                 explicit fault flags still apply on top).")
   in

@@ -1,0 +1,143 @@
+type config = {
+  window : float;
+  min_obs : int;
+  min_users : int;
+  threshold : float;
+  cooldown : float;
+}
+
+let default =
+  { window = 20.0; min_obs = 4; min_users = 8; threshold = 0.6; cooldown = 30.0 }
+
+let validate cfg =
+  if not (Float.is_finite cfg.window && cfg.window > 0.0) then
+    Error "window must be positive and finite"
+  else if cfg.min_obs < 1 then Error "min_obs must be >= 1"
+  else if cfg.min_users < 1 then Error "min_users must be >= 1"
+  else if
+    not (Float.is_finite cfg.threshold)
+    || cfg.threshold <= 0.0 || cfg.threshold > 1.0
+  then Error "threshold must be in (0, 1]"
+  else if not (Float.is_finite cfg.cooldown && cfg.cooldown >= 0.0) then
+    Error "cooldown must be >= 0"
+  else Ok ()
+
+type verdict = Insufficient of int | Stable of float | Drifted of float
+
+type t = {
+  cfg : config;
+  cells : int;
+  obs : (float * int) Queue.t array;  (* per user: (time, cell), oldest first *)
+  mutable armed_at : float;  (* cooldown anchor: last trigger or rearm *)
+  mutable checks : int;
+  mutable evaluated : int;
+  mutable triggers : int;
+  mutable last_trigger : float option;
+  mutable max_mean_tv : float;
+}
+
+let create cfg ~users ~cells =
+  (match validate cfg with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Drift.create: " ^ e));
+  if users < 1 then invalid_arg "Drift.create: users must be >= 1";
+  if cells < 1 then invalid_arg "Drift.create: cells must be >= 1";
+  {
+    cfg;
+    cells;
+    obs = Array.init users (fun _ -> Queue.create ());
+    armed_at = neg_infinity;
+    checks = 0;
+    evaluated = 0;
+    triggers = 0;
+    last_trigger = None;
+    max_mean_tv = 0.0;
+  }
+
+(* Cap per-user memory: windows beyond this are no sharper. *)
+let max_window_entries = 64
+
+let trim_old t q ~now =
+  let cutoff = now -. t.cfg.window in
+  let rec go () =
+    match Queue.peek_opt q with
+    | Some (at, _) when at < cutoff ->
+      ignore (Queue.pop q);
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let observe t ~user ~cell ~now =
+  let q = t.obs.(user) in
+  Queue.push (now, cell) q;
+  if Queue.length q > max_window_entries then ignore (Queue.pop q);
+  trim_old t q ~now
+
+let tv a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Drift.tv: length mismatch";
+  let s = ref 0.0 in
+  Array.iteri (fun j x -> s := !s +. abs_float (x -. b.(j))) a;
+  0.5 *. !s
+
+let check t ~now ~reference =
+  t.checks <- t.checks + 1;
+  if now < t.armed_at +. t.cfg.cooldown then Insufficient 0
+  else begin
+    let eligible = ref 0 and tv_sum = ref 0.0 in
+    let emp = Array.make t.cells 0.0 in
+    Array.iteri
+      (fun u q ->
+         trim_old t q ~now;
+         let n = Queue.length q in
+         if n >= t.cfg.min_obs then begin
+           Array.fill emp 0 t.cells 0.0;
+           let share = 1.0 /. float_of_int n in
+           Queue.iter (fun (_, cell) -> emp.(cell) <- emp.(cell) +. share) q;
+           tv_sum := !tv_sum +. tv emp (reference u);
+           incr eligible
+         end)
+      t.obs;
+    if !eligible < t.cfg.min_users then Insufficient !eligible
+    else begin
+      t.evaluated <- t.evaluated + 1;
+      let mean = !tv_sum /. float_of_int !eligible in
+      if mean > t.max_mean_tv then t.max_mean_tv <- mean;
+      if mean > t.cfg.threshold then begin
+        t.triggers <- t.triggers + 1;
+        t.last_trigger <- Some now;
+        t.armed_at <- now;
+        Drifted mean
+      end
+      else Stable mean
+    end
+  end
+
+let window t ~user ~now =
+  let q = t.obs.(user) in
+  trim_old t q ~now;
+  List.rev (Queue.fold (fun acc (_, cell) -> cell :: acc) [] q)
+
+(* Windows are kept across rearms: when the caller re-estimates from
+   the windows, the refreshed reference agrees with them by
+   construction, so retained evidence cannot re-trigger spuriously —
+   while users the refresh missed keep accusing the snapshot. *)
+let rearm t ~now = t.armed_at <- now
+
+type report = {
+  checks : int;
+  evaluated : int;
+  triggers : int;
+  last_trigger : float option;
+  max_mean_tv : float;
+}
+
+let report (t : t) =
+  {
+    checks = t.checks;
+    evaluated = t.evaluated;
+    triggers = t.triggers;
+    last_trigger = t.last_trigger;
+    max_mean_tv = t.max_mean_tv;
+  }

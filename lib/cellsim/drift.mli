@@ -1,0 +1,77 @@
+(** Drift detection for the paging matrix.
+
+    The simulator pages with a {e snapshot} of the per-user location
+    profiles (the estimated matrix); the live profiles keep learning
+    from reports and successful pages. This monitor watches the gap
+    between the two: per user it keeps the recent observation window
+    (cells the system actually saw the user in, within a sliding time
+    horizon) and compares its empirical distribution against the
+    snapshot's row by total-variation distance.
+
+    A verdict is only rendered when enough users have enough {e fresh}
+    evidence — under stationary mobility few users produce reports, so
+    the monitor stays silent instead of reacting to sampling noise; a
+    regime change produces a burst of relocation reports, making many
+    users eligible at once with windows far from their snapshot rows.
+    The caller re-estimates (refreshes the snapshot) and {!rearm}s on a
+    [Drifted] verdict. *)
+
+type config = {
+  window : float;  (** sliding time horizon of "recent" observations *)
+  min_obs : int;  (** per-user recent observations required for eligibility *)
+  min_users : int;  (** eligible users required before any verdict *)
+  threshold : float;  (** mean TV distance that triggers [Drifted] *)
+  cooldown : float;  (** minimum time between triggers / rearms *)
+}
+
+(** window 20, min_obs 4, min_users 8, threshold 0.6, cooldown 30. *)
+val default : config
+
+val validate : config -> (unit, string) result
+
+type verdict =
+  | Insufficient of int
+      (** too few eligible users (the count), or still cooling down *)
+  | Stable of float  (** mean TV over eligible users, under threshold *)
+  | Drifted of float  (** mean TV over eligible users, over threshold *)
+
+type t
+
+(** [create config ~users ~cells].
+    @raise Invalid_argument on an invalid config. *)
+val create : config -> users:int -> cells:int -> t
+
+(** [observe t ~user ~cell ~now] — the system saw [user] in [cell]. *)
+val observe : t -> user:int -> cell:int -> now:float -> unit
+
+(** [check t ~now ~reference] compares each eligible user's recent
+    empirical distribution against [reference user] (the snapshot row,
+    a length-[cells] distribution). Counts the check; a [Drifted]
+    verdict also records the trigger time. *)
+val check : t -> now:float -> reference:(int -> float array) -> verdict
+
+(** [window t ~user ~now] — the cells of [user]'s recent observation
+    window (oldest first), after expiring entries older than the
+    horizon. The raw material for re-estimating a drifted user. *)
+val window : t -> user:int -> now:float -> int list
+
+(** [rearm t ~now] — the snapshot was refreshed: start a cooldown.
+    Observation windows are kept — a caller that re-estimates from the
+    windows makes the refreshed reference agree with them by
+    construction, while evidence the refresh missed keeps counting
+    against the snapshot. *)
+val rearm : t -> now:float -> unit
+
+(** [tv a b] is the total-variation distance (1/2)·Σ|aⱼ − bⱼ|.
+    @raise Invalid_argument on length mismatch. *)
+val tv : float array -> float array -> float
+
+type report = {
+  checks : int;  (** calls to {!check} *)
+  evaluated : int;  (** checks that had enough evidence for a verdict *)
+  triggers : int;  (** [Drifted] verdicts *)
+  last_trigger : float option;
+  max_mean_tv : float;  (** largest mean TV seen by any evaluated check *)
+}
+
+val report : t -> report

@@ -38,5 +38,25 @@ let distribution_over t subset =
     Prob.Dist.normalize
       (Array.map (fun j -> t.counts.(j) +. t.smoothing) subset)
 
+let reset t =
+  Array.fill t.counts 0 (cells t) 0.0;
+  t.seen <- 0
+
+let reseed t ?prior obs =
+  reset t;
+  (match prior with
+   | Some subset when Array.length subset > 0 ->
+     (* One pseudo-observation spread over the prior support: the
+        rebuilt estimate hedges instead of claiming point confidence
+        from a handful of sightings. *)
+     let w = 1.0 /. float_of_int (Array.length subset) in
+     Array.iter
+       (fun c ->
+          if c < 0 || c >= cells t then invalid_arg "Profile.reseed: bad cell"
+          else t.counts.(c) <- t.counts.(c) +. w)
+       subset
+   | _ -> ());
+  List.iter (observe t) obs
+
 let copy t =
   { counts = Array.copy t.counts; decay = t.decay; smoothing = t.smoothing; seen = t.seen }

@@ -29,4 +29,18 @@ val distribution : t -> float array
     subset and renormalized (e.g. the user's current location area). *)
 val distribution_over : t -> int array -> float array
 
+(** [reset t] drops all accumulated counts (back to the smoothed
+    uniform). Used when the estimate is known to be invalidated — e.g.
+    a drift monitor re-estimates the user from recent evidence only. *)
+val reset : t -> unit
+
+(** [reseed t ?prior obs] rebuilds the estimate from scratch: drops all
+    counts, spreads one pseudo-observation uniformly over [prior] (the
+    cells the user is known to be among, e.g. their registered location
+    area), then records each cell of [obs] in order. The prior keeps
+    the rebuilt row honest — a couple of sightings shift its mode
+    without claiming near-certainty.
+    @raise Invalid_argument on an out-of-range cell. *)
+val reseed : t -> ?prior:int array -> int list -> unit
+
 val copy : t -> t

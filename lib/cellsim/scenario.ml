@@ -15,6 +15,7 @@ let suburb ?(seed = 2002) () =
     call_duration = 0.0;
     track_ongoing = true;
     faults = None;
+    estimator = Sim.Live;
     duration = 300.0;
     seed;
   }
@@ -58,6 +59,77 @@ let commuter_day ?(seed = 2002) () =
     call_duration = 0.0;
     track_ongoing = true;
     faults = None;
+    estimator = Sim.Live;
+    duration;
+    seed;
+  }
+
+(* Model misspecification end-to-end: users sit still long enough for
+   the system to freeze an estimated paging matrix, then a commute
+   relocates everyone. With the drift monitor on, the burst of
+   relocation reports triggers re-estimation + re-solving; with it off
+   (drift = None) the sim is the stale-matrix baseline. *)
+let drifting_commuter ?(seed = 2002) () =
+  let hex = Hex.create ~rows:8 ~cols:12 in
+  let users = 90 in
+  let duration = 360.0 in
+  (* Static "at home/office" phase (identity kernel): the estimate can
+     converge, and a converged estimate stays exactly right until the
+     commute — so any realized-vs-nominal gap is attributable to
+     staleness, not to residual motion. *)
+  let parked =
+    let n = Hex.cells hex in
+    Mobility.create
+      (Array.init n (fun cell ->
+           let row = Array.make n 0.0 in
+           row.(cell) <- 1.0;
+           row))
+  in
+  let eastbound = Mobility.drift_walk hex ~stay:0.2 ~east_bias:4.0 in
+  {
+    Sim.hex;
+    mobility = parked;
+    areas = Location_area.grid hex ~block_rows:4 ~block_cols:4;
+    users;
+    traffic =
+      Traffic.create ~rate:0.7 ~group_size:(Traffic.Uniform_range (2, 4)) ~users;
+    schemes = [ Sim.Blanket; Sim.Selective 3 ];
+    reporting = Reporting.Area;
+    profile_decay = 0.9;
+    (* Tiny smoothing: parked users really are where the counts say,
+       so a near-deterministic row keeps the nominal EP honest. *)
+    profile_smoothing = 0.001;
+    (* The commute is a transition, not a permanent regime: users
+       relocate east for 25 ticks, then settle at the new location — so
+       a refreshed estimate becomes valid again and realized cost can
+       re-converge to the re-solved nominal EP. *)
+    mobility_schedule = [ (180.0, eastbound); (205.0, parked) ];
+    (* Short calls: while a line is up the network tracks the terminal,
+       so every call yields a few exact sightings — the realistic
+       evidence rate that lets rebuilt rows sharpen again. *)
+    call_duration = 2.0;
+    track_ongoing = true;
+    faults = None;
+    estimator =
+      Sim.Snapshot
+        {
+          warmup = 120.0;
+          (* A longer, lower-bar evidence window than {!Drift.default}:
+             parked users are sighted only on the occasional call, so
+             post-commute corrections must get by on sparse exact
+             sightings; the commute's relocation burst clears the bar
+             either way. *)
+          drift =
+            Some
+              {
+                Drift.window = 40.0;
+                min_obs = 2;
+                min_users = 6;
+                threshold = 0.15;
+                cooldown = 20.0;
+              };
+          budget_ms = Some 5.0;
+        };
     duration;
     seed;
   }
@@ -80,6 +152,7 @@ let busy_campus ?(seed = 2002) () =
     call_duration = 5.0;
     track_ongoing = true;
     faults = None;
+    estimator = Sim.Live;
     duration = 300.0;
     seed;
   }
@@ -105,6 +178,7 @@ let all =
   [
     "suburb", suburb;
     "commuter-day", commuter_day;
+    "drifting-commuter", drifting_commuter;
     "busy-campus", busy_campus;
     "degraded-downtown", degraded_downtown;
   ]

@@ -16,6 +16,21 @@ val suburb : ?seed:int -> unit -> Sim.config
     stress the estimators realistically. *)
 val commuter_day : ?seed:int -> unit -> Sim.config
 
+(** [drifting_commuter ?seed ()] — model misspecification end-to-end on
+    a 12×8 field: users sit still ("parked") while the system freezes
+    an estimated paging matrix at t = 120 ([Sim.Snapshot] estimator);
+    at t = 180 everyone commutes east for 25 ticks, then parks again.
+    A {!Drift} monitor rides on call arrivals and refreshes the
+    snapshot when evidence contradicts it — the relocation burst
+    triggers hedged re-estimation and re-solving, and later sightings
+    let the refreshed rows sharpen until realized paging cost matches
+    the re-solved nominal EP again; selective planning runs through
+    the budgeted {!Confcall.Runner} (5 ms/call). Setting the
+    estimator's [drift] to [None] turns the same workload into the
+    stale-matrix baseline, which stays miscalibrated and expensive
+    after the commute. *)
+val drifting_commuter : ?seed:int -> unit -> Sim.config
+
 (** [busy_campus ?seed ()] — a dense 6×6 field with per-2×2 location
     areas, high call rate and 5-unit mean call durations: many busy
     lines, much free tracking. *)

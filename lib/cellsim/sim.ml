@@ -3,6 +3,8 @@ module Strategy = Confcall.Strategy
 module Greedy = Confcall.Greedy
 module Order_dp = Confcall.Order_dp
 module Miss = Confcall.Miss
+module Runner = Confcall.Runner
+module Solver = Confcall.Solver
 
 type scheme = Blanket | Selective of int | Selective_diffuse of int
 
@@ -40,6 +42,14 @@ type scheme_metrics = {
   robustness : fault_metrics;
 }
 
+type drift_metrics = {
+  checks : int;
+  evaluated : int;
+  resolves : int;
+  last_resolve : float option;
+  max_mean_tv : float;
+}
+
 type result = {
   duration : float;
   moves : int;
@@ -49,8 +59,17 @@ type result = {
   reports_lost : int;
   reports_delayed : int;
   outages : int;
+  drift : drift_metrics option;
   per_scheme : scheme_metrics list;
 }
+
+type estimator =
+  | Live
+  | Snapshot of {
+      warmup : float;
+      drift : Drift.config option;
+      budget_ms : float option;
+    }
 
 type config = {
   hex : Hex.t;
@@ -66,6 +85,7 @@ type config = {
   call_duration : float;
   track_ongoing : bool;
   faults : Faults.t option;
+  estimator : estimator;
   duration : float;
   seed : int;
 }
@@ -86,6 +106,7 @@ let default_config () =
     call_duration = 0.0;
     track_ongoing = true;
     faults = None;
+    estimator = Live;
     duration = 400.0;
     seed = 2002;
   }
@@ -128,6 +149,22 @@ let validate_config config =
     (match Reporting.validate config.reporting with
      | Ok () -> ()
      | Error reason -> invalid_arg ("Sim.run: " ^ reason));
+    (match config.estimator with
+     | Live -> ()
+     | Snapshot { warmup; drift; budget_ms } ->
+       if not (Float.is_finite warmup && warmup >= 0.0) then
+         invalid_arg "Sim.run: estimator warmup must be finite and >= 0";
+       (match drift with
+        | None -> ()
+        | Some dc ->
+          (match Drift.validate dc with
+           | Ok () -> ()
+           | Error reason -> invalid_arg ("Sim.run: drift: " ^ reason)));
+       (match budget_ms with
+        | None -> ()
+        | Some b ->
+          if not (Float.is_finite b && b > 0.0) then
+            invalid_arg "Sim.run: estimator budget_ms must be positive"));
     match config.faults with
     | None -> ()
     | Some f ->
@@ -223,6 +260,45 @@ let run config =
     in
     (* Initial registration: the system learns the starting cells. *)
     Array.iteri (fun u cell -> Profile.observe profiles.(u) cell) position;
+    (* Estimated-matrix path: once taken, the paging planner reads the
+       frozen [snapshot] while the live profiles keep learning; the
+       drift monitor decides when the snapshot is refreshed. *)
+    let snapshot = ref [||] in
+    let snapshot_active () = Array.length !snapshot > 0 in
+    let take_snapshot () = snapshot := Array.map Profile.copy profiles in
+    let est_warmup, dmon, plan_budget_ms =
+      match config.estimator with
+      | Live -> (infinity, None, None)
+      | Snapshot { warmup; drift; budget_ms } ->
+        ( warmup,
+          Option.map
+            (fun dc -> Drift.create dc ~users:config.users ~cells)
+            drift,
+          budget_ms )
+    in
+    (* Fresh sightings required before a drift trigger may discard a
+       user's history in favor of the window, and how far (in TV
+       distance) the window must sit from the live estimate before the
+       history is actually discarded. *)
+    let min_reestimate_obs = 1 in
+    let reestimate_tv = 0.5 in
+    let resolves = ref 0 and last_resolve = ref None in
+    let maybe_freeze now =
+      if (not (snapshot_active ())) && now >= est_warmup then begin
+        take_snapshot ();
+        Option.iter (fun d -> Drift.rearm d ~now) dmon
+      end
+    in
+    let paging_profile u =
+      if snapshot_active () then (!snapshot).(u) else profiles.(u)
+    in
+    (* Every exact sighting feeds the live profile, and — once the
+       snapshot is frozen — the drift monitor's evidence window. *)
+    let learn ~now u cell =
+      Profile.observe profiles.(u) cell;
+      if snapshot_active () then
+        Option.iter (fun d -> Drift.observe d ~user:u ~cell ~now) dmon
+    in
     let busy_until = Array.make config.users neg_infinity in
     let diffuse = diffusion_cache config.mobility cells in
     let all_cells = Array.init cells (fun i -> i) in
@@ -260,7 +336,7 @@ let run config =
       Call;
 
     let observe_exactly u ~now =
-      Profile.observe profiles.(u) position.(u);
+      learn ~now u position.(u);
       Reporting.observe_page report_state.(u) ~cell:position.(u) ~now
     in
 
@@ -273,6 +349,7 @@ let run config =
         config.mobility config.mobility_schedule
     in
     let handle_tick now =
+      maybe_freeze now;
       if faults_on && fmodel.Faults.outage_rate > 0.0 then
         Faults.Outage.step outage fmodel rng_faults;
       let mobility = mobility_at now in
@@ -298,7 +375,7 @@ let run config =
             | None ->
               incr updates;
               (* The report reveals the exact new cell. *)
-              Profile.observe profiles.(u) to_cell
+              learn ~now u to_cell
             | Some snapshot ->
               let moved = to_cell <> from_cell in
               if
@@ -326,7 +403,7 @@ let run config =
               end
               else begin
                 incr updates;
-                Profile.observe profiles.(u) to_cell
+                learn ~now u to_cell
               end
           end
         end
@@ -335,6 +412,53 @@ let run config =
     in
 
     let handle_call now =
+      maybe_freeze now;
+      (* Drift check rides on call arrivals: the snapshot matters
+         exactly when a search is about to use it. A trigger refreshes
+         the snapshot (re-estimation) before this call is planned. *)
+      (match dmon with
+       | Some d when snapshot_active () ->
+         (match
+            Drift.check d ~now ~reference:(fun u ->
+                Profile.distribution (!snapshot).(u))
+          with
+          | Drift.Drifted _ ->
+            (* Re-estimation: a user whose evidence window contradicts
+               their live estimate has known-stale counts — rebuild
+               their profile from the window, hedged over their
+               registered uncertainty set (the system still knows which
+               location area they are in). Users whose live estimate
+               already explains their window keep it: it concentrates
+               as sightings accumulate, so rows sharpen again after the
+               initial hedged rebuild. Then freeze the refreshed
+               estimates. *)
+            Array.iteri
+              (fun u profile ->
+                 let recent = Drift.window d ~user:u ~now in
+                 let n = List.length recent in
+                 if n >= min_reestimate_obs then begin
+                   let emp = Array.make cells 0.0 in
+                   let share = 1.0 /. float_of_int n in
+                   List.iter
+                     (fun c -> emp.(c) <- emp.(c) +. share)
+                     recent;
+                   if Drift.tv emp (Profile.distribution profile)
+                      > reestimate_tv
+                   then
+                     let prior =
+                       Reporting.uncertainty config.reporting
+                         ~areas:config.areas ~hex:config.hex
+                         report_state.(u) ~now
+                     in
+                     Profile.reseed profile ~prior recent
+                 end)
+              profiles;
+            take_snapshot ();
+            incr resolves;
+            last_resolve := Some now;
+            Drift.rearm d ~now
+          | Drift.Stable _ | Drift.Insufficient _ -> ())
+       | _ -> ());
       let group = Traffic.draw_group config.traffic rng_traffic in
       if Array.exists (fun u -> busy_until.(u) > now) group then
         incr skipped_calls
@@ -365,7 +489,9 @@ let run config =
         let counts_row idx =
           let u = group.(idx) in
           let row = Array.make c_local 0.0 in
-          let dist = Profile.distribution_over profiles.(u) uncertain.(idx) in
+          let dist =
+            Profile.distribution_over (paging_profile u) uncertain.(idx)
+          in
           Array.iteri
             (fun k cell -> row.(Hashtbl.find universe_tbl cell) <- dist.(k))
             uncertain.(idx);
@@ -414,7 +540,18 @@ let run config =
             match acc.s_scheme with
             | Blanket -> Strategy.page_all c_local
             | Selective _ | Selective_diffuse _ ->
-              (Greedy.solve inst).Order_dp.strategy
+              (match plan_budget_ms with
+               | Some b ->
+                 (* Re-solve through the budgeted runtime: a refreshed
+                    snapshot re-plans like any other call, under the
+                    same per-call deadline. *)
+                 (match
+                    Runner.solve ~budget_ms:b
+                      ~chain:Solver.[ Greedy; Page_all ] inst
+                  with
+                  | Ok o -> o.Solver.strategy
+                  | Error _ -> (Greedy.solve inst).Order_dp.strategy)
+               | None -> (Greedy.solve inst).Order_dp.strategy)
           in
           inst, strategy
         in
@@ -588,7 +725,7 @@ let run config =
           (* A delayed report finally arrives: the profile estimator
              learns where the terminal was when it reported. *)
           incr updates;
-          Profile.observe profiles.(user) cell);
+          learn ~now:at user cell);
 
     {
       duration = config.duration;
@@ -599,6 +736,18 @@ let run config =
       reports_lost = !reports_lost;
       reports_delayed = !reports_delayed;
       outages = Faults.Outage.failures outage;
+      drift =
+        Option.map
+          (fun d ->
+            let r = Drift.report d in
+            {
+              checks = r.Drift.checks;
+              evaluated = r.Drift.evaluated;
+              resolves = !resolves;
+              last_resolve = !last_resolve;
+              max_mean_tv = r.Drift.max_mean_tv;
+            })
+          dmon;
       per_scheme =
         List.map
           (fun acc ->
@@ -633,6 +782,16 @@ let pp_result ppf (r : result) =
   if r.reports_lost > 0 || r.reports_delayed > 0 || r.outages > 0 then
     Format.fprintf ppf "faults: %d reports lost, %d delayed, %d cell outages@,"
       r.reports_lost r.reports_delayed r.outages;
+  (match r.drift with
+   | Some d ->
+     Format.fprintf ppf
+       "drift: %d checks (%d evaluated), %d re-solves%s, max mean TV %.3f@,"
+       d.checks d.evaluated d.resolves
+       (match d.last_resolve with
+        | Some at -> Printf.sprintf " (last at t=%.0f)" at
+        | None -> "")
+       d.max_mean_tv
+   | None -> ());
   List.iter
     (fun s ->
       Format.fprintf ppf

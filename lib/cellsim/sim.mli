@@ -58,6 +58,16 @@ type scheme_metrics = {
   robustness : fault_metrics;
 }
 
+(** Observables of the estimated-matrix path: how often the drift
+    monitor looked, how often it re-estimated, and the worst gap seen. *)
+type drift_metrics = {
+  checks : int;  (** drift checks performed (one per call arrival) *)
+  evaluated : int;  (** checks with enough fresh evidence for a verdict *)
+  resolves : int;  (** drift triggers → snapshot refresh + re-solve *)
+  last_resolve : float option;  (** sim time of the latest refresh *)
+  max_mean_tv : float;  (** worst mean TV distance over evaluated checks *)
+}
+
 type result = {
   duration : float;
   moves : int;
@@ -67,8 +77,30 @@ type result = {
   reports_lost : int;  (** location reports lost in transit *)
   reports_delayed : int;  (** location reports delivered late *)
   outages : int;  (** cell up-to-down transitions over the run *)
+  drift : drift_metrics option;
+      (** set iff the run used a [Snapshot] estimator with a monitor *)
   per_scheme : scheme_metrics list;
 }
+
+(** Which matrix the paging planner sees. *)
+type estimator =
+  | Live
+      (** page straight from the continuously-updated profiles (the
+          historical behaviour of this simulator) *)
+  | Snapshot of {
+      warmup : float;
+          (** sim time at which the paging matrix is frozen from the
+              live profiles; before that the planner uses the live ones *)
+      drift : Drift.config option;
+          (** monitor comparing recent observations against the frozen
+              snapshot; a trigger re-estimates (refreshes the snapshot)
+              and re-solves. [None] is the stale-matrix baseline: the
+              snapshot is never refreshed. *)
+      budget_ms : float option;
+          (** when set, per-call selective planning goes through
+              {!Confcall.Runner.solve} under this time budget instead of
+              calling the greedy solver directly *)
+    }
 
 type config = {
   hex : Hex.t;
@@ -102,6 +134,10 @@ type config = {
           the network's view stale); the paging loop then counts it as a
           residual miss instead of raising, and only an
           [Escalate ~to_blanket:true] retry can still recover it. *)
+  estimator : estimator;
+      (** [Live] pages from the always-fresh profiles; [Snapshot]
+          freezes the paging matrix at [warmup] and models a deployed
+          estimator that must {e detect} staleness to refresh *)
   duration : float;  (** mobility ticks happen at every integer time *)
   seed : int;
 }

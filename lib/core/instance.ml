@@ -18,9 +18,11 @@ let bad_entry row =
   in
   go 0
 
-let validate ~d p =
+let validate ?(row_sum_tol = 1e-6) ~d p =
   let m = Array.length p in
-  if m = 0 then Error "no devices"
+  if Float.is_nan row_sum_tol || row_sum_tol < 0.0 then
+    Error (Printf.sprintf "row_sum_tol must be >= 0, got %g" row_sum_tol)
+  else if m = 0 then Error "no devices"
   else begin
     let c = Array.length p.(0) in
     if c = 0 then Error "no cells"
@@ -48,17 +50,19 @@ let validate ~d p =
                    (if Float.is_nan s then "NaN" else "infinite"))
             else if s <= 0.0 then
               Error (Printf.sprintf "device %d: row has no mass" i)
-            else if abs_float (s -. 1.0) > 1e-6 then
+            else if abs_float (s -. 1.0) > row_sum_tol then
               Error
-                (Printf.sprintf "device %d: row sums to %.9g, not 1" i s)
+                (Printf.sprintf
+                   "device %d: row sums to %.9g, not 1 (residual %.3g, tolerance %.3g)"
+                   i s (s -. 1.0) row_sum_tol)
             else check (i + 1)
       in
       check 0
     end
   end
 
-let create ~d p =
-  match validate ~d p with
+let create ?row_sum_tol ~d p =
+  match validate ?row_sum_tol ~d p with
   | Error reason -> invalid_arg ("Instance.create: " ^ reason)
   | Ok () ->
     let m = Array.length p in

@@ -53,6 +53,16 @@ let load_or_create path =
   let order =
     List.fold_left
       (fun acc (id, payload) ->
+         (* A doubly-appended id means two runs both thought they owned
+            the record — silently keeping either copy hides the
+            conflict. Refuse to load. (Torn trailing lines were already
+            dropped above, so a half-written retry of an existing id
+            does not trip this.) *)
+         if Hashtbl.mem tbl id then begin
+           close_out_noerr oc;
+           invalid_arg
+             (Printf.sprintf "Journal: duplicate id %S in %s" id path)
+         end;
          Hashtbl.replace tbl id payload;
          id :: acc)
       [] entries

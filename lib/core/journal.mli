@@ -18,9 +18,13 @@ type t
 (** [load_or_create path] opens the journal, recovering completed
     entries and truncating any partial trailing line. Creates the file
     (and nothing else — parent directories must exist) when absent.
-    @raise Invalid_argument if an id recorded in the file is malformed
-    (contains no tab separator on a non-trailing line is fine — the
-    whole line is then the id with an empty payload). *)
+    @raise Invalid_argument with a ["Journal: duplicate id"] message
+    when the same id appears on two complete lines — two runs both
+    claimed the record, and silently keeping either copy would hide
+    the conflict. The partial trailing line is dropped {e before} this
+    check, so a half-written retry of an existing id loads fine. A
+    complete line without a tab separator is not an error — the whole
+    line is then the id with an empty payload. *)
 val load_or_create : string -> t
 
 val path : t -> string

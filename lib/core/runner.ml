@@ -11,6 +11,7 @@ type stage_report = {
   status : stage_status;
   elapsed_ms : float;
   expected_paging : float option;
+  robust_ep : float option;  (* worst-case EP, in uncertainty runs *)
 }
 
 type quality = {
@@ -21,6 +22,12 @@ type quality = {
   within_guarantee : bool;
 }
 
+type robust_report = {
+  uncertainty : Uncertainty.t;
+  winner_robust_ep : float;
+  winner_bounds : Uncertainty.bounds;
+}
+
 type run_report = {
   chain : Solver.spec list;
   objective : Objective.t;
@@ -29,6 +36,7 @@ type run_report = {
   stages : stage_report list;
   total_ms : float;
   quality : quality option;
+  robust : robust_report option;
   failure : error option;
 }
 
@@ -66,7 +74,7 @@ let always_fast = function
   | Solver.Bandwidth_limited _ ->
     true
   | Solver.Exhaustive | Solver.Branch_and_bound | Solver.Best_exact
-  | Solver.Local_search | Solver.Class_based ->
+  | Solver.Local_search | Solver.Class_based | Solver.Robust _ ->
     false
 
 let error_to_string = function
@@ -95,7 +103,7 @@ let quality_of ?objective inst (outcome : Solver.outcome) =
 
 let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
     ?(clock = Cancel.now) ?(ensure_baseline = true) ?(chain = default_chain)
-    inst =
+    ?uncertainty inst =
   let chain =
     if ensure_baseline && not (List.mem Solver.Page_all chain) then
       chain @ [ Solver.Page_all ]
@@ -108,6 +116,21 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
     let quality =
       Option.map (fun (_, o) -> quality_of ~objective inst o) winner
     in
+    let robust =
+      match (uncertainty, winner) with
+      | Some u, Some (_, o) ->
+        (try
+           let strat = o.Solver.strategy in
+           Some
+             {
+               uncertainty = u;
+               winner_robust_ep =
+                 Uncertainty.robust_ep ~objective u inst strat;
+               winner_bounds = Uncertainty.ep_bounds ~objective u inst strat;
+             }
+         with Invalid_argument _ -> None)
+      | _ -> None
+    in
     {
       chain;
       objective;
@@ -116,24 +139,52 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
       stages = List.rev stages;
       total_ms = (clock () -. start) *. 1000.0;
       quality;
+      robust;
       failure;
     }
   in
-  match Objective.validate objective ~m:inst.Instance.m with
-  | Error msg ->
+  let input_error =
+    match Objective.validate objective ~m:inst.Instance.m with
+    | Error msg -> Some msg
+    | Ok () ->
+      (match uncertainty with
+       | None -> None
+       | Some u ->
+         (match Uncertainty.validate u ~m:inst.Instance.m with
+          | Error msg -> Some ("uncertainty: " ^ msg)
+          | Ok () -> None))
+  in
+  match input_error with
+  | Some msg ->
     finish ~stages:[] ~winner:None ~failure:(Some (Invalid_input msg))
-  | Ok () ->
-    let rec go stages = function
+  | None ->
+    (* Worst-case EP of a completed stage's strategy — the re-ranking
+       key in uncertainty mode. [infinity] keeps an unscorable stage as
+       a last-resort candidate so the run can still produce a winner. *)
+    let robust_score (outcome : Solver.outcome) =
+      match uncertainty with
+      | None -> None
+      | Some u ->
+        (try
+           Some (Uncertainty.robust_ep ~objective u inst
+                   outcome.Solver.strategy)
+         with Invalid_argument _ -> Some infinity)
+    in
+    let rec go best stages = function
       | [] ->
-        let failure =
-          if
-            List.exists
-              (fun s -> s.status = Failed Timeout)
-              stages
-          then Timeout
-          else Internal "fallback chain exhausted without a result"
-        in
-        finish ~stages ~winner:None ~failure:(Some failure)
+        (match best with
+         | Some (spec, outcome, _) ->
+           finish ~stages ~winner:(Some (spec, outcome)) ~failure:None
+         | None ->
+           let failure =
+             if
+               List.exists
+                 (fun s -> s.status = Failed Timeout)
+                 stages
+             then Timeout
+             else Internal "fallback chain exhausted without a result"
+           in
+           finish ~stages ~winner:None ~failure:(Some failure))
       | spec :: rest ->
         let t0 = clock () in
         let overdue =
@@ -142,9 +193,9 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
         if overdue && not (always_fast spec) then
           let stage =
             { spec; status = Failed Timeout; elapsed_ms = 0.0;
-              expected_paging = None }
+              expected_paging = None; robust_ep = None }
           in
-          go (stage :: stages) rest
+          go best (stage :: stages) rest
         else begin
           (* Fresh token per stage: a token fired during one stage must
              not instantly cancel the next. Overdue fast stages get the
@@ -168,24 +219,41 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
           let elapsed_ms = (clock () -. t0) *. 1000.0 in
           match result with
           | Ok (status, outcome) ->
+            let rscore = robust_score outcome in
             let stage =
               { spec; status; elapsed_ms;
-                expected_paging = Some outcome.Solver.expected_paging }
+                expected_paging = Some outcome.Solver.expected_paging;
+                robust_ep = rscore }
             in
-            finish ~stages:(stage :: stages)
-              ~winner:(Some (spec, outcome)) ~failure:None
+            (match uncertainty with
+             | None ->
+               finish ~stages:(stage :: stages)
+                 ~winner:(Some (spec, outcome)) ~failure:None
+             | Some _ ->
+               (* Re-ranking mode: keep going and remember the stage
+                  with the best certified worst case (first wins ties —
+                  earlier chain entries are the stronger methods). *)
+               let r = Option.value rscore ~default:infinity in
+               let best' =
+                 match best with
+                 | Some (_, _, r') when r' <= r -> best
+                 | _ -> Some (spec, outcome, r)
+               in
+               go best' (stage :: stages) rest)
           | Error err ->
             let stage =
               { spec; status = Failed err; elapsed_ms;
-                expected_paging = None }
+                expected_paging = None; robust_ep = None }
             in
-            go (stage :: stages) rest
+            go best (stage :: stages) rest
         end
     in
-    go [] chain
+    go None [] chain
 
-let solve ?objective ?budget_ms ?grace_ms ?clock ?chain inst =
-  let report = run ?objective ?budget_ms ?grace_ms ?clock ?chain inst in
+let solve ?objective ?budget_ms ?grace_ms ?clock ?chain ?uncertainty inst =
+  let report =
+    run ?objective ?budget_ms ?grace_ms ?clock ?chain ?uncertainty inst
+  in
   match (report.winner, report.failure) with
   | Some (_, outcome), _ -> Ok outcome
   | None, Some err -> Error err
@@ -200,12 +268,15 @@ let pp_report fmt r =
    | None -> fprintf fmt "budget: none@,");
   List.iter
     (fun s ->
-       fprintf fmt "  %-14s %8.2f ms  %s%s@,"
+       fprintf fmt "  %-14s %8.2f ms  %s%s%s@,"
          (Solver.spec_to_string s.spec)
          s.elapsed_ms
          (stage_status_to_string s.status)
          (match s.expected_paging with
           | Some ep -> sprintf "  EP=%.6f" ep
+          | None -> "")
+         (match s.robust_ep with
+          | Some rep -> sprintf "  worst-EP=%.6f" rep
           | None -> ""))
     r.stages;
   (match r.winner with
@@ -222,6 +293,13 @@ let pp_report fmt r =
        q.expected_paging q.lower_bound q.ratio_to_lower_bound q.guarantee
        (if q.within_guarantee then "within guarantee"
         else "above guarantee line")
+   | None -> ());
+  (match r.robust with
+   | Some rr ->
+     fprintf fmt "robust (%s): worst-case EP=%.6f  certified EP in [%.6f, %.6f]@,"
+       (Uncertainty.to_string rr.uncertainty)
+       rr.winner_robust_ep rr.winner_bounds.Uncertainty.lo
+       rr.winner_bounds.Uncertainty.hi
    | None -> ());
   (match r.failure with
    | Some e -> fprintf fmt "failure: %s@," (error_to_string e)

@@ -44,6 +44,9 @@ type stage_report = {
   status : stage_status;
   elapsed_ms : float;
   expected_paging : float option;  (** when the stage produced a result *)
+  robust_ep : float option;
+      (** worst-case EP of the stage's strategy over the uncertainty
+          ball — set only in uncertainty-aware runs *)
 }
 
 (** Winner quality against the certified machinery: the Lemma 3.1/3.4
@@ -58,14 +61,25 @@ type quality = {
   within_guarantee : bool;  (** ratio ≤ e/(e−1) + 1e-9 *)
 }
 
+(** Certification attached to the winner of an uncertainty-aware run. *)
+type robust_report = {
+  uncertainty : Uncertainty.t;
+  winner_robust_ep : float;  (** exact worst-case EP over the ball *)
+  winner_bounds : Uncertainty.bounds;  (** interval-certified EP range *)
+}
+
 type run_report = {
   chain : Solver.spec list;  (** as actually executed (baseline appended) *)
   objective : Objective.t;
   budget_ms : float option;
   winner : (Solver.spec * Solver.outcome) option;
-  stages : stage_report list;  (** in execution order, winner last *)
+  stages : stage_report list;
+      (** in execution order; the winner is the last stage in normal
+          runs, and the stage with the least [robust_ep] in
+          uncertainty-aware runs *)
   total_ms : float;
   quality : quality option;
+  robust : robust_report option;  (** set iff run with [?uncertainty] *)
   failure : error option;  (** set iff [winner = None] *)
 }
 
@@ -95,7 +109,17 @@ val chain_to_string : Solver.spec list -> string
     [ensure_baseline] (default true) appends [Page_all] when absent so
     the chain cannot end empty-handed. [clock] (default {!Cancel.now})
     is exposed for tests. Never raises: all solver escapes are folded
-    into the taxonomy above. *)
+    into the taxonomy above.
+
+    With [?uncertainty], the run switches from first-success to
+    {e re-ranking}: every stage still within budget runs, each
+    completed stage's strategy is scored by its worst-case EP over the
+    ball ({!Uncertainty.robust_ep}, recorded in
+    [stage_report.robust_ep]), and the winner is the stage with the
+    least worst-case EP (ties to the earlier chain entry). The report's
+    [robust] field carries the winner's certification. Budget semantics
+    are unchanged — overdue expensive stages are still skipped, so the
+    run degrades to re-ranking whatever candidates fit the budget. *)
 val run :
   ?objective:Objective.t ->
   ?budget_ms:float ->
@@ -103,6 +127,7 @@ val run :
   ?clock:(unit -> float) ->
   ?ensure_baseline:bool ->
   ?chain:Solver.spec list ->
+  ?uncertainty:Uncertainty.t ->
   Instance.t ->
   run_report
 
@@ -114,6 +139,7 @@ val solve :
   ?grace_ms:float ->
   ?clock:(unit -> float) ->
   ?chain:Solver.spec list ->
+  ?uncertainty:Uncertainty.t ->
   Instance.t ->
   (Solver.outcome, error) result
 

@@ -8,6 +8,7 @@ type spec =
   | Best_exact
   | Local_search
   | Class_based
+  | Robust of { eps : float; tv : float }
 
 type outcome = {
   strategy : Strategy.t;
@@ -29,7 +30,12 @@ let of_optimal (r : Optimal.result) =
     exact = true;
   }
 
-let solve ?objective ?cancel ?unguarded spec inst =
+(* Candidate pool for the robust re-ranking: the fast end of the
+   default chain. Each candidate is scored by its worst-case EP over
+   the perturbation ball; ties go to the earlier (stronger) method. *)
+let robust_candidates = [ Local_search; Greedy; Page_all ]
+
+let rec solve ?objective ?cancel ?unguarded spec inst =
   match spec with
   | Greedy ->
     let exact = inst.Instance.m = 1 || inst.Instance.d = 1 in
@@ -68,6 +74,23 @@ let solve ?objective ?cancel ?unguarded spec inst =
       expected_paging = r.Class_solver.expected_paging;
       exact = true;
     }
+  | Robust { eps; tv } ->
+    let u = Uncertainty.uniform ~tv eps in
+    let best = ref None in
+    List.iter
+      (fun cand ->
+         Option.iter Cancel.check cancel;
+         match solve ?objective ?cancel ?unguarded cand inst with
+         | outcome ->
+           let r = Uncertainty.robust_ep ?objective u inst outcome.strategy in
+           (match !best with
+            | Some (_, r') when r' <= r -> ()
+            | _ -> best := Some (outcome, r))
+         | exception Invalid_argument _ -> ())
+      robust_candidates;
+    (match !best with
+     | Some (outcome, _) -> { outcome with exact = false }
+     | None -> invalid_arg "Solver: no robust candidate applies")
 
 let spec_to_string = function
   | Greedy -> "greedy"
@@ -79,6 +102,9 @@ let spec_to_string = function
   | Best_exact -> "exact"
   | Local_search -> "local-search"
   | Class_based -> "class"
+  | Robust { eps; tv } ->
+    if Float.is_finite tv then Printf.sprintf "robust-%g:%g" eps tv
+    else Printf.sprintf "robust-%g" eps
 
 let spec_of_string s =
   match String.lowercase_ascii s with
@@ -89,6 +115,29 @@ let spec_of_string s =
   | "exact" | "best-exact" -> Ok Best_exact
   | "local-search" | "local" -> Ok Local_search
   | "class" | "class-based" -> Ok Class_based
+  | "robust" -> Ok (Robust { eps = 0.05; tv = infinity })
+  | s when String.length s > 7 && String.sub s 0 7 = "robust-" ->
+    let body = String.sub s 7 (String.length s - 7) in
+    let eps_s, tv_s =
+      match String.index_opt body ':' with
+      | Some i ->
+        ( String.sub body 0 i,
+          Some (String.sub body (i + 1) (String.length body - i - 1)) )
+      | None -> (body, None)
+    in
+    let parse what s =
+      match float_of_string_opt s with
+      | Some x when Float.is_nan x || x < 0.0 ->
+        Error (Printf.sprintf "robust: %s must be >= 0" what)
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "robust: bad %s %S" what s)
+    in
+    (match (parse "eps" eps_s, Option.map (parse "tv") tv_s) with
+     | Ok eps, None when eps <= 1.0 -> Ok (Robust { eps; tv = infinity })
+     | Ok eps, Some (Ok tv) when eps <= 1.0 -> Ok (Robust { eps; tv })
+     | Ok _, Some (Error e) -> Error e
+     | Ok _, _ -> Error "robust-<eps>[:<tv>] needs eps in [0, 1]"
+     | Error e, _ -> Error e)
   | s when String.length s > 10 && String.sub s 0 10 = "bandwidth-" ->
     (match int_of_string_opt (String.sub s 10 (String.length s - 10)) with
      | Some b when b >= 1 -> Ok (Bandwidth_limited b)

@@ -11,6 +11,14 @@ type spec =
   | Best_exact  (** cheapest applicable exact method *)
   | Local_search  (** hill-climbing from the greedy solution *)
   | Class_based  (** exact when cells fall into few types *)
+  | Robust of { eps : float; tv : float }
+      (** re-ranks the fast candidate pool ([Local_search], [Greedy],
+          [Page_all]) by worst-case EP over the {!Uncertainty} ball
+          ([eps] per entry, [tv] total-variation per row); returns the
+          candidate with the best certified bound. The outcome's
+          [expected_paging] is still the nominal EP of the chosen
+          strategy. Parse as ["robust"], ["robust-<eps>"], or
+          ["robust-<eps>:<tv>"]. *)
 
 type outcome = {
   strategy : Strategy.t;
@@ -40,3 +48,6 @@ val spec_to_string : spec -> string
 
 (** All parameterless specs, for CLI listings and comparison sweeps. *)
 val basic_specs : spec list
+
+(** The candidate pool a {!Robust} solve re-ranks by worst-case EP. *)
+val robust_candidates : spec list

@@ -1,0 +1,39 @@
+let row_mle ?(alpha = 1.0) counts =
+  let c = Array.length counts in
+  if c = 0 then invalid_arg "Estimate.row_mle: empty row";
+  if Float.is_nan alpha || alpha < 0.0 then
+    invalid_arg "Estimate.row_mle: alpha must be >= 0";
+  let total =
+    Array.fold_left
+      (fun acc k ->
+         if k < 0 then invalid_arg "Estimate.row_mle: negative count";
+         acc + k)
+      0 counts
+  in
+  let denom = float_of_int total +. (float_of_int c *. alpha) in
+  if denom <= 0.0 then
+    invalid_arg "Estimate.row_mle: all-zero counts with alpha = 0";
+  Array.map (fun k -> (float_of_int k +. alpha) /. denom) counts
+
+let dkw_eps ~n ~confidence =
+  if n < 0 then invalid_arg "Estimate.dkw_eps: n must be >= 0";
+  if
+    Float.is_nan confidence || confidence <= 0.0 || confidence >= 1.0
+  then invalid_arg "Estimate.dkw_eps: confidence must be in (0, 1)";
+  if n = 0 then 1.0
+  else
+    Float.min 1.0
+      (sqrt (log (2.0 /. (1.0 -. confidence)) /. (2.0 *. float_of_int n)))
+
+type row = { dist : float array; n : int; eps : float }
+
+let estimate_rows ?alpha ~confidence counts =
+  Array.map
+    (fun row ->
+       let n = Array.fold_left ( + ) 0 row in
+       {
+         dist = row_mle ?alpha row;
+         n;
+         eps = dkw_eps ~n ~confidence;
+       })
+    counts

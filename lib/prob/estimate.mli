@@ -1,0 +1,31 @@
+(** Location-matrix estimation from observation counts.
+
+    Turns per-device detection counts (how often device [i] was found in
+    cell [j]) into a probability row plus a confidence radius, so the
+    uncertainty widths fed to the robust solver come from sample sizes
+    rather than magic numbers. *)
+
+(** [row_mle ?alpha counts] is the Laplace-smoothed maximum-likelihood
+    row: [(counts.(j) + alpha) / (Σ counts + c·alpha)]. [alpha]
+    defaults to 1.0 (add-one smoothing); [alpha = 0.] is the plain MLE
+    and then requires a positive total count.
+    @raise Invalid_argument on an empty row, negative counts, negative
+    [alpha], or an all-zero row with [alpha = 0.]. *)
+val row_mle : ?alpha:float -> int array -> float array
+
+(** [dkw_eps ~n ~confidence] is a Dvoretzky–Kiefer–Wolfowitz-style
+    per-entry radius for a row estimated from [n] i.i.d. observations:
+    [sqrt (ln (2 / (1 − confidence)) / (2n))], capped at 1. With
+    probability ≥ [confidence] every empirical cell frequency is within
+    this radius of the truth. [n = 0] gives radius 1 (no information).
+    @raise Invalid_argument unless [n ≥ 0] and [0 < confidence < 1]. *)
+val dkw_eps : n:int -> confidence:float -> float
+
+(** One estimated row: the smoothed distribution, the raw sample count
+    it rests on, and its {!dkw_eps} radius. *)
+type row = { dist : float array; n : int; eps : float }
+
+(** [estimate_rows ?alpha ~confidence counts] applies {!row_mle} and
+    {!dkw_eps} to every device's count row. *)
+val estimate_rows :
+  ?alpha:float -> confidence:float -> int array array -> row array

@@ -1,0 +1,225 @@
+(* Drift-monitor tests: unit tests for the Drift verdict machinery, and
+   end-to-end soak tests on the drifting-commuter scenario — the drift
+   monitor must stay silent under stationary mobility, react promptly
+   to the relocation burst, and the refreshed estimate must bring
+   realized paging cost back in line with the re-solved nominal EP
+   while the stale-matrix baseline stays miscalibrated. *)
+
+open Cellsim
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let float_t eps = Alcotest.float eps
+
+(* -------------------- Drift unit tests -------------------- *)
+
+let cfg =
+  { Drift.window = 20.0; min_obs = 2; min_users = 3; threshold = 0.3;
+    cooldown = 5.0 }
+
+let cells = 4
+
+(* reference row: point mass at the user's home cell *)
+let point_reference u =
+  let row = Array.make cells 0.0 in
+  row.(u mod cells) <- 1.0;
+  row
+
+let feed d ~users ~offset ~times =
+  for u = 0 to users - 1 do
+    List.iter
+      (fun now -> Drift.observe d ~user:u ~cell:((u + offset) mod cells) ~now)
+      times
+  done
+
+let test_stationary_stays_stable () =
+  let d = Drift.create cfg ~users:5 ~cells in
+  feed d ~users:5 ~offset:0 ~times:[ 1.0; 2.0; 3.0 ];
+  (match Drift.check d ~now:4.0 ~reference:point_reference with
+   | Drift.Stable tv -> check (float_t 1e-9) "mean tv" 0.0 tv
+   | Drift.Drifted tv -> Alcotest.failf "drifted on stationary obs (tv %g)" tv
+   | Drift.Insufficient n -> Alcotest.failf "insufficient (%d eligible)" n);
+  (* more stationary evidence never flips the verdict *)
+  for t = 5 to 30 do
+    feed d ~users:5 ~offset:0 ~times:[ float_of_int t ];
+    match Drift.check d ~now:(float_of_int t) ~reference:point_reference with
+    | Drift.Drifted tv ->
+      Alcotest.failf "drifted at t=%d on stationary obs (tv %g)" t tv
+    | _ -> ()
+  done
+
+let test_shifted_observations_drift () =
+  let d = Drift.create cfg ~users:5 ~cells in
+  feed d ~users:5 ~offset:1 ~times:[ 1.0; 2.0; 3.0 ];
+  match Drift.check d ~now:4.0 ~reference:point_reference with
+  | Drift.Drifted tv -> check (float_t 1e-9) "mean tv" 1.0 tv
+  | Drift.Stable tv -> Alcotest.failf "stable despite relocation (tv %g)" tv
+  | Drift.Insufficient n -> Alcotest.failf "insufficient (%d eligible)" n
+
+let test_insufficient_evidence () =
+  let d = Drift.create cfg ~users:5 ~cells in
+  (* only 2 of the required 3 users have enough recent observations *)
+  feed d ~users:2 ~offset:1 ~times:[ 1.0; 2.0 ];
+  Drift.observe d ~user:2 ~cell:0 ~now:2.0;
+  (match Drift.check d ~now:3.0 ~reference:point_reference with
+   | Drift.Insufficient n -> check int_t "eligible users" 2 n
+   | v ->
+     Alcotest.failf "expected Insufficient, got %s"
+       (match v with
+        | Drift.Stable _ -> "Stable"
+        | Drift.Drifted _ -> "Drifted"
+        | Drift.Insufficient _ -> assert false));
+  (* stale evidence expires out of the window *)
+  let d2 = Drift.create cfg ~users:5 ~cells in
+  feed d2 ~users:5 ~offset:1 ~times:[ 1.0; 2.0 ];
+  match Drift.check d2 ~now:50.0 ~reference:point_reference with
+  | Drift.Insufficient _ -> ()
+  | _ -> Alcotest.fail "expired observations still produced a verdict"
+
+let test_cooldown_and_rearm () =
+  let d = Drift.create cfg ~users:5 ~cells in
+  feed d ~users:5 ~offset:1 ~times:[ 1.0; 2.0; 3.0 ];
+  (match Drift.check d ~now:4.0 ~reference:point_reference with
+   | Drift.Drifted _ -> ()
+   | _ -> Alcotest.fail "setup: expected Drifted");
+  Drift.rearm d ~now:4.0;
+  (* within the cooldown no verdict is rendered *)
+  (match Drift.check d ~now:6.0 ~reference:point_reference with
+   | Drift.Insufficient _ -> ()
+   | _ -> Alcotest.fail "verdict rendered during cooldown");
+  (* after the cooldown the kept windows still contradict the
+     reference, so the monitor fires again *)
+  feed d ~users:5 ~offset:1 ~times:[ 10.0 ];
+  (match Drift.check d ~now:10.0 ~reference:point_reference with
+   | Drift.Drifted _ -> ()
+   | _ -> Alcotest.fail "no verdict after cooldown elapsed");
+  let r = Drift.report d in
+  check int_t "checks" 3 r.Drift.checks;
+  check int_t "triggers" 2 r.Drift.triggers;
+  (match r.Drift.last_trigger with
+   | Some t -> check (float_t 1e-9) "last trigger" 10.0 t
+   | None -> Alcotest.fail "no last trigger recorded");
+  if r.Drift.max_mean_tv < 0.99 then
+    Alcotest.failf "max_mean_tv %g too small" r.Drift.max_mean_tv
+
+let test_window_expiry () =
+  let d = Drift.create cfg ~users:1 ~cells in
+  Drift.observe d ~user:0 ~cell:1 ~now:5.0;
+  Drift.observe d ~user:0 ~cell:2 ~now:15.0;
+  Drift.observe d ~user:0 ~cell:3 ~now:18.0;
+  check (Alcotest.list int_t) "full window, oldest first" [ 1; 2; 3 ]
+    (Drift.window d ~user:0 ~now:24.0);
+  check (Alcotest.list int_t) "expired head" [ 2; 3 ]
+    (Drift.window d ~user:0 ~now:26.5)
+
+let test_tv_and_validate () =
+  check (float_t 1e-12) "tv" 0.5 (Drift.tv [| 0.5; 0.5 |] [| 1.0; 0.0 |]);
+  check (float_t 1e-12) "tv identical" 0.0
+    (Drift.tv [| 0.25; 0.75 |] [| 0.25; 0.75 |]);
+  (match Drift.tv [| 1.0 |] [| 0.5; 0.5 |] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "length mismatch accepted");
+  (match Drift.validate { cfg with Drift.window = -1.0 } with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "negative window accepted");
+  match Drift.validate cfg with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid config rejected: %s" e
+
+(* -------------------- end-to-end soak -------------------- *)
+
+let drift_metrics r =
+  match r.Sim.drift with
+  | Some dm -> dm
+  | None -> Alcotest.fail "run produced no drift metrics"
+
+let selective_metrics r =
+  List.find
+    (fun sm ->
+       match sm.Sim.scheme with Sim.Selective _ -> true | _ -> false)
+    r.Sim.per_scheme
+
+(* Under stationary mobility (no commute, users parked for the whole
+   run) the monitor must never re-solve: sparse call sightings agree
+   with the snapshot, so evidence never clears the bar. *)
+let test_stationary_never_resolves () =
+  let cfg = Scenario.drifting_commuter () in
+  let r = Sim.run { cfg with Sim.mobility_schedule = [] } in
+  let dm = drift_metrics r in
+  check int_t "resolves" 0 dm.Sim.resolves;
+  if dm.Sim.checks = 0 then Alcotest.fail "monitor never checked";
+  if dm.Sim.max_mean_tv > 0.15 then
+    Alcotest.failf "stationary max mean TV %g at threshold" dm.Sim.max_mean_tv
+
+(* The commute starts at t = 180; truncating the run at t = 230 proves
+   the first re-solve lands within 50 ticks of the regime change. *)
+let test_swap_resolves_promptly () =
+  let cfg = Scenario.drifting_commuter () in
+  let r = Sim.run { cfg with Sim.duration = 230.0 } in
+  let dm = drift_metrics r in
+  if dm.Sim.resolves < 1 then
+    Alcotest.fail "no re-solve within 50 ticks of the commute";
+  match dm.Sim.last_resolve with
+  | Some t when t > 180.0 && t <= 230.0 -> ()
+  | Some t -> Alcotest.failf "re-solve at t=%g, outside (180, 230]" t
+  | None -> Alcotest.fail "resolves > 0 but no last_resolve time"
+
+(* Recovered-phase calibration at the scenario's pinned seed: metrics
+   for the (280, 360] window — after the refreshed rows have had time
+   to sharpen — come from differencing cumulative runs at the two
+   durations (same seed + shorter duration = exact prefix).
+   Drift-triggered re-estimation must keep realized selective cost
+   within 10% of the re-solved nominal EP; the stale baseline must
+   degrade (miscalibrated and clearly costlier than drift-on). *)
+let test_recovery_beats_stale_baseline () =
+  let cfg = Scenario.drifting_commuter () in
+  let stale_cfg =
+    match cfg.Sim.estimator with
+    | Sim.Snapshot s ->
+      { cfg with Sim.estimator = Sim.Snapshot { s with drift = None } }
+    | _ -> Alcotest.fail "scenario lost its Snapshot estimator"
+  in
+  let window c =
+    let at d = selective_metrics (Sim.run { c with Sim.duration = d }) in
+    let early = at 280.0 and late = at 360.0 in
+    ( float_of_int (late.Sim.cells_paged - early.Sim.cells_paged),
+      late.Sim.expected_paging -. early.Sim.expected_paging )
+  in
+  let drift_realized, drift_nominal = window cfg in
+  let stale_realized, stale_nominal = window stale_cfg in
+  if drift_realized > 1.10 *. drift_nominal then
+    Alcotest.failf
+      "drift-on realized %g not within 10%% of nominal %g"
+      drift_realized drift_nominal;
+  if stale_realized <= 1.10 *. stale_nominal then
+    Alcotest.failf
+      "stale baseline unexpectedly calibrated: realized %g, nominal %g"
+      stale_realized stale_nominal;
+  if stale_realized <= 1.5 *. drift_realized then
+    Alcotest.failf
+      "stale realized %g not clearly worse than drift-on realized %g"
+      stale_realized drift_realized
+
+let () =
+  Alcotest.run "drift"
+    [ ( "monitor",
+        [ Alcotest.test_case "stationary stays stable" `Quick
+            test_stationary_stays_stable;
+          Alcotest.test_case "shifted observations drift" `Quick
+            test_shifted_observations_drift;
+          Alcotest.test_case "insufficient evidence" `Quick
+            test_insufficient_evidence;
+          Alcotest.test_case "cooldown and rearm" `Quick
+            test_cooldown_and_rearm;
+          Alcotest.test_case "window expiry" `Quick test_window_expiry;
+          Alcotest.test_case "tv and validate" `Quick test_tv_and_validate;
+        ] );
+      ( "soak",
+        [ Alcotest.test_case "stationary never re-solves" `Slow
+            test_stationary_never_resolves;
+          Alcotest.test_case "commute re-solves within 50 ticks" `Slow
+            test_swap_resolves_promptly;
+          Alcotest.test_case "recovery beats stale baseline" `Slow
+            test_recovery_beats_stale_baseline;
+        ] );
+    ]

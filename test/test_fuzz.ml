@@ -1,0 +1,149 @@
+(* Fuzz smoke test for the two text-format entry points: the instance
+   parser and the journal loader. Random bytes and mutated-valid inputs
+   must either parse or raise the documented [Invalid_argument] — never
+   escape with [Failure], [Scanf.Scan_failure], [Not_found], an index
+   error or a crash.
+
+   Case count is bounded so the suite stays fast; CI's fuzz-smoke job
+   raises it via the [FUZZ_CASES] environment variable. *)
+
+open Confcall
+
+let cases =
+  match Sys.getenv_opt "FUZZ_CASES" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 500)
+  | None -> 500
+
+let escape s =
+  let s = if String.length s > 120 then String.sub s 0 120 ^ "..." else s in
+  String.to_seq s
+  |> Seq.map (fun c ->
+         if c >= ' ' && c <= '~' then String.make 1 c
+         else Printf.sprintf "\\x%02x" (Char.code c))
+  |> List.of_seq |> String.concat ""
+
+(* feed [input] to [f]; only success or Invalid_argument may come back *)
+let expect_named_error ~what ~seed f input =
+  match f input with
+  | _ -> ()
+  | exception Invalid_argument _ -> ()
+  | exception e ->
+    Alcotest.failf "%s (seed %d) escaped with %s on %S"
+      what seed (Printexc.to_string e) (escape input)
+
+let random_bytes rng len =
+  String.init len (fun _ -> Char.chr (Prob.Rng.int rng 256))
+
+(* mostly-printable garbage with structural characters the parsers care
+   about: digits, dots, separators, tabs, newlines *)
+let random_texty rng len =
+  let alphabet = "0123456789.eE+- \t\n\r;|/aZ\x00" in
+  String.init len (fun _ ->
+      alphabet.[Prob.Rng.int rng (String.length alphabet)])
+
+(* random point mutation of a valid serialization: byte flip, deletion,
+   insertion, truncation, or a duplicated chunk *)
+let mutate rng s =
+  let n = String.length s in
+  if n = 0 then s
+  else
+    match Prob.Rng.int rng 5 with
+    | 0 ->
+      let i = Prob.Rng.int rng n in
+      String.mapi
+        (fun j c -> if j = i then Char.chr (Prob.Rng.int rng 256) else c)
+        s
+    | 1 ->
+      let i = Prob.Rng.int rng n in
+      String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+    | 2 ->
+      let i = Prob.Rng.int rng n in
+      String.sub s 0 i
+      ^ String.make 1 (Char.chr (Prob.Rng.int rng 256))
+      ^ String.sub s i (n - i)
+    | 3 -> String.sub s 0 (Prob.Rng.int rng n)
+    | _ ->
+      let i = Prob.Rng.int rng n in
+      let len = min (n - i) (1 + Prob.Rng.int rng 40) in
+      s ^ String.sub s i len
+
+let mutate_n rng s =
+  let rec go k s = if k = 0 then s else go (k - 1) (mutate rng s) in
+  go (1 + Prob.Rng.int rng 3) s
+
+(* -------------------- instance parser -------------------- *)
+
+let valid_instance_string rng =
+  let m = 1 + Prob.Rng.int rng 4 and c = 1 + Prob.Rng.int rng 8 in
+  let d = 1 + Prob.Rng.int rng c in
+  Instance.to_string (Instance.random_uniform_simplex rng ~m ~c ~d)
+
+let test_instance_fuzz () =
+  let rng = Prob.Rng.create ~seed:0xF0220 in
+  for case = 1 to cases do
+    let input =
+      match case mod 4 with
+      | 0 -> random_bytes rng (Prob.Rng.int rng 200)
+      | 1 -> random_texty rng (Prob.Rng.int rng 200)
+      | _ -> mutate_n rng (valid_instance_string rng)
+    in
+    expect_named_error ~what:"Instance.of_string" ~seed:case
+      Instance.of_string input
+  done;
+  (* sanity: the unmutated serialization still round-trips *)
+  let s = valid_instance_string rng in
+  let roundtrip = Instance.to_string (Instance.of_string s) in
+  Alcotest.(check string) "roundtrip" s roundtrip
+
+(* -------------------- journal loader -------------------- *)
+
+let valid_journal_string rng =
+  let n = Prob.Rng.int rng 6 in
+  String.concat ""
+    (List.init n (fun i ->
+         Printf.sprintf "item-%d\tpayload %d\n" i (Prob.Rng.int rng 1000)))
+
+let test_journal_fuzz () =
+  let rng = Prob.Rng.create ~seed:0xF0221 in
+  let path = Filename.temp_file "confcall_fuzz" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+       for case = 1 to cases do
+         let content =
+           match case mod 4 with
+           | 0 -> random_bytes rng (Prob.Rng.int rng 300)
+           | 1 -> random_texty rng (Prob.Rng.int rng 300)
+           | _ -> mutate_n rng (valid_journal_string rng)
+         in
+         let oc = open_out_bin path in
+         output_string oc content;
+         close_out oc;
+         (match Journal.load_or_create path with
+          | j ->
+            (* a successful load must be self-consistent and reloadable *)
+            let n = Journal.count j in
+            Journal.close j;
+            (match Journal.load_or_create path with
+             | j2 ->
+               if Journal.count j2 <> n then
+                 Alcotest.failf
+                   "journal reload changed count (%d -> %d) on %S" n
+                   (Journal.count j2) (escape content);
+               Journal.close j2
+             | exception Invalid_argument _ ->
+               Alcotest.failf "journal loaded then refused reload on %S"
+                 (escape content))
+          | exception Invalid_argument _ -> ()
+          | exception e ->
+            Alcotest.failf "Journal.load_or_create (case %d) escaped with %s on %S"
+              case (Printexc.to_string e) (escape content))
+       done)
+
+let () =
+  Alcotest.run "fuzz"
+    [ ( "smoke",
+        [ Alcotest.test_case "instance parser" `Quick test_instance_fuzz;
+          Alcotest.test_case "journal loader" `Quick test_journal_fuzz;
+        ] );
+    ]

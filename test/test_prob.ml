@@ -260,6 +260,56 @@ let test_alias_rejects_bad_input () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "all-zero accepted"
 
+(* -------------------- Estimate -------------------- *)
+
+let test_estimate_row_mle () =
+  let row = Prob.Estimate.row_mle ~alpha:0.0 [| 3; 1; 0 |] in
+  Alcotest.(check (float 1e-12)) "mle 0" 0.75 row.(0);
+  Alcotest.(check (float 1e-12)) "mle 1" 0.25 row.(1);
+  Alcotest.(check (float 1e-12)) "mle 2" 0.0 row.(2);
+  (* add-one smoothing: (c_j + 1) / (n + c) *)
+  let sm = Prob.Estimate.row_mle [| 3; 1; 0 |] in
+  Alcotest.(check (float 1e-12)) "smoothed 0" (4.0 /. 7.0) sm.(0);
+  Alcotest.(check (float 1e-12)) "smoothed 2" (1.0 /. 7.0) sm.(2);
+  Alcotest.(check (float 1e-9)) "sums to one" 1.0
+    (Array.fold_left ( +. ) 0.0 sm);
+  (match Prob.Estimate.row_mle ~alpha:0.0 [| 0; 0 |] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "all-zero plain MLE accepted");
+  match Prob.Estimate.row_mle [| 1; -2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative count accepted"
+
+let test_estimate_dkw () =
+  let e = Prob.Estimate.dkw_eps ~n:100 ~confidence:0.95 in
+  Alcotest.(check (float 1e-12)) "dkw formula"
+    (sqrt (log (2.0 /. 0.05) /. 200.0)) e;
+  (* shrinks with n, grows with confidence, capped at 1 *)
+  if Prob.Estimate.dkw_eps ~n:400 ~confidence:0.95 >= e then
+    Alcotest.fail "radius not shrinking in n";
+  if Prob.Estimate.dkw_eps ~n:100 ~confidence:0.99 <= e then
+    Alcotest.fail "radius not growing in confidence";
+  Alcotest.(check (float 0.0)) "n=0 knows nothing" 1.0
+    (Prob.Estimate.dkw_eps ~n:0 ~confidence:0.95);
+  match Prob.Estimate.dkw_eps ~n:10 ~confidence:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "confidence = 1 accepted"
+
+let test_estimate_rows () =
+  let rows =
+    Prob.Estimate.estimate_rows ~confidence:0.9
+      [| [| 8; 2 |]; [| 0; 0 |] |]
+  in
+  Alcotest.(check int) "n from counts" 10 rows.(0).Prob.Estimate.n;
+  Alcotest.(check int) "empty row n" 0 rows.(1).Prob.Estimate.n;
+  Alcotest.(check (float 0.0)) "empty row radius" 1.0
+    rows.(1).Prob.Estimate.eps;
+  Array.iter
+    (fun r ->
+       Alcotest.(check (float 1e-9)) "dist normalized" 1.0
+         (Array.fold_left ( +. ) 0.0 r.Prob.Estimate.dist))
+    rows
+
 let () =
   Alcotest.run "prob"
     [
@@ -307,5 +357,11 @@ let () =
           Alcotest.test_case "probability" `Quick
             test_alias_probability_reconstruction;
           Alcotest.test_case "bad input" `Quick test_alias_rejects_bad_input;
+        ] );
+      ( "estimate",
+        [
+          Alcotest.test_case "row mle" `Quick test_estimate_row_mle;
+          Alcotest.test_case "dkw radius" `Quick test_estimate_dkw;
+          Alcotest.test_case "estimate rows" `Quick test_estimate_rows;
         ] );
     ]

@@ -152,6 +152,7 @@ let base_config schemes reporting call_duration =
     call_duration;
     track_ongoing = true;
     faults = None;
+    estimator = Cellsim.Sim.Live;
     duration = 150.0;
     seed = 99;
   }

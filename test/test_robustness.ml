@@ -113,6 +113,7 @@ let base_sim_config () =
     call_duration = 0.0;
     track_ongoing = true;
     faults = None;
+    estimator = Cellsim.Sim.Live;
     profile_decay = 0.9;
     profile_smoothing = 0.05;
     duration = 20.0;

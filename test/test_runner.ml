@@ -253,6 +253,78 @@ let prop_chains_never_regress_below_page_all =
             && o.Solver.expected_paging <= page_all_ep +. 1e-9)
         objectives)
 
+(* -------------------- uncertainty-aware runs -------------------- *)
+
+let test_runner_uncertainty_reranks () =
+  let inst = Instance.all_uniform ~m:2 ~c:12 ~d:3 in
+  let u = Uncertainty.uniform 0.02 in
+  let report = Runner.run ~uncertainty:u inst in
+  (* Every scored stage carries its worst-case EP, at or above nominal. *)
+  List.iter
+    (fun (s : Runner.stage_report) ->
+      match (s.Runner.expected_paging, s.Runner.robust_ep) with
+      | Some ep, Some rep ->
+        check bool_t "worst-case >= nominal" true (rep >= ep -. 1e-9)
+      | Some _, None -> Alcotest.fail "scored stage missing robust_ep"
+      | None, _ -> ())
+    report.Runner.stages;
+  match (report.Runner.winner, report.Runner.robust) with
+  | Some (_, o), Some rb ->
+    (* The winner is the stage with the least worst-case EP, and its
+       certificate brackets its nominal EP. *)
+    List.iter
+      (fun (s : Runner.stage_report) ->
+        match s.Runner.robust_ep with
+        | Some rep ->
+          check bool_t "winner minimizes robust EP" true
+            (rb.Runner.winner_robust_ep <= rep +. 1e-9)
+        | None -> ())
+      report.Runner.stages;
+    check bool_t "bounds bracket nominal" true
+      (rb.Runner.winner_bounds.Uncertainty.lo
+         <= o.Solver.expected_paging +. 1e-9
+      && o.Solver.expected_paging
+         <= rb.Runner.winner_bounds.Uncertainty.hi +. 1e-9);
+    check bool_t "worst case within upper bound" true
+      (rb.Runner.winner_robust_ep
+       <= rb.Runner.winner_bounds.Uncertainty.hi +. 1e-9)
+  | _ -> Alcotest.fail "uncertainty-aware run produced no certified winner"
+
+let test_solver_robust_spec () =
+  let inst = Instance.all_uniform ~m:2 ~c:10 ~d:2 in
+  let o = Solver.solve (Solver.Robust { eps = 0.05; tv = infinity }) inst in
+  check bool_t "robust outcome is not marked exact" false o.Solver.exact;
+  (* The robust pick minimizes worst-case EP among its candidates. *)
+  let u = Uncertainty.uniform 0.05 in
+  let worst = Uncertainty.robust_ep u inst o.Solver.strategy in
+  List.iter
+    (fun spec ->
+      match Solver.solve spec inst with
+      | cand ->
+        check bool_t "beats candidate on worst case" true
+          (worst <= Uncertainty.robust_ep u inst cand.Solver.strategy +. 1e-9)
+      | exception Invalid_argument _ -> ())
+    Solver.robust_candidates;
+  (* Spec parsing roundtrips and validates. *)
+  (match Solver.spec_of_string "robust-0.05" with
+   | Ok (Solver.Robust { eps; tv }) ->
+     check (Alcotest.float 1e-12) "eps parsed" 0.05 eps;
+     check bool_t "tv defaults to unlimited" true (tv = infinity)
+   | _ -> Alcotest.fail "robust-0.05 did not parse");
+  (match Solver.spec_of_string "robust-0.1:0.2" with
+   | Ok (Solver.Robust { eps; tv }) ->
+     check (Alcotest.float 1e-12) "eps parsed" 0.1 eps;
+     check (Alcotest.float 1e-12) "tv parsed" 0.2 tv
+   | _ -> Alcotest.fail "robust-0.1:0.2 did not parse");
+  (match Solver.spec_of_string "robust-1.5" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "eps > 1 accepted");
+  match Solver.spec_of_string (Solver.spec_to_string (Solver.Robust { eps = 0.07; tv = 0.3 })) with
+  | Ok (Solver.Robust { eps; tv }) ->
+    check (Alcotest.float 1e-12) "roundtrip eps" 0.07 eps;
+    check (Alcotest.float 1e-12) "roundtrip tv" 0.3 tv
+  | _ -> Alcotest.fail "robust spec did not roundtrip"
+
 (* -------------------- Journal -------------------- *)
 
 let temp_journal () =
@@ -307,6 +379,45 @@ let test_journal_rejects_bad_input () =
   expect "newline in payload" (fun () ->
       Journal.record j ~id:"y" ~payload:"2\n3");
   Journal.close j;
+  Sys.remove path
+
+let test_journal_duplicate_ids () =
+  (* A duplicate id among intact records is corruption, not a crash
+     artifact: load must refuse and name the offender. *)
+  let path = temp_journal () in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "a\t1\nb\t2\na\t3\n");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match Journal.load_or_create path with
+   | exception Invalid_argument msg ->
+     check bool_t "names the duplicate id" true (contains msg {|duplicate id "a"|})
+   | j ->
+     Journal.close j;
+     Alcotest.fail "duplicate id accepted");
+  Sys.remove path;
+  (* Interaction with crash repair: a duplicate only inside the torn
+     final line is dropped with the torn line, not reported. *)
+  let path = temp_journal () in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "a\t1\nb\t2\na\tpartial-garbag");
+  let j = Journal.load_or_create path in
+  check int_t "torn duplicate dropped" 2 (Journal.count j);
+  Journal.close j;
+  Sys.remove path;
+  (* ... but a duplicate among intact records still trips even when the
+     tail is torn. *)
+  let path = temp_journal () in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "a\t1\na\t2\nc\tpartial-garbag");
+  (match Journal.load_or_create path with
+   | exception Invalid_argument _ -> ()
+   | j ->
+     Journal.close j;
+     Alcotest.fail "intact duplicate accepted behind torn tail");
   Sys.remove path
 
 let test_journal_run_replays () =
@@ -369,6 +480,10 @@ let () =
           Alcotest.test_case "chain_of_string" `Quick test_chain_of_string;
           Alcotest.test_case "solve result" `Quick test_runner_solve_result;
           qt prop_chains_never_regress_below_page_all;
+          Alcotest.test_case "uncertainty re-ranks and certifies" `Quick
+            test_runner_uncertainty_reranks;
+          Alcotest.test_case "robust solver spec" `Quick
+            test_solver_robust_spec;
         ] );
       ( "journal",
         [
@@ -377,6 +492,7 @@ let () =
             test_journal_truncates_partial_line;
           Alcotest.test_case "rejects bad input" `Quick
             test_journal_rejects_bad_input;
+          Alcotest.test_case "duplicate ids" `Quick test_journal_duplicate_ids;
           Alcotest.test_case "run replays" `Quick test_journal_run_replays;
         ] );
     ]
