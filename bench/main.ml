@@ -1437,6 +1437,166 @@ let e24 () =
        (stale_realized /. drift_realized))
 
 (* ------------------------------------------------------------------ *)
+(* E25: multicore runtime — speedup curves, parallel ≡ sequential      *)
+(* ------------------------------------------------------------------ *)
+
+let e25 () =
+  header ~id:"e25" ~title:"domain-pool runtime: speedup and determinism"
+    ~claim:
+      "chain re-ranking, parameter sweeps and simulation replication are \
+       embarrassingly parallel candidate evaluation (the O(c(m+dc)) DP of \
+       Fig. 1 per candidate); a domain pool accelerates all three without \
+       changing a single result bit";
+  let module Runner = Confcall.Runner in
+  let module Journal = Confcall.Journal in
+  let module Sweep = Confcall.Sweep in
+  let module Solver = Confcall.Solver in
+  let module Uncertainty = Confcall.Uncertainty in
+  let degrees = [ 1; 2; 4 ] in
+  let cores = Domain.recommended_domain_count () in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  let with_degree domains f =
+    if domains > 1 then Exec.Pool.with_pool ~domains (fun p -> f (Some p))
+    else f None
+  in
+  (* Leg 1 — chain racing. Uncertainty re-ranking runs *every* stage
+     (all candidates are scored), so the sequential cost is the sum of
+     the stage times and the raced cost their max. *)
+  let rng = Prob.Rng.create ~seed:2501 in
+  let race_inst = Instance.random_uniform_simplex rng ~m:4 ~c:220 ~d:4 in
+  let race_chain = Solver.[ Local_search; Greedy; Bandwidth_limited 80 ] in
+  let u = Uncertainty.uniform 0.01 in
+  let race domains =
+    with_degree domains (fun pool ->
+        Runner.run ~chain:race_chain ~uncertainty:u ?pool race_inst)
+  in
+  (* Leg 2 — sharded sweep: independent greedy solves journalled through
+     [Sweep.run]; the merged journal must be byte-identical per degree. *)
+  let sweep_items =
+    List.init 12 (fun k ->
+        let seed = 100 + k in
+        {
+          Sweep.id = Printf.sprintf "e25/c1600/seed%d" seed;
+          compute =
+            (fun () ->
+              let rng = Prob.Rng.create ~seed in
+              let inst =
+                Instance.random_uniform_simplex rng ~m:3 ~c:1600 ~d:4
+              in
+              let o = Solver.solve Solver.Greedy inst in
+              Printf.sprintf "%.9f" o.Solver.expected_paging);
+        })
+  in
+  let read_file path = In_channel.with_open_bin path In_channel.input_all in
+  let sweep domains =
+    let path = Filename.temp_file "confcall_e25" ".journal" in
+    Sys.remove path;
+    let journal = Journal.load_or_create path in
+    let outcomes =
+      Fun.protect
+        ~finally:(fun () -> Journal.close journal)
+        (fun () ->
+          with_degree domains (fun pool -> Sweep.run ?pool ~journal sweep_items))
+    in
+    let bytes = read_file path in
+    Sys.remove path;
+    (outcomes, bytes)
+  in
+  (* Leg 3 — simulation replicas: four independent seeded runs reduced
+     deterministically. *)
+  let sim_cfg =
+    { (Cellsim.Sim.default_config ()) with Cellsim.Sim.duration = 150.0 }
+  in
+  let sim domains =
+    with_degree domains (fun pool ->
+        Cellsim.Replicate.run_summary ?pool ~replicas:4 sim_cfg)
+  in
+  let time_leg f = List.map (fun d -> (d, wall (fun () -> f d))) degrees in
+  let race_runs = time_leg race in
+  let sweep_runs = time_leg sweep in
+  let sim_runs = time_leg sim in
+  let walls runs = List.map (fun (d, (_, w)) -> (d, w)) runs in
+  let speedup runs d =
+    let w1 = List.assoc 1 (walls runs) and wd = List.assoc d (walls runs) in
+    w1 /. wd
+  in
+  let print_leg name runs =
+    List.iter
+      (fun (d, (_, w)) ->
+        Printf.printf "  %-7s domains=%d  %10.2f ms  speedup %.2fx\n" name d w
+          (speedup runs d))
+      runs
+  in
+  Printf.printf "cores available: %d%s\n" cores
+    (if cores < 4 then "  (speedup gate waived below 4 cores)" else "");
+  print_leg "race" race_runs;
+  print_leg "sweep" sweep_runs;
+  print_leg "sim" sim_runs;
+  (* Determinism across degrees, against the degree-1 baseline. *)
+  let base sel runs = sel (fst (snd (List.hd runs))) in
+  let all_equal sel runs =
+    let b = base sel runs in
+    List.for_all (fun (_, (r, _)) -> sel r = b) runs
+  in
+  let winner_key (r : Runner.run_report) =
+    match r.Runner.winner with
+    | Some (spec, o) ->
+      Some
+        ( Solver.spec_to_string spec,
+          o.Solver.expected_paging,
+          Strategy.to_string o.Solver.strategy )
+    | None -> None
+  in
+  let race_eq = all_equal winner_key race_runs in
+  let sweep_eq =
+    all_equal snd sweep_runs
+    && all_equal
+         (fun (outcomes, _) ->
+           List.map (fun o -> (o.Sweep.id, o.Sweep.payload)) outcomes)
+         sweep_runs
+  in
+  let sim_eq = all_equal Fun.id sim_runs in
+  let sweep_s4 = speedup sweep_runs 4 in
+  let speedup_ok = cores < 4 || sweep_s4 >= 2.0 in
+  Printf.printf
+    "parallel == sequential: race %b, sweep (journal bytes) %b, sim %b\n"
+    race_eq sweep_eq sim_eq;
+  let leg_json runs =
+    "["
+    ^ String.concat ", "
+        (List.map
+           (fun (d, (_, w)) ->
+             Printf.sprintf
+               "{\"domains\": %d, \"wall_ms\": %s, \"speedup\": %s}" d
+               (json_num w)
+               (json_num (speedup runs d)))
+           runs)
+    ^ "]"
+  in
+  record ~id:"e25"
+    ~pass:(race_eq && sweep_eq && sim_eq && speedup_ok)
+    ~metrics:
+      [
+        "cores", string_of_int cores;
+        "race", leg_json race_runs;
+        "sweep", leg_json sweep_runs;
+        "sim", leg_json sim_runs;
+        "race_equal", (if race_eq then "true" else "false");
+        "sweep_equal", (if sweep_eq then "true" else "false");
+        "sim_equal", (if sim_eq then "true" else "false");
+        "sweep_speedup_4", json_num sweep_s4;
+      ]
+    (Printf.sprintf
+       "results identical across 1/2/4 domains: race %b, sweep %b, sim %b; \
+        sweep speedup at 4 domains %.2fx on %d cores%s"
+       race_eq sweep_eq sim_eq sweep_s4 cores
+       (if cores < 4 then " (gate waived: fewer than 4 cores)" else ""))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1464,6 +1624,7 @@ let experiments =
     "e22", e22;
     "e23", e23;
     "e24", e24;
+    "e25", e25;
   ]
 
 let () =

@@ -135,7 +135,47 @@ module Json = struct
               ] );
         ]
       | None -> []))
+
+  let replicate_summary (s : Cellsim.Replicate.summary) =
+    let scheme (a : Cellsim.Replicate.scheme_agg) =
+      obj
+        [
+          "scheme", str (Cellsim.Sim.scheme_to_string a.Cellsim.Replicate.scheme);
+          "calls", string_of_int a.Cellsim.Replicate.calls;
+          "devices_sought", string_of_int a.Cellsim.Replicate.devices_sought;
+          "cells_paged", string_of_int a.Cellsim.Replicate.cells_paged;
+          "expected_paging", num a.Cellsim.Replicate.expected_paging;
+          "rounds_used", string_of_int a.Cellsim.Replicate.rounds_used;
+          "mean_cells_per_call", num a.Cellsim.Replicate.mean_cells_per_call;
+          "retries", string_of_int a.Cellsim.Replicate.retries;
+          "escalations", string_of_int a.Cellsim.Replicate.escalations;
+          "residual_misses",
+          string_of_int a.Cellsim.Replicate.residual_misses;
+        ]
+    in
+    obj
+      [
+        "replicas", string_of_int s.Cellsim.Replicate.replicas;
+        "total_calls", string_of_int s.Cellsim.Replicate.total_calls;
+        "skipped_calls", string_of_int s.Cellsim.Replicate.skipped_calls;
+        "moves", string_of_int s.Cellsim.Replicate.moves;
+        "updates", string_of_int s.Cellsim.Replicate.updates;
+        "per_scheme", arr (List.map scheme s.Cellsim.Replicate.per_scheme);
+      ]
 end
+
+(* Parallelism degree: the flag wins, else CONFCALL_DOMAINS, else 1
+   (the sequential code path). *)
+let effective_domains = function
+  | Some n when n >= 1 -> n
+  | Some n -> invalid_arg (Printf.sprintf "--domains must be >= 1, got %d" n)
+  | None -> Exec.Pool.default_domains ()
+
+(* Run [f] with a pool when more than one domain is asked for; [None]
+   keeps every call site on the exact sequential path of old. *)
+let with_domains domains f =
+  if domains > 1 then Exec.Pool.with_pool ~domains (fun p -> f (Some p))
+  else f None
 
 (* ---------------- generate ---------------- *)
 
@@ -280,8 +320,11 @@ let runner_report_json (r : Runner.run_report) =
      ]
      @ winner_fields @ quality_fields @ robust_fields @ failure_fields)
 
-let solve_budgeted inst objective json budget_ms chain uncertainty =
-  let report = Runner.run ~objective ?budget_ms ?uncertainty ~chain inst in
+let solve_budgeted inst objective json budget_ms chain uncertainty domains =
+  let report =
+    with_domains domains (fun pool ->
+        Runner.run ~objective ?budget_ms ?uncertainty ~chain ?pool inst)
+  in
   if json then print_endline (runner_report_json report)
   else begin
     Format.printf "@[<v>%a@]@." Runner.pp_report report;
@@ -300,8 +343,9 @@ let solve_budgeted inst objective json budget_ms chain uncertainty =
     exit 2
 
 let solve path spec objective verbose json budget_ms chain eps tv samples
-    confidence robust =
+    confidence robust domains =
   guard @@ fun () ->
+  let domains = effective_domains domains in
   let inst = read_instance path in
   (* The perturbation ball: an explicit --eps wins; --samples derives a
      DKW-style per-entry radius at --confidence; --robust alone uses
@@ -344,9 +388,9 @@ let solve path spec objective verbose json budget_ms chain eps tv samples
       | None, None -> Runner.default_chain
     in
     if robust then
-      solve_budgeted inst objective json budget_ms chain uncertainty
+      solve_budgeted inst objective json budget_ms chain uncertainty domains
     else begin
-      solve_budgeted inst objective json budget_ms chain None;
+      solve_budgeted inst objective json budget_ms chain None domains;
       match uncertainty with
       | Some u when not json ->
         Printf.printf "uncertainty (%s): see `solve --robust` for \
@@ -434,6 +478,16 @@ let chain_arg =
         ~doc:"Fallback chain: default|fast|heuristic|exact or a \
               comma-separated solver list, e.g. bnb,local-search,greedy.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Parallelism degree: race chain stages / shard sweeps / \
+              replicate simulations across N domains. Defaults to \
+              $(b,CONFCALL_DOMAINS), else 1 (sequential, bit-identical \
+              to previous releases). Results are independent of N.")
+
 let solve_cmd =
   let spec =
     Arg.(
@@ -496,7 +550,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve an instance")
     Term.(
       const solve $ file_arg $ spec $ objective $ verbose $ json $ budget_arg
-      $ chain_arg $ eps $ tv $ samples $ confidence $ robust)
+      $ chain_arg $ eps $ tv $ samples $ confidence $ robust $ domains_arg)
 
 (* ---------------- sweep ---------------- *)
 
@@ -505,9 +559,11 @@ let solve_cmd =
    (timings never enter the journal), so a killed sweep restarted with
    --resume appends exactly the lines the uninterrupted run would have
    written: the journal is byte-identical. *)
-let sweep m c d dist skew seeds objective budget_ms chain journal_path resume =
+let sweep m c d dist skew seeds objective budget_ms chain journal_path resume
+    domains =
   guard @@ fun () ->
   let chain = Option.value chain ~default:Runner.default_chain in
+  let domains = effective_domains domains in
   if Sys.file_exists journal_path && not resume then
     invalid_arg
       (Printf.sprintf
@@ -516,33 +572,44 @@ let sweep m c d dist skew seeds objective budget_ms chain journal_path resume =
   Fun.protect
     ~finally:(fun () -> Journal.close journal)
     (fun () ->
+      let items =
+        List.map
+          (fun seed ->
+            let id =
+              Printf.sprintf "%s/m%d/c%d/d%d/%s/seed%d"
+                (Objective.to_string objective)
+                m c d dist seed
+            in
+            let compute () =
+              let rng = Prob.Rng.create ~seed in
+              let inst = make_instance ~dist ~skew rng ~m ~c ~d in
+              let report = Runner.run ~objective ?budget_ms ~chain inst in
+              match report.Runner.winner with
+              | Some (spec, o) ->
+                Printf.sprintf "winner=%s ep=%.9f exact=%b"
+                  (Solver.spec_to_string spec)
+                  o.Solver.expected_paging o.Solver.exact
+              | None ->
+                Printf.sprintf "failed=%s"
+                  (match report.Runner.failure with
+                   | Some e -> Runner.error_to_string e
+                   | None -> "unknown")
+            in
+            { Sweep.id; compute })
+          seeds
+      in
+      let outcomes =
+        with_domains domains (fun pool -> Sweep.run ?pool ~journal items)
+      in
       List.iter
-        (fun seed ->
-          let id =
-            Printf.sprintf "%s/m%d/c%d/d%d/%s/seed%d"
-              (Objective.to_string objective)
-              m c d dist seed
-          in
-          let status, payload =
-            Journal.run journal ~id (fun () ->
-                let rng = Prob.Rng.create ~seed in
-                let inst = make_instance ~dist ~skew rng ~m ~c ~d in
-                let report = Runner.run ~objective ?budget_ms ~chain inst in
-                match report.Runner.winner with
-                | Some (spec, o) ->
-                  Printf.sprintf "winner=%s ep=%.9f exact=%b"
-                    (Solver.spec_to_string spec)
-                    o.Solver.expected_paging o.Solver.exact
-                | None ->
-                  Printf.sprintf "failed=%s"
-                    (match report.Runner.failure with
-                     | Some e -> Runner.error_to_string e
-                     | None -> "unknown"))
-          in
+        (fun { Sweep.id; payload; status } ->
           Printf.printf "%-4s %s\t%s\n"
-            (match status with `Ran -> "ran" | `Replayed -> "skip")
+            (match status with
+             | `Ran -> "ran"
+             | `Replayed -> "skip"
+             | `Recovered -> "rec")
             id payload)
-        seeds;
+        outcomes;
       Printf.printf "journal %s: %d items\n" journal_path (Journal.count journal))
 
 let sweep_cmd =
@@ -596,7 +663,7 @@ let sweep_cmd =
        ~doc:"Journaled runner sweep over generated instances (resumable)")
     Term.(
       const sweep $ m $ c $ d $ dist $ skew $ seeds $ objective $ budget_arg
-      $ chain_arg $ journal $ resume)
+      $ chain_arg $ journal $ resume $ domains_arg)
 
 (* ---------------- compare ---------------- *)
 
@@ -749,8 +816,22 @@ let print_sim_result json result =
   if json then print_endline (Json.sim_result result)
   else Format.printf "%a@." Cellsim.Sim.pp_result result
 
+(* One run prints the plain result; [--replicas n] runs n independent
+   seeded copies (in parallel when [--domains] allows) and prints the
+   deterministic aggregate. *)
+let run_sim_config ~replicas ~domains json config =
+  if replicas <= 1 then print_sim_result json (Cellsim.Sim.run config)
+  else begin
+    let summary =
+      with_domains domains (fun pool ->
+          Cellsim.Replicate.run_summary ?pool ~replicas config)
+    in
+    if json then print_endline (Json.replicate_summary summary)
+    else Format.printf "@[<v>%a@]@." Cellsim.Replicate.pp_summary summary
+  end
+
 let simulate_custom rows cols users rate duration seed block d_list reporting
-    diffuse call_duration faults json =
+    diffuse call_duration faults =
   let hex = Cellsim.Hex.create ~rows ~cols in
   let selective d =
     if diffuse then Cellsim.Sim.Selective_diffuse d else Cellsim.Sim.Selective d
@@ -779,28 +860,30 @@ let simulate_custom rows cols users rate duration seed block d_list reporting
       seed;
     }
   in
-  print_sim_result json (Cellsim.Sim.run config)
+  config
 
 let simulate rows cols users rate duration seed block d_list reporting diffuse
     call_duration scenario page_loss detect_q outage_rate outage_repair
-    report_loss report_delay retry json =
+    report_loss report_delay retry json replicas domains =
   guard @@ fun () ->
+  if replicas < 1 then invalid_arg "--replicas must be >= 1";
+  let domains = effective_domains domains in
   let faults =
     build_faults page_loss detect_q outage_rate outage_repair report_loss
       report_delay retry
   in
-  match scenario with
-  | Some build ->
-    let config = build ?seed:(Some seed) () in
-    let config =
-      match faults with
-      | None -> config
-      | Some _ -> { config with Cellsim.Sim.faults }
-    in
-    print_sim_result json (Cellsim.Sim.run config)
-  | None ->
-    simulate_custom rows cols users rate duration seed block d_list reporting
-      diffuse call_duration faults json
+  let config =
+    match scenario with
+    | Some build ->
+      let config = build ?seed:(Some seed) () in
+      (match faults with
+       | None -> config
+       | Some _ -> { config with Cellsim.Sim.faults })
+    | None ->
+      simulate_custom rows cols users rate duration seed block d_list reporting
+        diffuse call_duration faults
+  in
+  run_sim_config ~replicas ~domains json config
 
 let simulate_cmd =
   let rows = Arg.(value & opt int 8 & info [ "rows" ] ~doc:"Hex field rows.") in
@@ -898,13 +981,21 @@ let simulate_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
   in
+  let replicas =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:"Run N independent replicas (seeds seed..seed+N-1) and \
+                print the aggregated metrics; with --domains they run \
+                in parallel, with identical results either way.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the end-to-end cellular simulation")
     Term.(
       const simulate $ rows $ cols $ users $ rate $ duration $ seed $ block
       $ ds $ reporting $ diffuse $ call_duration $ scenario $ page_loss
       $ detect_q $ outage_rate $ outage_repair $ report_loss $ report_delay
-      $ retry $ json)
+      $ retry $ json $ replicas $ domains_arg)
 
 (* ---------------- analyze ---------------- *)
 

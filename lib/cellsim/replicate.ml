@@ -1,0 +1,104 @@
+type replica = { seed : int; result : Sim.result }
+
+type scheme_agg = {
+  scheme : Sim.scheme;
+  calls : int;
+  devices_sought : int;
+  cells_paged : int;
+  expected_paging : float;
+  rounds_used : int;
+  mean_cells_per_call : float;
+  retries : int;
+  escalations : int;
+  residual_misses : int;
+}
+
+type summary = {
+  replicas : int;
+  total_calls : int;
+  skipped_calls : int;
+  moves : int;
+  updates : int;
+  per_scheme : scheme_agg list;
+}
+
+let seeds ~base n =
+  if n < 1 then invalid_arg "Replicate.seeds: need at least one replica";
+  List.init n (fun k -> base + k)
+
+let run ?pool ~replicas config =
+  let seed_list = seeds ~base:config.Sim.seed replicas in
+  let run_one seed = { seed; result = Sim.run { config with Sim.seed } } in
+  match pool with
+  | Some p when Exec.Pool.size p > 1 -> Exec.Pool.map_list p run_one seed_list
+  | Some _ | None -> List.map run_one seed_list
+
+let reduce replicas =
+  match replicas with
+  | [] -> invalid_arg "Replicate.reduce: no replicas"
+  | _ ->
+    (* Sort by seed before folding: float accumulation order is then a
+       function of the replica set alone, never of completion order or
+       of how the caller assembled the list. *)
+    let replicas =
+      List.sort (fun a b -> compare a.seed b.seed) replicas
+    in
+    let first = (List.hd replicas).result in
+    let nschemes = List.length first.Sim.per_scheme in
+    List.iter
+      (fun r ->
+        if List.length r.result.Sim.per_scheme <> nschemes then
+          invalid_arg "Replicate.reduce: replicas ran different schemes")
+      replicas;
+    let agg i (sm : Sim.scheme_metrics) =
+      let pick r = List.nth r.result.Sim.per_scheme i in
+      let sum f = List.fold_left (fun acc r -> acc + f (pick r)) 0 replicas in
+      let sumf f =
+        List.fold_left (fun acc r -> acc +. f (pick r)) 0.0 replicas
+      in
+      let calls = sum (fun s -> s.Sim.calls) in
+      let cells = sum (fun s -> s.Sim.cells_paged) in
+      {
+        scheme = sm.Sim.scheme;
+        calls;
+        devices_sought = sum (fun s -> s.Sim.devices_sought);
+        cells_paged = cells;
+        expected_paging = sumf (fun s -> s.Sim.expected_paging);
+        rounds_used = sum (fun s -> s.Sim.rounds_used);
+        mean_cells_per_call =
+          (if calls = 0 then 0.0 else float_of_int cells /. float_of_int calls);
+        retries = sum (fun s -> s.Sim.robustness.Sim.retries);
+        escalations = sum (fun s -> s.Sim.robustness.Sim.escalations);
+        residual_misses =
+          sum (fun s -> s.Sim.robustness.Sim.residual_misses);
+      }
+    in
+    let sum f = List.fold_left (fun acc r -> acc + f r.result) 0 replicas in
+    {
+      replicas = List.length replicas;
+      total_calls = sum (fun r -> r.Sim.total_calls);
+      skipped_calls = sum (fun r -> r.Sim.skipped_calls);
+      moves = sum (fun r -> r.Sim.moves);
+      updates = sum (fun r -> r.Sim.updates);
+      per_scheme = List.mapi agg first.Sim.per_scheme;
+    }
+
+let run_summary ?pool ~replicas config =
+  reduce (run ?pool ~replicas config)
+
+let pp_summary fmt s =
+  let open Format in
+  fprintf fmt "replicas: %d  calls: %d (+%d skipped)  moves: %d  updates: %d@,"
+    s.replicas s.total_calls s.skipped_calls s.moves s.updates;
+  List.iter
+    (fun a ->
+      fprintf fmt
+        "  %-18s calls=%d cells=%d (%.2f/call) EP=%.2f rounds=%d%s@,"
+        (Sim.scheme_to_string a.scheme)
+        a.calls a.cells_paged a.mean_cells_per_call a.expected_paging
+        a.rounds_used
+        (if a.retries + a.escalations + a.residual_misses = 0 then ""
+         else
+           Printf.sprintf "  retries=%d escalations=%d misses=%d" a.retries
+             a.escalations a.residual_misses))
+    s.per_scheme

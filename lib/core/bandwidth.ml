@@ -1,7 +1,7 @@
 let feasible ~c ~d ~b = b >= 1 && c <= b * d
 
-let solve ?objective inst ~b =
-  Order_dp.solve ?objective ~max_group:b inst
+let solve ?objective ?cancel inst ~b =
+  Order_dp.solve ?objective ?cancel ~max_group:b inst
     ~order:(Instance.weight_order inst)
 
 let exhaustive ?objective inst ~b =

@@ -7,9 +7,15 @@
 (** [feasible ~c ~d ~b] — a strategy exists iff c ≤ b·d. *)
 val feasible : c:int -> d:int -> b:int -> bool
 
-(** [solve ?objective inst ~b] — the heuristic under the cap.
+(** [solve ?objective ?cancel inst ~b] — the heuristic under the cap;
+    [cancel] is threaded into the underlying DP (see {!Cancel}).
     @raise Invalid_argument when infeasible. *)
-val solve : ?objective:Objective.t -> Instance.t -> b:int -> Order_dp.result
+val solve :
+  ?objective:Objective.t ->
+  ?cancel:Cancel.t ->
+  Instance.t ->
+  b:int ->
+  Order_dp.result
 
 (** [exhaustive inst ~b] — ground truth for small c. *)
 val exhaustive : ?objective:Objective.t -> Instance.t -> b:int -> Optimal.result

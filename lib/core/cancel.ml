@@ -7,12 +7,20 @@ type t = {
   mutable fired : bool;
 }
 
-let last_now = ref 0.0
+(* Atomic, not a plain ref: tokens now tick on several domains at once
+   (raced runner stages), and the monotone high-water mark must not be
+   torn or rolled back by a concurrent writer. *)
+let last_now = Atomic.make 0.0
 
 let now () =
   let t = Unix.gettimeofday () in
-  if t > !last_now then last_now := t;
-  !last_now
+  let rec bump () =
+    let seen = Atomic.get last_now in
+    if t <= seen then seen
+    else if Atomic.compare_and_set last_now seen t then t
+    else bump ()
+  in
+  bump ()
 
 let never = { probe = (fun () -> false); every = max_int; countdown = max_int; fired = false }
 

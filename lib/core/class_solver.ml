@@ -28,8 +28,8 @@ let classes ?(eps = 0.0) inst =
   Array.of_list
     (List.map (fun (_, members) -> Array.of_list (List.rev !members)) !groups)
 
-let solve ?(objective = Objective.Find_all) ?eps ?(max_candidates = 5_000_000)
-    inst =
+let solve ?(objective = Objective.Find_all) ?cancel ?eps
+    ?(max_candidates = 5_000_000) inst =
   let m = inst.Instance.m and c = inst.Instance.c in
   let d = Stdlib.min inst.Instance.d c in
   let cls = classes ?eps inst in
@@ -62,6 +62,7 @@ let solve ?(objective = Objective.Find_all) ?eps ?(max_candidates = 5_000_000)
     let evaluated = ref 0 in
     let prefix = Array.make m 0.0 in
     let evaluate () =
+      Option.iter Cancel.check cancel;
       incr evaluated;
       Array.fill prefix 0 m 0.0;
       let ep = ref (float_of_int c) in

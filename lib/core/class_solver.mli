@@ -23,11 +23,15 @@ type result = {
     members. *)
 val classes : ?eps:float -> Instance.t -> int array array
 
-(** [solve ?objective ?eps ?max_candidates inst] — exact optimum.
+(** [solve ?objective ?cancel ?eps ?max_candidates inst] — exact
+    optimum. [cancel] is polled once per candidate evaluated, so the
+    enumeration unwinds within one poll interval of the token firing.
     @raise Invalid_argument when the composition count exceeds
-    [max_candidates] (default 5,000,000). *)
+    [max_candidates] (default 5,000,000).
+    @raise Cancel.Cancelled when the token fires mid-enumeration. *)
 val solve :
   ?objective:Objective.t ->
+  ?cancel:Cancel.t ->
   ?eps:float ->
   ?max_candidates:int ->
   Instance.t ->

@@ -39,6 +39,18 @@ let read_existing path =
     (List.rev !entries, !good, len)
   end
 
+let read_back path =
+  let entries, _, _ = read_existing path in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (id, _) ->
+      if Hashtbl.mem seen id then
+        invalid_arg
+          (Printf.sprintf "Journal: duplicate id %S in %s" id path);
+      Hashtbl.add seen id ())
+    entries;
+  entries
+
 let load_or_create path =
   let entries, good, len = read_existing path in
   (* Physically truncate the partial trailing line before appending

@@ -27,6 +27,14 @@ type t
     line is then the id with an empty payload. *)
 val load_or_create : string -> t
 
+(** [read_back path] — the completed entries of a journal file, oldest
+    first, without opening it for append or truncating its torn tail
+    (the torn tail is simply ignored). [[]] when the file is absent.
+    This is how a sharded sweep recovers work from the per-shard
+    journals of a crashed run before merging (see {!Sweep}).
+    @raise Invalid_argument on a duplicate id, as {!load_or_create}. *)
+val read_back : string -> (string * string) list
+
 val path : t -> string
 
 (** [completed t id] — was this item finished by a previous (or this)

@@ -12,6 +12,7 @@ type stage_report = {
   elapsed_ms : float;
   expected_paging : float option;
   robust_ep : float option;  (* worst-case EP, in uncertainty runs *)
+  raced : bool;  (* stage ran concurrently with the rest of the chain *)
 }
 
 type quality = {
@@ -103,7 +104,7 @@ let quality_of ?objective inst (outcome : Solver.outcome) =
 
 let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
     ?(clock = Cancel.now) ?(ensure_baseline = true) ?(chain = default_chain)
-    ?uncertainty inst =
+    ?uncertainty ?pool inst =
   let chain =
     if ensure_baseline && not (List.mem Solver.Page_all chain) then
       chain @ [ Solver.Page_all ]
@@ -193,7 +194,7 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
         if overdue && not (always_fast spec) then
           let stage =
             { spec; status = Failed Timeout; elapsed_ms = 0.0;
-              expected_paging = None; robust_ep = None }
+              expected_paging = None; robust_ep = None; raced = false }
           in
           go best (stage :: stages) rest
         else begin
@@ -223,7 +224,7 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
             let stage =
               { spec; status; elapsed_ms;
                 expected_paging = Some outcome.Solver.expected_paging;
-                robust_ep = rscore }
+                robust_ep = rscore; raced = false }
             in
             (match uncertainty with
              | None ->
@@ -243,16 +244,132 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
           | Error err ->
             let stage =
               { spec; status = Failed err; elapsed_ms;
-                expected_paging = None; robust_ep = None }
+                expected_paging = None; robust_ep = None; raced = false }
             in
             go best (stage :: stages) rest
         end
     in
-    go None [] chain
+    (* Raced execution: all stages of the chain run concurrently on the
+       pool; in first-success mode the winner is the minimum-chain-index
+       success — exactly the stage the sequential loop would have chosen
+       — so a success at index i makes every j > i a definitive loser,
+       and we flip their lose flags the moment i completes. Stages
+       before i keep running: one of them may still succeed and take the
+       win. In re-ranking (uncertainty) mode every candidate's score is
+       needed, so nothing is cancelled early. Each task polls its flag
+       through its own [Cancel] token; losers unwind within one poll
+       interval. *)
+    let run_raced pool =
+      let chain_arr = Array.of_list chain in
+      let n = Array.length chain_arr in
+      let lose = Array.init n (fun _ -> Atomic.make false) in
+      let on_success i =
+        if Option.is_none uncertainty then
+          for j = i + 1 to n - 1 do
+            Atomic.set lose.(j) true
+          done
+      in
+      let run_one i =
+        let spec = chain_arr.(i) in
+        let t0 = clock () in
+        let overdue =
+          match deadline with Some d -> t0 >= d | None -> false
+        in
+        if overdue && not (always_fast spec) then
+          ( { spec; status = Failed Timeout; elapsed_ms = 0.0;
+              expected_paging = None; robust_ep = None; raced = true },
+            None )
+        else begin
+          let lose_probe () = Atomic.get lose.(i) in
+          let cancel =
+            (* Same per-stage token policy as the sequential loop, with
+               the lose flag OR-ed into the probe. [Page_all] stays
+               untokened: it is the O(m·c) baseline whose completion the
+               budget+grace guarantee leans on. *)
+            match (spec, deadline) with
+            | Solver.Page_all, _ -> Cancel.never
+            | _, None -> Cancel.of_probe lose_probe
+            | _, Some d ->
+              let d =
+                if overdue then clock () +. (grace_ms /. 1000.0) else d
+              in
+              Cancel.of_probe (fun () -> lose_probe () || clock () >= d)
+          in
+          let result =
+            match Solver.solve ~objective ~cancel ~unguarded spec inst with
+            | outcome ->
+              on_success i;
+              if Cancel.cancelled cancel then Ok (Degraded, outcome)
+              else Ok (Completed, outcome)
+            | exception Cancel.Cancelled -> Error Timeout
+            | exception Invalid_argument msg -> Error (Inapplicable msg)
+            | exception exn -> Error (Internal (Printexc.to_string exn))
+          in
+          let elapsed_ms = (clock () -. t0) *. 1000.0 in
+          match result with
+          | Ok (status, outcome) ->
+            let rscore = robust_score outcome in
+            ( { spec; status; elapsed_ms;
+                expected_paging = Some outcome.Solver.expected_paging;
+                robust_ep = rscore; raced = true },
+              Some (outcome, rscore) )
+          | Error err ->
+            ( { spec; status = Failed err; elapsed_ms;
+                expected_paging = None; robust_ep = None; raced = true },
+              None )
+        end
+      in
+      let results = Exec.Pool.map pool run_one (Array.init n Fun.id) in
+      let stages_rev =
+        Array.fold_left (fun acc (s, _) -> s :: acc) [] results
+      in
+      let winner =
+        match uncertainty with
+        | None ->
+          (* First (minimum-index) success, as the sequential chain. *)
+          let rec first i =
+            if i >= n then None
+            else
+              match results.(i) with
+              | _, Some (outcome, _) -> Some (chain_arr.(i), outcome)
+              | _, None -> first (i + 1)
+          in
+          first 0
+        | Some _ ->
+          (* Re-rank by worst-case EP; ties to the earlier chain entry
+             (the iteration order makes [<=] keep the incumbent). *)
+          let best = ref None in
+          Array.iteri
+            (fun i (_, r) ->
+              match r with
+              | None -> ()
+              | Some (outcome, rscore) ->
+                let r = Option.value rscore ~default:infinity in
+                (match !best with
+                 | Some (_, _, r') when r' <= r -> ()
+                 | _ -> best := Some (chain_arr.(i), outcome, r)))
+            results;
+          Option.map (fun (spec, outcome, _) -> (spec, outcome)) !best
+      in
+      match winner with
+      | Some w -> finish ~stages:stages_rev ~winner:(Some w) ~failure:None
+      | None ->
+        let failure =
+          if
+            List.exists (fun s -> s.status = Failed Timeout) stages_rev
+          then Timeout
+          else Internal "fallback chain exhausted without a result"
+        in
+        finish ~stages:stages_rev ~winner:None ~failure:(Some failure)
+    in
+    (match pool with
+     | Some p when Exec.Pool.size p > 1 -> run_raced p
+     | Some _ | None -> go None [] chain)
 
-let solve ?objective ?budget_ms ?grace_ms ?clock ?chain ?uncertainty inst =
+let solve ?objective ?budget_ms ?grace_ms ?clock ?chain ?uncertainty ?pool inst
+    =
   let report =
-    run ?objective ?budget_ms ?grace_ms ?clock ?chain ?uncertainty inst
+    run ?objective ?budget_ms ?grace_ms ?clock ?chain ?uncertainty ?pool inst
   in
   match (report.winner, report.failure) with
   | Some (_, outcome), _ -> Ok outcome
@@ -268,7 +385,7 @@ let pp_report fmt r =
    | None -> fprintf fmt "budget: none@,");
   List.iter
     (fun s ->
-       fprintf fmt "  %-14s %8.2f ms  %s%s%s@,"
+       fprintf fmt "  %-14s %8.2f ms  %s%s%s%s@,"
          (Solver.spec_to_string s.spec)
          s.elapsed_ms
          (stage_status_to_string s.status)
@@ -277,7 +394,8 @@ let pp_report fmt r =
           | None -> "")
          (match s.robust_ep with
           | Some rep -> sprintf "  worst-EP=%.6f" rep
-          | None -> ""))
+          | None -> "")
+         (if s.raced then "  [raced]" else ""))
     r.stages;
   (match r.winner with
    | Some (spec, outcome) ->

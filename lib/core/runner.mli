@@ -47,6 +47,9 @@ type stage_report = {
   robust_ep : float option;
       (** worst-case EP of the stage's strategy over the uncertainty
           ball — set only in uncertainty-aware runs *)
+  raced : bool;
+      (** the stage ran concurrently with the rest of the chain on a
+          domain pool ([?pool] with more than one domain) *)
 }
 
 (** Winner quality against the certified machinery: the Lemma 3.1/3.4
@@ -119,7 +122,24 @@ val chain_to_string : Solver.spec list -> string
     least worst-case EP (ties to the earlier chain entry). The report's
     [robust] field carries the winner's certification. Budget semantics
     are unchanged — overdue expensive stages are still skipped, so the
-    run degrades to re-ranking whatever candidates fit the budget. *)
+    run degrades to re-ranking whatever candidates fit the budget.
+
+    With [?pool] of more than one domain, the chain's stages {e race}:
+    all of them start concurrently on the pool, and in first-success
+    mode the winner is the minimum-chain-index success — the same stage
+    the sequential loop chooses, since a success at index i makes every
+    later stage a definitive loser regardless of what the earlier ones
+    do. Losers are cancelled through their [Cancel] tokens the moment a
+    better-or-equal stage completes, and unwind within one poll
+    interval (anytime stages return best-so-far as [Degraded]). In
+    re-ranking mode all stages run to their own end — every candidate's
+    score is needed. Stage reports carry [raced = true]; the report is
+    otherwise unchanged in shape, and with the default (or any
+    one-domain) pool the sequential code path runs bit-identically.
+    Wall-clock under a budget is still bounded by budget + grace: every
+    raced token also watches the shared deadline. [clock], when
+    overridden together with [?pool], is called from several domains
+    and must be thread-safe (the default {!Cancel.now} is). *)
 val run :
   ?objective:Objective.t ->
   ?budget_ms:float ->
@@ -128,6 +148,7 @@ val run :
   ?ensure_baseline:bool ->
   ?chain:Solver.spec list ->
   ?uncertainty:Uncertainty.t ->
+  ?pool:Exec.Pool.t ->
   Instance.t ->
   run_report
 
@@ -140,6 +161,7 @@ val solve :
   ?clock:(unit -> float) ->
   ?chain:Solver.spec list ->
   ?uncertainty:Uncertainty.t ->
+  ?pool:Exec.Pool.t ->
   Instance.t ->
   (Solver.outcome, error) result
 

@@ -50,7 +50,7 @@ let rec solve ?objective ?cancel ?unguarded spec inst =
   | Within_order order ->
     of_order_dp false (Order_dp.solve ?objective ?cancel inst ~order)
   | Bandwidth_limited b ->
-    of_order_dp false (Bandwidth.solve ?objective inst ~b)
+    of_order_dp false (Bandwidth.solve ?objective ?cancel inst ~b)
   | Exhaustive ->
     let guard = not (Option.value unguarded ~default:false) in
     of_optimal (Optimal.exhaustive ?objective ?cancel ~guard inst)
@@ -68,7 +68,7 @@ let rec solve ?objective ?cancel ?unguarded spec inst =
       exact = false;
     }
   | Class_based ->
-    let r = Class_solver.solve ?objective inst in
+    let r = Class_solver.solve ?objective ?cancel inst in
     {
       strategy = r.Class_solver.strategy;
       expected_paging = r.Class_solver.expected_paging;

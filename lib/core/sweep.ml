@@ -1,0 +1,121 @@
+type item = { id : string; compute : unit -> string }
+type status = [ `Ran | `Replayed | `Recovered ]
+type outcome = { id : string; payload : string; status : status }
+
+let shard_path path k = Printf.sprintf "%s.shard%d" path k
+
+(* Leftover shard journals of a crashed run, whatever domain count it
+   used — matched by name, not by the current pool size. *)
+let shard_leftovers path =
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ ".shard" in
+  let plen = String.length prefix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f ->
+           String.length f > plen && String.sub f 0 plen = prefix)
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
+let sequential ~journal items =
+  List.map
+    (fun { id; compute } ->
+      let how, payload = Journal.run journal ~id compute in
+      { id; payload; status = (how :> status) })
+    items
+
+let sharded ~pool ~journal items =
+  let domains = Exec.Pool.size pool in
+  (* Recover payloads from shard files a crashed run left behind, then
+     clear them: this run re-emits those items through its own shards,
+     in its own partition, so the stale files must not survive it. *)
+  let cache = Hashtbl.create 64 in
+  let leftovers = shard_leftovers (Journal.path journal) in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (id, payload) -> Hashtbl.replace cache id payload)
+        (Journal.read_back p);
+      Sys.remove p)
+    leftovers;
+  (* Pending = not in the main journal, first occurrence of each id, in
+     item order. Contiguous blocks of this list are what the shards
+     append, so merging the shards in order reconstructs it. *)
+  let seen = Hashtbl.create 64 in
+  let pending =
+    List.filter
+      (fun ({ id; _ } : item) ->
+        if Journal.completed journal id || Hashtbl.mem seen id then false
+        else begin
+          Hashtbl.add seen id ();
+          true
+        end)
+      items
+  in
+  let pending = Array.of_list pending in
+  let n = Array.length pending in
+  let block k =
+    (* Balanced contiguous partition: block k is [k*n/d, (k+1)*n/d). *)
+    Array.sub pending (k * n / domains)
+      (((k + 1) * n / domains) - (k * n / domains))
+  in
+  let shard k =
+    let path = shard_path (Journal.path journal) k in
+    let j = Journal.load_or_create path in
+    Fun.protect
+      ~finally:(fun () -> Journal.close j)
+      (fun () ->
+        Array.iter
+          (fun { id; compute } ->
+            let payload =
+              match Hashtbl.find_opt cache id with
+              | Some p -> p
+              | None -> compute ()
+            in
+            Journal.record j ~id ~payload)
+          (block k));
+    path
+  in
+  let shard_files =
+    Exec.Pool.map pool shard (Array.init domains Fun.id)
+  in
+  (* Merge in shard order = original pending order; delete shards only
+     afterwards, so a crash mid-merge leaves them as next run's cache
+     (ids already merged are skipped as completed). *)
+  Array.iter
+    (fun path ->
+      List.iter
+        (fun (id, payload) ->
+          if not (Journal.completed journal id) then
+            Journal.record journal ~id ~payload)
+        (Journal.read_back path))
+    shard_files;
+  Array.iter Sys.remove shard_files;
+  (* Outcomes in item order, payloads from the merged journal. *)
+  let merged = Hashtbl.create 64 in
+  List.iter
+    (fun (id, payload) -> Hashtbl.replace merged id payload)
+    (Journal.entries journal);
+  let emitted = Hashtbl.create 64 in
+  List.map
+    (fun ({ id; _ } : item) ->
+      let payload =
+        match Hashtbl.find_opt merged id with
+        | Some p -> p
+        | None -> invalid_arg ("Sweep: item vanished from journal: " ^ id)
+      in
+      let status =
+        if Hashtbl.mem seen id && not (Hashtbl.mem emitted id) then
+          if Hashtbl.mem cache id then `Recovered else `Ran
+        else `Replayed
+      in
+      Hashtbl.replace emitted id ();
+      { id; payload; status })
+    items
+
+let run ?pool ~journal items =
+  match pool with
+  | Some p when Exec.Pool.size p > 1 -> sharded ~pool:p ~journal items
+  | Some _ | None -> sequential ~journal items

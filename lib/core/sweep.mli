@@ -1,0 +1,60 @@
+(** Sharded parameter sweeps: many independent work items, one
+    crash-safe {!Journal}, optionally fanned out across a domain pool —
+    with the merged journal {e byte-identical} to the one the
+    sequential sweep writes.
+
+    The sequential contract (one {!Journal.run} per item, in item
+    order) is the baseline everything else must reproduce. The sharded
+    run gets there by construction:
+
+    + items already journalled are excluded up front, exactly as
+      {!Journal.run} would skip them;
+    + the remaining items are split into {e contiguous} blocks, one per
+      domain, preserving item order inside each block;
+    + each domain appends its results to its own shard journal
+      ([<path>.shard<k>]) — flushed per line, so a crash loses at most
+      one item per domain;
+    + after all domains finish, shards are merged into the main journal
+      {e in shard order} — block 0's entries, then block 1's, … — which
+      concatenates the contiguous blocks back into the original item
+      order. The merged file is therefore the same byte sequence the
+      sequential sweep appends, and a later [--resume] cannot tell the
+      difference;
+    + shard files are deleted only after the merge completes. If the
+      process dies before that, the next run finds them, reloads their
+      entries as a payload cache ({!Journal.read_back}), and re-emits
+      the cached items without recomputing — crash recovery composes
+      with sharding.
+
+    Items must be independent (no item may depend on another's output)
+    and their ids deterministic, as for {!Journal} generally. The
+    callback of each item runs on an arbitrary domain. *)
+
+(** One work item: a stable journal id and the computation producing
+    its payload (validated as in {!Journal.record}). *)
+type item = { id : string; compute : unit -> string }
+
+(** How an item's payload in {!outcome} came to be:
+    [`Ran] — computed by this run;
+    [`Replayed] — already in the main journal from an earlier run;
+    [`Recovered] — found in a leftover shard journal of a crashed run
+    (computed there, merged here). The sequential path never produces
+    [`Recovered]. *)
+type status = [ `Ran | `Replayed | `Recovered ]
+
+type outcome = { id : string; payload : string; status : status }
+
+(** [run ?pool ~journal items] completes every item, journalling each
+    exactly once, and returns the outcomes in item order. Without
+    [?pool] (or with a one-domain pool) this is precisely the
+    historical sequential loop — no shard files are created or looked
+    for. Duplicate ids among [items] resolve as with {!Journal.run}:
+    the first occurrence computes, later ones replay its payload.
+    @raise Invalid_argument on invalid ids/payloads, as
+    {!Journal.record}. *)
+val run :
+  ?pool:Exec.Pool.t -> journal:Journal.t -> item list -> outcome list
+
+(** The shard-journal path for shard [k] of a main journal at [path] —
+    exposed for tests that stage or inspect crash leftovers. *)
+val shard_path : string -> int -> string

@@ -1,0 +1,182 @@
+(* A fixed-size pool of worker domains around one mutex-protected work
+   queue. Tasks are closures; results flow back through per-[map] state
+   published with atomics (the decrement of [remaining] is the release
+   fence for the plain writes into the result slots, per the OCaml 5
+   memory model's atomic happens-before).
+
+   The caller of [map] is itself one of the pool's compute lanes: it
+   drains the queue alongside the workers before blocking, so a pool of
+   [domains] applies exactly [domains] domains and [domains = 1] spawns
+   nothing at all — that degenerate case is the repository's historical
+   sequential path, bit for bit. *)
+
+let max_domains = 256
+let env_var = "CONFCALL_DOMAINS"
+
+(* Workers spawned and not yet joined, across every live pool: the test
+   suites assert this returns to zero, catching leaked domains. *)
+let active = Atomic.make 0
+
+let active_domains () = Atomic.get active
+
+let default_domains () =
+  match Sys.getenv_opt env_var with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n max_domains
+      | Some _ | None -> 1)
+
+type t = {
+  id : int;
+  size : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable joined : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let next_id = Atomic.make 0
+
+(* Stack of pool ids whose tasks the current domain is executing —
+   detects a task of pool [p] re-entering [map p], which would deadlock
+   a single-domain queue. *)
+let executing : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopped do
+      Condition.wait t.nonempty t.mutex
+    done;
+    match Queue.take_opt t.queue with
+    | None ->
+        (* stopped and drained: queued work is always finished before a
+           worker exits, so [join] during a straggling [map] cannot
+           strand tasks. *)
+        Mutex.unlock t.mutex
+    | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        loop ()
+  in
+  loop ()
+
+let create ~domains () =
+  if domains < 1 || domains > max_domains then
+    invalid_arg
+      (Printf.sprintf "Pool.create: domains must be in [1, %d], got %d"
+         max_domains domains);
+  let t =
+    {
+      id = Atomic.fetch_and_add next_id 1;
+      size = domains;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopped = false;
+      joined = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (domains - 1) (fun _ ->
+        Atomic.incr active;
+        Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+let run_guarded t body =
+  let stack = Domain.DLS.get executing in
+  stack := t.id :: !stack;
+  Fun.protect
+    ~finally:(fun () ->
+      match !stack with
+      | _ :: rest -> stack := rest
+      | [] -> ())
+    body
+
+let map t f input =
+  if t.joined then invalid_arg "Pool.map: pool already joined";
+  if List.mem t.id !(Domain.DLS.get executing) then
+    invalid_arg "Pool.map: nested map on the same pool from one of its tasks";
+  let n = Array.length input in
+  if n = 0 then [||]
+  else if t.size = 1 then Array.map f input
+  else begin
+    let results = Array.make n None in
+    let remaining = Atomic.make n in
+    let all_done = Condition.create () in
+    let run_task i () =
+      let r =
+        run_guarded t (fun () -> try Ok (f input.(i)) with e -> Error e)
+      in
+      results.(i) <- Some r;
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        (* Last task out signals under the mutex, so the caller's
+           check-then-wait below cannot miss the wakeup. *)
+        Mutex.lock t.mutex;
+        Condition.broadcast all_done;
+        Mutex.unlock t.mutex
+      end
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (run_task i) t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    (* Caller helps: execute queued tasks (this map's or a concurrent
+       one's) until the queue is dry, then wait for stragglers running
+       on workers. *)
+    let rec help () =
+      match Queue.take_opt t.queue with
+      | Some task ->
+          Mutex.unlock t.mutex;
+          task ();
+          Mutex.lock t.mutex;
+          help ()
+      | None -> ()
+    in
+    help ();
+    while Atomic.get remaining > 0 do
+      Condition.wait all_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    (* Surface the lowest-indexed failure so the raised exception is as
+       deterministic as the results. *)
+    Array.iter
+      (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+      results;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error _) | None -> assert false)
+      results
+  end
+
+let map_list t f xs =
+  Array.to_list (map t f (Array.of_list xs))
+
+let join t =
+  Mutex.lock t.mutex;
+  if t.joined then Mutex.unlock t.mutex
+  else begin
+    t.joined <- true;
+    t.stopped <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    List.iter
+      (fun d ->
+        Domain.join d;
+        Atomic.decr active)
+      t.workers;
+    t.workers <- []
+  end
+
+let with_pool ~domains f =
+  let t = create ~domains () in
+  Fun.protect ~finally:(fun () -> join t) (fun () -> f t)

@@ -1,0 +1,86 @@
+(** Fixed-size domain pool with a work queue and deterministic result
+    ordering.
+
+    OCaml 5 gives the repository native parallelism (one [Domain] per
+    core), and every hot path above it — fallback-chain stage racing,
+    multi-instance sweeps, Monte-Carlo simulation replicas — is
+    embarrassingly parallel candidate evaluation. This module is the
+    single execution substrate they share: a pool of [size - 1] worker
+    domains pulling closures off a mutex/condition work queue, plus the
+    calling domain, which {e participates} in draining the queue instead
+    of blocking (so a pool of size [n] applies [n] domains of compute,
+    and nested waiting cannot idle a core).
+
+    Determinism is the design constraint, not an afterthought:
+
+    - {!map} writes each result into the slot of its input index, so
+      output order equals input order no matter which domain finished
+      first or in what order;
+    - a pool of size 1 spawns {e no} domains and runs the plain
+      sequential [Array.map] — bit-identical to the code path that
+      existed before this module, which is what the differential test
+      suite pins;
+    - tasks receive no shared mutable state from the pool; anything the
+      caller shares across tasks must be its own synchronized state
+      (the {!Confcall.Cancel} hookup below uses [Atomic]).
+
+    Cancellation hookup: the pool never kills a running task — that
+    would tear whatever state the task was mutating. Instead a caller
+    racing tasks gives each one a {!Confcall.Cancel} token whose probe
+    reads an [Atomic.t] flag; when a better task completes, the caller's
+    completion callback sets the losers' flags and their solver loops
+    unwind cooperatively within one poll interval. See
+    [Confcall.Runner.run ?pool] for the canonical use.
+
+    Stdlib only: [Domain], [Mutex], [Condition], [Atomic]. No task may
+    itself call {!map} on the same pool (the queue is one level deep);
+    create a second pool, or restructure, for nested parallelism. *)
+
+type t
+
+(** [create ~domains ()] builds a pool that applies [domains] domains of
+    compute: [domains - 1] spawned workers plus the caller inside
+    {!map}. [domains = 1] spawns nothing and makes {!map} purely
+    sequential.
+    @raise Invalid_argument when [domains < 1] or [domains > 256]. *)
+val create : domains:int -> unit -> t
+
+(** Parallelism degree the pool was created with (including the
+    caller). *)
+val size : t -> int
+
+(** [map pool f input] applies [f] to every element and returns the
+    results in input order. Tasks run on the workers and on the calling
+    domain; if any task raises, the remaining tasks still run to
+    completion (or unwind via their own cancellation), and then the
+    exception of the {e lowest-indexed} failing task is re-raised — so
+    the surfaced error is also independent of scheduling.
+    @raise Invalid_argument when called on a joined pool, or from
+    inside a task of the same pool. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_list pool f xs] is {!map} over a list, preserving order. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [join pool] stops the workers and joins their domains. Idempotent.
+    Every pool must be joined — a dropped pool leaks OS threads — and
+    the soak suite asserts {!active_domains} returns to zero. *)
+val join : t -> unit
+
+(** [with_pool ~domains f] is [f (create ~domains ())] with a guaranteed
+    {!join}, whatever [f] does. *)
+val with_pool : domains:int -> (t -> 'a) -> 'a
+
+(** Number of worker domains spawned and not yet joined, across all
+    pools — the leak detector for tests. *)
+val active_domains : unit -> int
+
+(** ["CONFCALL_DOMAINS"] — the environment knob behind
+    {!default_domains}. *)
+val env_var : string
+
+(** The parallelism degree CLI tools and tests use when no [--domains]
+    flag is given: [CONFCALL_DOMAINS] when set to a positive integer
+    (clamped to 256), else 1 — the sequential code path, so existing
+    behaviour is opt-out by default. *)
+val default_domains : unit -> int

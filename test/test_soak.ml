@@ -62,12 +62,12 @@ let generators =
 
 (* ---------------- the soak loop ---------------- *)
 
-let soak_case ~name ~objective ~budget_ms ~chain inst =
+let soak_case ?pool ?(slack_ms = 400.0) ~name ~objective ~budget_ms ~chain
+    inst =
   let c = inst.Instance.c and d = inst.Instance.d in
   let t0 = Cancel.now () in
-  let report = Runner.run ~objective ~budget_ms ~chain inst in
+  let report = Runner.run ~objective ~budget_ms ~chain ?pool inst in
   let wall_ms = (Cancel.now () -. t0) *. 1000.0 in
-  let slack_ms = 400.0 in
   check bool_t
     (Printf.sprintf "%s: wall %.1f ms within %.0f + grace" name wall_ms
        budget_ms)
@@ -138,6 +138,53 @@ let test_soak () =
     soak_case ~name ~objective ~budget_ms ~chain inst
   done
 
+(* Parallel chaos: the same adversarial diet, but raced across a domain
+   pool. The three soak invariants must hold unchanged — the budget is
+   shared by all raced stages, so termination-in-budget is the property
+   most at risk — and the pool must not leak domains. Slack is wider
+   than the sequential mode's: raced stages contend for cores, and on a
+   single-core machine every raced case serializes behind the GC. *)
+let test_soak_parallel () =
+  let rng = Prob.Rng.create ~seed:40099 in
+  let before = Exec.Pool.active_domains () in
+  List.iter
+    (fun domains ->
+      Exec.Pool.with_pool ~domains (fun pool ->
+          for case = 1 to max 1 (cases / 2) do
+            let gen_name, gen =
+              List.nth generators (Prob.Rng.int rng (List.length generators))
+            in
+            let m = 1 + Prob.Rng.int rng 4 in
+            let c = 2 + Prob.Rng.int rng 149 in
+            let d = 1 + Prob.Rng.int rng (min 8 c) in
+            let inst = gen ~m ~c ~d rng in
+            let objective =
+              match Prob.Rng.int rng 3 with
+              | 0 -> Objective.Find_all
+              | 1 -> Objective.Find_any
+              | _ -> Objective.Find_at_least (1 + Prob.Rng.int rng m)
+            in
+            let budget_ms =
+              match Prob.Rng.int rng 3 with 0 -> 1.0 | 1 -> 5.0 | _ -> 20.0
+            in
+            let chain =
+              List.nth chains (Prob.Rng.int rng (List.length chains))
+            in
+            let name =
+              Printf.sprintf
+                "parallel case %d: %s m=%d c=%d d=%d %s budget=%.0fms \
+                 domains=%d"
+                case gen_name m c d
+                (Objective.to_string objective)
+                budget_ms domains
+            in
+            soak_case ~pool ~slack_ms:1500.0 ~name ~objective ~budget_ms
+              ~chain inst
+          done))
+    [ 2; 4 ];
+  check bool_t "no leaked domains after parallel soak" true
+    (Exec.Pool.active_domains () = before)
+
 (* The degenerate corners deserve their own deterministic pass: the
    smallest instances, d = 1, d = c, single device, all under a 1 ms
    budget. *)
@@ -161,6 +208,8 @@ let () =
       ( "chaos",
         [
           Alcotest.test_case "randomized soak" `Quick test_soak;
+          Alcotest.test_case "parallel randomized soak" `Quick
+            test_soak_parallel;
           Alcotest.test_case "degenerate corners" `Quick test_soak_corners;
         ] );
     ]
