@@ -1597,6 +1597,178 @@ let e25 () =
        (if cores < 4 then " (gate waived: fewer than 4 cores)" else ""))
 
 (* ------------------------------------------------------------------ *)
+(* E26: observability — overhead and cross-domain counter equality     *)
+(* ------------------------------------------------------------------ *)
+
+let e26 () =
+  header ~id:"e26" ~title:"observability: overhead and counter determinism"
+    ~claim:
+      "the metrics registry and span tracer instrument the e25 legs at \
+       <= 5% wall-clock overhead, and every counter and histogram outside \
+       the scheduler (pool_*) and wall-clock (*_ms) namespaces is \
+       identical across 1 and 4 domains";
+  let module Runner = Confcall.Runner in
+  let module Journal = Confcall.Journal in
+  let module Sweep = Confcall.Sweep in
+  let module Solver = Confcall.Solver in
+  let module Uncertainty = Confcall.Uncertainty in
+  let registry = Obs.Metrics.default in
+  let tracer = Obs.Trace.default in
+  let with_degree domains f =
+    if domains > 1 then Exec.Pool.with_pool ~domains (fun p -> f (Some p))
+    else f None
+  in
+  (* The e25 legs, scaled down: an uncertainty re-ranked chain (every
+     stage runs to completion, in sequential and raced mode alike, so
+     the executed stage set is degree-independent), a journalled greedy
+     sweep, and reduced simulation replicas. *)
+  let rng = Prob.Rng.create ~seed:2601 in
+  let race_inst = Instance.random_uniform_simplex rng ~m:4 ~c:160 ~d:4 in
+  let race_chain = Solver.[ Local_search; Greedy; Bandwidth_limited 80 ] in
+  let u = Uncertainty.uniform 0.01 in
+  let race domains =
+    with_degree domains (fun pool ->
+        ignore (Runner.run ~chain:race_chain ~uncertainty:u ?pool race_inst))
+  in
+  let sweep_items =
+    List.init 8 (fun k ->
+        let seed = 2600 + k in
+        {
+          Sweep.id = Printf.sprintf "e26/c1000/seed%d" seed;
+          compute =
+            (fun () ->
+              let rng = Prob.Rng.create ~seed in
+              let inst =
+                Instance.random_uniform_simplex rng ~m:3 ~c:1000 ~d:4
+              in
+              let o = Solver.solve Solver.Greedy inst in
+              Printf.sprintf "%.9f" o.Solver.expected_paging);
+        })
+  in
+  let sweep domains =
+    let path = Filename.temp_file "confcall_e26" ".journal" in
+    Sys.remove path;
+    let journal = Journal.load_or_create path in
+    Fun.protect
+      ~finally:(fun () -> Journal.close journal)
+      (fun () ->
+        with_degree domains (fun pool ->
+            ignore (Sweep.run ?pool ~journal sweep_items)));
+    Sys.remove path
+  in
+  let sim_cfg =
+    { (Cellsim.Sim.default_config ()) with Cellsim.Sim.duration = 80.0 }
+  in
+  let sim domains =
+    with_degree domains (fun pool ->
+        ignore (Cellsim.Replicate.run_summary ?pool ~replicas:3 sim_cfg))
+  in
+  let legs = [ ("race", race); ("sweep", sweep); ("sim", sim) ] in
+  let set_obs enabled =
+    Obs.Metrics.set_enabled registry enabled;
+    Obs.Trace.set_enabled tracer enabled
+  in
+  let obs_reset () =
+    Obs.Metrics.reset registry;
+    Obs.Trace.reset tracer
+  in
+  (* Overhead: min-of-3 alternating disabled/enabled runs of each leg at
+     degree 1 (the sequential path, whose bit-identity the no-op
+     contract protects). The gate allows 5% plus a small absolute slack
+     so sub-100ms legs are not judged on scheduler jitter. *)
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f 1;
+    (Unix.gettimeofday () -. t0) *. 1000.0
+  in
+  let overhead (name, f) =
+    f 1 (* warmup *);
+    let dis = ref infinity and en = ref infinity in
+    for _ = 1 to 3 do
+      set_obs false;
+      dis := Float.min !dis (wall f);
+      set_obs true;
+      en := Float.min !en (wall f);
+      obs_reset ()
+    done;
+    set_obs false;
+    obs_reset ();
+    (name, !dis, !en)
+  in
+  let oh = List.map overhead legs in
+  let overhead_ok =
+    List.for_all (fun (_, dis, en) -> en <= (dis *. 1.05) +. 5.0) oh
+  in
+  List.iter
+    (fun (name, dis, en) ->
+      Printf.printf "  %-6s disabled %8.2f ms  enabled %8.2f ms  ratio %.3f\n"
+        name dis en (en /. dis))
+    oh;
+  (* Counter equality: run all legs with metrics on at degree 1 and at
+     degree 4 and compare everything deterministic — counters and
+     histogram bucket counts outside pool_* (scheduler decisions) and
+     *_ms (wall clock). Bucket counts, not float sums: summation order
+     is scheduling-dependent, bucket membership of each observation is
+     not. *)
+  let keep name =
+    not (String.length name >= 5 && String.sub name 0 5 = "pool_")
+  in
+  let is_ms name =
+    let n = String.length name in
+    n >= 3 && String.sub name (n - 3) 3 = "_ms"
+  in
+  let deterministic_snapshot () =
+    ( List.filter (fun (n, _) -> keep n) (Obs.Metrics.counters registry),
+      Obs.Metrics.histogram_buckets registry
+      |> List.filter (fun (n, _) -> keep n && not (is_ms n))
+      |> List.map (fun (n, cells) -> (n, Array.to_list cells)) )
+  in
+  let run_all domains =
+    obs_reset ();
+    Obs.Metrics.set_enabled registry true;
+    List.iter (fun (_, f) -> f domains) legs;
+    Obs.Metrics.set_enabled registry false;
+    let snap = deterministic_snapshot () in
+    obs_reset ();
+    snap
+  in
+  let snap1 = run_all 1 in
+  let snap4 = run_all 4 in
+  let counters_equal = snap1 = snap4 in
+  let n_counters = List.length (fst snap1)
+  and n_hists = List.length (snd snap1) in
+  Printf.printf
+    "  deterministic set: %d counters, %d histograms — equal across 1/4 \
+     domains: %b\n"
+    n_counters n_hists counters_equal;
+  record ~id:"e26"
+    ~pass:(overhead_ok && counters_equal && n_counters > 0 && n_hists > 0)
+    ~metrics:
+      ([
+         "counters_equal", (if counters_equal then "true" else "false");
+         "overhead_ok", (if overhead_ok then "true" else "false");
+         "deterministic_counters", string_of_int n_counters;
+         "deterministic_histograms", string_of_int n_hists;
+       ]
+      @ List.concat_map
+          (fun (name, dis, en) ->
+            [
+              "overhead_" ^ name, json_num (en /. dis);
+              "wall_disabled_" ^ name ^ "_ms", json_num dis;
+              "wall_enabled_" ^ name ^ "_ms", json_num en;
+            ])
+          oh)
+    (Printf.sprintf
+       "instrumentation overhead %s (gate: <= 5%% + 5 ms slack per leg); %d \
+        counters + %d histogram bucket sets identical across 1/4 domains: %b"
+       (String.concat ", "
+          (List.map
+             (fun (name, dis, en) ->
+               Printf.sprintf "%s %.3fx" name (en /. dis))
+             oh))
+       n_counters n_hists counters_equal)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1625,6 +1797,7 @@ let experiments =
     "e23", e23;
     "e24", e24;
     "e25", e25;
+    "e26", e26;
   ]
 
 let () =
@@ -1640,9 +1813,27 @@ let () =
     | [] -> List.rev acc
   in
   let args = strip_json_out [] args in
+  (* The output directory is created up front (parents included) and an
+     unusable path is reported as one line + exit 2 before any
+     experiment runs — not as a raw [Sys_error] after a long run. *)
+  let rec mkdir_p dir =
+    if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+    else begin
+      mkdir_p (Filename.dirname dir);
+      try Sys.mkdir dir 0o755
+      with Sys_error _ when Sys.file_exists dir -> ()
+    end
+  in
   (match !json_out with
-   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
-   | _ -> ());
+   | Some dir ->
+     (try
+        mkdir_p dir;
+        if not (Sys.is_directory dir) then
+          failwith (dir ^ ": exists and is not a directory")
+      with Sys_error msg | Failure msg ->
+        Printf.eprintf "bench: error: --json-out %s\n" msg;
+        exit 2)
+   | None -> ());
   let no_bechamel = List.mem "--no-bechamel" args in
   let selected =
     List.filter (fun a -> a <> "--no-bechamel") args
@@ -1673,7 +1864,11 @@ let () =
         detail)
     (List.rev !results);
   (match !json_out with
-   | Some dir -> List.iter (json_out_result dir) (List.rev !results)
+   | Some dir ->
+     (try List.iter (json_out_result dir) (List.rev !results)
+      with Sys_error msg ->
+        Printf.eprintf "bench: error: --json-out %s\n" msg;
+        exit 2)
    | None -> ());
   print_newline ();
   if !all_pass then print_endline "all shape checks passed"

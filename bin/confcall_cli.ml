@@ -165,17 +165,93 @@ module Json = struct
 end
 
 (* Parallelism degree: the flag wins, else CONFCALL_DOMAINS, else 1
-   (the sequential code path). *)
+   (the sequential code path). Both sources are validated here, at the
+   CLI boundary: 0, negative, oversized and non-numeric values exit 2
+   with a message naming the flag or the environment variable, instead
+   of raising inside [Exec.Pool] (or, worse, being silently ignored, as
+   a malformed CONFCALL_DOMAINS used to be). *)
 let effective_domains = function
-  | Some n when n >= 1 -> n
-  | Some n -> invalid_arg (Printf.sprintf "--domains must be >= 1, got %d" n)
-  | None -> Exec.Pool.default_domains ()
+  | Some n when n >= 1 && n <= Exec.Pool.max_domains -> n
+  | Some n ->
+    invalid_arg
+      (Printf.sprintf "--domains must be an integer in [1, %d], got %d"
+         Exec.Pool.max_domains n)
+  | None ->
+    (match Sys.getenv_opt Exec.Pool.env_var with
+     | None -> 1
+     | Some raw ->
+       (match int_of_string_opt (String.trim raw) with
+        | Some n when n >= 1 && n <= Exec.Pool.max_domains -> n
+        | Some n ->
+          invalid_arg
+            (Printf.sprintf "%s must be in [1, %d], got %d" Exec.Pool.env_var
+               Exec.Pool.max_domains n)
+        | None ->
+          invalid_arg
+            (Printf.sprintf "%s must be a positive integer, got %S"
+               Exec.Pool.env_var raw)))
 
 (* Run [f] with a pool when more than one domain is asked for; [None]
    keeps every call site on the exact sequential path of old. *)
 let with_domains domains f =
   if domains > 1 then Exec.Pool.with_pool ~domains (fun p -> f (Some p))
   else f None
+
+(* ---------------- observability ----------------
+
+   [--metrics-out FILE] / [--trace-out FILE] enable the default
+   registry/tracer for the duration of the command and write the
+   exposition on the way out. Extension selects the metrics format:
+   .prom / .txt mean Prometheus text, anything else JSON. A write
+   failure is a usage error naming the flag, under the usual exit-2
+   contract. *)
+
+let obs_write ~flag path content =
+  try
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc content)
+  with Sys_error msg ->
+    (* [msg] already names the path. *)
+    invalid_arg (Printf.sprintf "%s: %s" flag msg)
+
+let with_obs ~metrics_out ~trace_out f =
+  if metrics_out <> None then Obs.Metrics.set_enabled Obs.Metrics.default true;
+  if trace_out <> None then Obs.Trace.set_enabled Obs.Trace.default true;
+  let result = f () in
+  Option.iter
+    (fun path ->
+      let body =
+        if
+          Filename.check_suffix path ".prom"
+          || Filename.check_suffix path ".txt"
+        then Obs.Metrics.to_prometheus Obs.Metrics.default
+        else Obs.Metrics.to_json Obs.Metrics.default ^ "\n"
+      in
+      obs_write ~flag:"--metrics-out" path body)
+    metrics_out;
+  Option.iter
+    (fun path ->
+      obs_write ~flag:"--trace-out" path
+        (Obs.Trace.to_json Obs.Trace.default ^ "\n"))
+    trace_out;
+  result
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Enable the metrics registry and write its exposition to \
+              $(docv) on exit: Prometheus text when $(docv) ends in \
+              .prom or .txt, JSON otherwise.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Enable the span tracer and write the collected spans as \
+              JSON to $(docv) on exit.")
 
 (* ---------------- generate ---------------- *)
 
@@ -343,8 +419,9 @@ let solve_budgeted inst objective json budget_ms chain uncertainty domains =
     exit 2
 
 let solve path spec objective verbose json budget_ms chain eps tv samples
-    confidence robust domains =
+    confidence robust domains metrics_out trace_out =
   guard @@ fun () ->
+  with_obs ~metrics_out ~trace_out @@ fun () ->
   let domains = effective_domains domains in
   let inst = read_instance path in
   (* The perturbation ball: an explicit --eps wins; --samples derives a
@@ -550,7 +627,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve an instance")
     Term.(
       const solve $ file_arg $ spec $ objective $ verbose $ json $ budget_arg
-      $ chain_arg $ eps $ tv $ samples $ confidence $ robust $ domains_arg)
+      $ chain_arg $ eps $ tv $ samples $ confidence $ robust $ domains_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* ---------------- sweep ---------------- *)
 
@@ -560,8 +638,9 @@ let solve_cmd =
    --resume appends exactly the lines the uninterrupted run would have
    written: the journal is byte-identical. *)
 let sweep m c d dist skew seeds objective budget_ms chain journal_path resume
-    domains =
+    domains metrics_out trace_out =
   guard @@ fun () ->
+  with_obs ~metrics_out ~trace_out @@ fun () ->
   let chain = Option.value chain ~default:Runner.default_chain in
   let domains = effective_domains domains in
   if Sys.file_exists journal_path && not resume then
@@ -663,7 +742,8 @@ let sweep_cmd =
        ~doc:"Journaled runner sweep over generated instances (resumable)")
     Term.(
       const sweep $ m $ c $ d $ dist $ skew $ seeds $ objective $ budget_arg
-      $ chain_arg $ journal $ resume $ domains_arg)
+      $ chain_arg $ journal $ resume $ domains_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 (* ---------------- compare ---------------- *)
 
@@ -701,7 +781,19 @@ let parse_strategy s =
     |> List.map (fun g ->
            String.split_on_char ' ' (String.trim g)
            |> List.filter (fun tok -> tok <> "")
-           |> List.map int_of_string
+           |> List.map (fun tok ->
+                  (* [int_of_string] would raise bare [Failure
+                     "int_of_string"], which [guard] prints verbatim —
+                     useless. Name the flag and the offending token. *)
+                  match int_of_string_opt tok with
+                  | Some cell -> cell
+                  | None ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "--strategy: bad cell index %S (expected \
+                          space-separated integers in '|'-separated \
+                          groups, e.g. \"0 1 2|3 4|5\")"
+                         tok))
            |> Array.of_list)
     |> Array.of_list
   in
@@ -864,8 +956,10 @@ let simulate_custom rows cols users rate duration seed block d_list reporting
 
 let simulate rows cols users rate duration seed block d_list reporting diffuse
     call_duration scenario page_loss detect_q outage_rate outage_repair
-    report_loss report_delay retry json replicas domains =
+    report_loss report_delay retry json replicas domains metrics_out trace_out
+    =
   guard @@ fun () ->
+  with_obs ~metrics_out ~trace_out @@ fun () ->
   if replicas < 1 then invalid_arg "--replicas must be >= 1";
   let domains = effective_domains domains in
   let faults =
@@ -995,7 +1089,8 @@ let simulate_cmd =
       const simulate $ rows $ cols $ users $ rate $ duration $ seed $ block
       $ ds $ reporting $ diffuse $ call_duration $ scenario $ page_loss
       $ detect_q $ outage_rate $ outage_repair $ report_loss $ report_delay
-      $ retry $ json $ replicas $ domains_arg)
+      $ retry $ json $ replicas $ domains_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 (* ---------------- analyze ---------------- *)
 

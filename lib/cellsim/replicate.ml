@@ -27,8 +27,13 @@ let seeds ~base n =
   List.init n (fun k -> base + k)
 
 let run ?pool ~replicas config =
+  Obs.span "sim.replicate" @@ fun sp ->
+  Obs.count_n "sim_replicas" (Stdlib.max 0 replicas);
   let seed_list = seeds ~base:config.Sim.seed replicas in
-  let run_one seed = { seed; result = Sim.run { config with Sim.seed } } in
+  let run_one seed =
+    Obs.span ~parent:sp (Printf.sprintf "sim.replica%d" seed) @@ fun _sp ->
+    { seed; result = Sim.run { config with Sim.seed } }
+  in
   match pool with
   | Some p when Exec.Pool.size p > 1 -> Exec.Pool.map_list p run_one seed_list
   | Some _ | None -> List.map run_one seed_list

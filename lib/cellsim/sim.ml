@@ -207,6 +207,31 @@ let rounds_on_outcome strategy ~positions =
   in
   last + 1
 
+(* End-of-run counters (DESIGN §9): derived from the result record, so
+   for a fixed seed they are independent of how the run was scheduled —
+   that is what makes the domains-1-vs-4 counter-equality contract hold
+   for replicated simulations. *)
+let obs_record_result (r : result) =
+  if Obs.on () then begin
+    Obs.count "sim_runs";
+    Obs.count_n "sim_calls" r.total_calls;
+    Obs.count_n "sim_skipped_calls" r.skipped_calls;
+    Obs.count_n "sim_moves" r.moves;
+    Obs.count_n "sim_reports" r.updates;
+    Obs.count_n "sim_reports_lost" r.reports_lost;
+    Obs.count_n "sim_reports_delayed" r.reports_delayed;
+    Obs.count_n "sim_outages" r.outages;
+    Option.iter (fun d -> Obs.count_n "sim_resolves" d.resolves) r.drift;
+    List.iter
+      (fun s ->
+        Obs.count_n "sim_retries" s.robustness.retries;
+        Obs.count_n "sim_escalations" s.robustness.escalations;
+        Obs.count_n "sim_residual_misses" s.robustness.residual_misses;
+        Obs.count_n "sim_pages_lost" s.robustness.pages_lost;
+        Obs.count_n "sim_pages_blocked" s.robustness.pages_blocked)
+      r.per_scheme
+  end
+
 (* Diffusion of point masses under the mobility model, memoized: the
    belief about a user last seen in [cell], [steps] ticks ago. Steps are
    capped — the diffusion approaches the stationary distribution anyway
@@ -226,6 +251,7 @@ let diffusion_cache mobility cells =
 
 let run config =
   validate_config config;
+  Obs.span "sim.run" @@ fun _sp ->
   begin
     let cells = Hex.cells config.hex in
     let rng = Prob.Rng.create ~seed:config.seed in
@@ -582,9 +608,20 @@ let run config =
               acc.s_cells <- acc.s_cells + cost;
               acc.s_expected <-
                 acc.s_expected +. Strategy.expected_paging inst strategy;
-              acc.s_rounds <-
-                acc.s_rounds
-                + rounds_on_outcome strategy ~positions:positions_local;
+              let rounds_used =
+                rounds_on_outcome strategy ~positions:positions_local
+              in
+              acc.s_rounds <- acc.s_rounds + rounds_used;
+              if Obs.on () then begin
+                Obs.observe ~buckets:Obs.small_count_buckets
+                  "sim_rounds_to_find" (float_of_int rounds_used);
+                let groups = Strategy.groups strategy in
+                for k = 0 to rounds_used - 1 do
+                  Obs.observe ~buckets:Obs.small_count_buckets
+                    "sim_paged_cells_per_round"
+                    (float_of_int (Array.length groups.(k)))
+                done
+              end;
               Prob.Stats.Acc.add acc.s_stats (float_of_int cost))
             accs
         end
@@ -610,6 +647,7 @@ let run config =
               let round_of_local g = Array.map (fun k -> universe.(k)) g in
               let page_cells round_cells =
                 incr rounds;
+                let paged_before = !cells_paged in
                 let effective = ref [] in
                 Array.iter
                   (fun cell ->
@@ -647,7 +685,11 @@ let run config =
                      + Miss.page_round frng ~q:fmodel.Faults.detect_q
                          ~in_group:(fun cell -> paged_mask.(cell))
                          ~positions:positions_true ~found);
-                List.iter (fun cell -> paged_mask.(cell) <- false) !effective
+                List.iter (fun cell -> paged_mask.(cell) <- false) !effective;
+                if Obs.on () then
+                  Obs.observe ~buckets:Obs.small_count_buckets
+                    "sim_paged_cells_per_round"
+                    (float_of_int (!cells_paged - paged_before))
               in
               let r = ref 0 in
               while !n_found < m_group && !r < n_base do
@@ -690,6 +732,9 @@ let run config =
                    acc.s_escalate_cells <-
                      acc.s_escalate_cells + (!cells_paged - before)
                  end);
+              if Obs.on () then
+                Obs.observe ~buckets:Obs.small_count_buckets
+                  "sim_rounds_to_find" (float_of_int !rounds);
               acc.s_residual <- acc.s_residual + (m_group - !n_found);
               acc.s_calls <- acc.s_calls + 1;
               acc.s_devices <- acc.s_devices + m_group;
@@ -727,7 +772,7 @@ let run config =
           incr updates;
           learn ~now:at user cell);
 
-    {
+    let result = {
       duration = config.duration;
       moves = !moves;
       updates = !updates;
@@ -772,7 +817,9 @@ let run config =
                 };
             })
           accs;
-    }
+    } in
+    obs_record_result result;
+    result
   end
 
 let pp_result ppf (r : result) =

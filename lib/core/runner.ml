@@ -89,6 +89,26 @@ let stage_status_to_string = function
   | Degraded -> "ok (degraded: budget hit, best-so-far)"
   | Failed e -> error_to_string e
 
+(* Observability (DESIGN §9): one counter per stage outcome, a latency
+   histogram per stage, and a winner counter keyed by solver spec. The
+   [*_ms] histograms are timing-dependent and exempt from the
+   cross-domain counter-equality contract; the outcome counters are not
+   — in re-ranking mode the raced and sequential paths execute the same
+   stage set with the same statuses. *)
+let obs_status_counter = function
+  | Completed -> "runner_stage_completed"
+  | Degraded -> "runner_stage_degraded"
+  | Failed Timeout -> "runner_stage_timeout"
+  | Failed (Inapplicable _) -> "runner_stage_inapplicable"
+  | Failed (Invalid_input _) -> "runner_stage_invalid_input"
+  | Failed (Internal _) -> "runner_stage_internal"
+
+let obs_record_stage (s : stage_report) =
+  if Obs.on () then begin
+    Obs.count (obs_status_counter s.status);
+    Obs.observe ~buckets:Obs.latency_ms_buckets "runner_stage_ms" s.elapsed_ms
+  end
+
 let quality_of ?objective inst (outcome : Solver.outcome) =
   let lower_bound = Bounds.lower_bound ?objective inst in
   let ep = outcome.Solver.expected_paging in
@@ -105,6 +125,8 @@ let quality_of ?objective inst (outcome : Solver.outcome) =
 let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
     ?(clock = Cancel.now) ?(ensure_baseline = true) ?(chain = default_chain)
     ?uncertainty ?pool inst =
+  Obs.span "runner.run" @@ fun run_sp ->
+  Obs.count "runner_runs";
   let chain =
     if ensure_baseline && not (List.mem Solver.Page_all chain) then
       chain @ [ Solver.Page_all ]
@@ -132,13 +154,31 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
          with Invalid_argument _ -> None)
       | _ -> None
     in
+    let total_ms = (clock () -. start) *. 1000.0 in
+    if Obs.on () then begin
+      (match winner with
+       | Some (spec, _) ->
+         Obs.count
+           ("runner_winner_" ^ Obs.sanitize (Solver.spec_to_string spec))
+       | None -> Obs.count "runner_no_winner");
+      (match quality with
+       | Some q when Float.is_finite q.ratio_to_lower_bound ->
+         Obs.observe ~buckets:Obs.excess_buckets "runner_ep_excess"
+           (Float.max 0.0 (q.ratio_to_lower_bound -. 1.0))
+       | Some _ | None -> ());
+      match budget_ms with
+      | Some b ->
+        Obs.observe ~buckets:Obs.latency_ms_buckets "runner_budget_slack_ms"
+          (b -. total_ms)
+      | None -> ()
+    end;
     {
       chain;
       objective;
       budget_ms;
       winner;
       stages = List.rev stages;
-      total_ms = (clock () -. start) *. 1000.0;
+      total_ms;
       quality;
       robust;
       failure;
@@ -196,7 +236,8 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
             { spec; status = Failed Timeout; elapsed_ms = 0.0;
               expected_paging = None; robust_ep = None; raced = false }
           in
-          go best (stage :: stages) rest
+          (obs_record_stage stage;
+           go best (stage :: stages) rest)
         else begin
           (* Fresh token per stage: a token fired during one stage must
              not instantly cancel the next. Overdue fast stages get the
@@ -209,6 +250,8 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
               Cancel.deadline ~clock d
           in
           let result =
+            Obs.span ~parent:run_sp ("stage:" ^ Solver.spec_to_string spec)
+            @@ fun _sp ->
             match Solver.solve ~objective ~cancel ~unguarded spec inst with
             | outcome ->
               if Cancel.cancelled cancel then Ok (Degraded, outcome)
@@ -226,6 +269,7 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
                 expected_paging = Some outcome.Solver.expected_paging;
                 robust_ep = rscore; raced = false }
             in
+            obs_record_stage stage;
             (match uncertainty with
              | None ->
                finish ~stages:(stage :: stages)
@@ -246,6 +290,7 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
               { spec; status = Failed err; elapsed_ms;
                 expected_paging = None; robust_ep = None; raced = false }
             in
+            obs_record_stage stage;
             go best (stage :: stages) rest
         end
     in
@@ -275,10 +320,14 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
         let overdue =
           match deadline with Some d -> t0 >= d | None -> false
         in
-        if overdue && not (always_fast spec) then
-          ( { spec; status = Failed Timeout; elapsed_ms = 0.0;
-              expected_paging = None; robust_ep = None; raced = true },
-            None )
+        if overdue && not (always_fast spec) then begin
+          let stage =
+            { spec; status = Failed Timeout; elapsed_ms = 0.0;
+              expected_paging = None; robust_ep = None; raced = true }
+          in
+          obs_record_stage stage;
+          (stage, None)
+        end
         else begin
           let lose_probe () = Atomic.get lose.(i) in
           let cancel =
@@ -296,6 +345,8 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
               Cancel.of_probe (fun () -> lose_probe () || clock () >= d)
           in
           let result =
+            Obs.span ~parent:run_sp ("stage:" ^ Solver.spec_to_string spec)
+            @@ fun _sp ->
             match Solver.solve ~objective ~cancel ~unguarded spec inst with
             | outcome ->
               on_success i;
@@ -309,14 +360,20 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
           match result with
           | Ok (status, outcome) ->
             let rscore = robust_score outcome in
-            ( { spec; status; elapsed_ms;
+            let stage =
+              { spec; status; elapsed_ms;
                 expected_paging = Some outcome.Solver.expected_paging;
-                robust_ep = rscore; raced = true },
-              Some (outcome, rscore) )
+                robust_ep = rscore; raced = true }
+            in
+            obs_record_stage stage;
+            (stage, Some (outcome, rscore))
           | Error err ->
-            ( { spec; status = Failed err; elapsed_ms;
-                expected_paging = None; robust_ep = None; raced = true },
-              None )
+            let stage =
+              { spec; status = Failed err; elapsed_ms;
+                expected_paging = None; robust_ep = None; raced = true }
+            in
+            obs_record_stage stage;
+            (stage, None)
         end
       in
       let results = Exec.Pool.map pool run_one (Array.init n Fun.id) in

@@ -30,12 +30,31 @@ let of_optimal (r : Optimal.result) =
     exact = true;
   }
 
+let spec_to_string = function
+  | Greedy -> "greedy"
+  | Page_all -> "page-all"
+  | Within_order _ -> "within-order"
+  | Bandwidth_limited b -> Printf.sprintf "bandwidth-%d" b
+  | Exhaustive -> "exhaustive"
+  | Branch_and_bound -> "bnb"
+  | Best_exact -> "exact"
+  | Local_search -> "local-search"
+  | Class_based -> "class"
+  | Robust { eps; tv } ->
+    if Float.is_finite tv then Printf.sprintf "robust-%g:%g" eps tv
+    else Printf.sprintf "robust-%g" eps
+
 (* Candidate pool for the robust re-ranking: the fast end of the
    default chain. Each candidate is scored by its worst-case EP over
    the perturbation ball; ties go to the earlier (stronger) method. *)
 let robust_candidates = [ Local_search; Greedy; Page_all ]
 
 let rec solve ?objective ?cancel ?unguarded spec inst =
+  (* Dispatch counter (DESIGN §9): one counter per solver spec, so the
+     registry shows which algorithms actually ran — including the
+     recursive candidates a [Robust] re-rank fans out to. *)
+  if Obs.on () then
+    Obs.count ("solver_solve_" ^ Obs.sanitize (spec_to_string spec));
   match spec with
   | Greedy ->
     let exact = inst.Instance.m = 1 || inst.Instance.d = 1 in
@@ -91,20 +110,6 @@ let rec solve ?objective ?cancel ?unguarded spec inst =
     (match !best with
      | Some (outcome, _) -> { outcome with exact = false }
      | None -> invalid_arg "Solver: no robust candidate applies")
-
-let spec_to_string = function
-  | Greedy -> "greedy"
-  | Page_all -> "page-all"
-  | Within_order _ -> "within-order"
-  | Bandwidth_limited b -> Printf.sprintf "bandwidth-%d" b
-  | Exhaustive -> "exhaustive"
-  | Branch_and_bound -> "bnb"
-  | Best_exact -> "exact"
-  | Local_search -> "local-search"
-  | Class_based -> "class"
-  | Robust { eps; tv } ->
-    if Float.is_finite tv then Printf.sprintf "robust-%g:%g" eps tv
-    else Printf.sprintf "robust-%g" eps
 
 let spec_of_string s =
   match String.lowercase_ascii s with

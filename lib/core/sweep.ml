@@ -26,7 +26,7 @@ let sequential ~journal items =
       { id; payload; status = (how :> status) })
     items
 
-let sharded ~pool ~journal items =
+let sharded ~parent ~pool ~journal items =
   let domains = Exec.Pool.size pool in
   (* Recover payloads from shard files a crashed run left behind, then
      clear them: this run re-emits those items through its own shards,
@@ -62,6 +62,7 @@ let sharded ~pool ~journal items =
       (((k + 1) * n / domains) - (k * n / domains))
   in
   let shard k =
+    Obs.span ~parent (Printf.sprintf "sweep.shard%d" k) @@ fun _sp ->
     let path = shard_path (Journal.path journal) k in
     let j = Journal.load_or_create path in
     Fun.protect
@@ -116,6 +117,24 @@ let sharded ~pool ~journal items =
     items
 
 let run ?pool ~journal items =
-  match pool with
-  | Some p when Exec.Pool.size p > 1 -> sharded ~pool:p ~journal items
-  | Some _ | None -> sequential ~journal items
+  Obs.span "sweep.run" @@ fun sp ->
+  let outcomes =
+    match pool with
+    | Some p when Exec.Pool.size p > 1 ->
+      sharded ~parent:sp ~pool:p ~journal items
+    | Some _ | None -> sequential ~journal items
+  in
+  (* Outcome counters are deterministic across domain counts: the merged
+     journal is byte-identical to the sequential append order, so every
+     item's status is scheduling-independent (given the same leftover
+     shard files on disk). *)
+  if Obs.on () then
+    List.iter
+      (fun o ->
+        Obs.count
+          (match o.status with
+           | `Ran -> "sweep_items_ran"
+           | `Replayed -> "sweep_items_replayed"
+           | `Recovered -> "sweep_items_recovered"))
+      outcomes;
+  outcomes

@@ -60,6 +60,10 @@ let worker_loop t =
         Mutex.unlock t.mutex
     | Some task ->
         Mutex.unlock t.mutex;
+        if Obs.on () then begin
+          Obs.count "pool_tasks_worker";
+          Obs.gauge_add "pool_queue_depth" (-1)
+        end;
         task ();
         loop ()
   in
@@ -86,6 +90,7 @@ let create ~domains () =
     List.init (domains - 1) (fun _ ->
         Atomic.incr active;
         Domain.spawn (fun () -> worker_loop t));
+  if Obs.on () then Obs.gauge_set "pool_active_domains" (Atomic.get active);
   t
 
 let size t = t.size
@@ -129,6 +134,7 @@ let map t f input =
       Queue.add (run_task i) t.queue
     done;
     Condition.broadcast t.nonempty;
+    if Obs.on () then Obs.gauge_add "pool_queue_depth" n;
     (* Caller helps: execute queued tasks (this map's or a concurrent
        one's) until the queue is dry, then wait for stragglers running
        on workers. *)
@@ -136,6 +142,10 @@ let map t f input =
       match Queue.take_opt t.queue with
       | Some task ->
           Mutex.unlock t.mutex;
+          if Obs.on () then begin
+            Obs.count "pool_tasks_caller";
+            Obs.gauge_add "pool_queue_depth" (-1)
+          end;
           task ();
           Mutex.lock t.mutex;
           help ()
@@ -174,7 +184,8 @@ let join t =
         Domain.join d;
         Atomic.decr active)
       t.workers;
-    t.workers <- []
+    t.workers <- [];
+    if Obs.on () then Obs.gauge_set "pool_active_domains" (Atomic.get active)
   end
 
 let with_pool ~domains f =

@@ -79,6 +79,11 @@ val active_domains : unit -> int
     {!default_domains}. *)
 val env_var : string
 
+(** Upper bound {!create} accepts for [domains] (256) — exported so
+    front ends can validate at their own boundary with a matching
+    message. *)
+val max_domains : int
+
 (** The parallelism degree CLI tools and tests use when no [--domains]
     flag is given: [CONFCALL_DOMAINS] when set to a positive integer
     (clamped to 256), else 1 — the sequential code path, so existing

@@ -138,3 +138,58 @@ byte-identical to an uninterrupted run.
   journal j.tsv: 3 items
   $ $CLI sweep --seeds 1,2,3 -c 10 --journal j2.tsv > /dev/null
   $ cmp j.tsv j2.tsv
+
+A malformed cell index in an explicit strategy is a usage error with a
+named flag, not a backtrace:
+
+  $ $CLI evaluate inst.txt --strategy "0 1 x|3 4 5" 2>&1; echo "exit=$?"
+  confcall: error: --strategy: bad cell index "x" (expected space-separated integers in '|'-separated groups, e.g. "0 1 2|3 4|5")
+  exit=2
+
+The parallelism degree is validated at the CLI boundary, whether it
+comes from the flag or from the environment:
+
+  $ $CLI solve inst.txt --domains 0 2>&1; echo "exit=$?"
+  confcall: error: --domains must be an integer in [1, 256], got 0
+  exit=2
+  $ CONFCALL_DOMAINS=banana $CLI solve inst.txt 2>&1; echo "exit=$?"
+  confcall: error: CONFCALL_DOMAINS must be a positive integer, got "banana"
+  exit=2
+  $ CONFCALL_DOMAINS=0 $CLI solve inst.txt 2>&1; echo "exit=$?"
+  confcall: error: CONFCALL_DOMAINS must be in [1, 256], got 0
+  exit=2
+
+Observability: --metrics-out / --trace-out emit the run's counters and
+spans, JSON by default and Prometheus text for .prom files, and an
+unwritable path is a clean usage error:
+
+  $ $CLI solve inst.txt --chain fast --metrics-out m.json --trace-out t.json > /dev/null
+  $ grep -c '"runner_runs":1' m.json
+  1
+  $ grep -c '"solver_solve_greedy":1' m.json
+  1
+  $ grep -c '"spans":\[{"id":1,"parent":null,"name":"runner.run"' t.json
+  1
+  $ $CLI solve inst.txt --chain fast --metrics-out m.prom > /dev/null
+  $ grep '# TYPE runner_runs' m.prom
+  # TYPE runner_runs counter
+  $ $CLI solve inst.txt --metrics-out /dev/null/x.json 2>&1 >/dev/null; echo "exit=$?"
+  confcall: error: --metrics-out: /dev/null/x.json: Not a directory
+  exit=2
+
+Without the flags nothing is written and the output is unchanged:
+
+  $ $CLI solve inst.txt --solver greedy > plain.txt
+  $ $CLI solve inst.txt --solver greedy --metrics-out m2.json > obs.txt
+  $ cmp plain.txt obs.txt
+
+The bench harness creates missing --json-out directories and reports
+unwritable ones as usage errors:
+
+  $ BENCH=../../bench/main.exe
+  $ $BENCH e1 --json-out nested/dir/out > /dev/null
+  $ ls nested/dir/out
+  BENCH_e1.json
+  $ $BENCH e1 --json-out /dev/null/x 2>&1 >/dev/null; echo "exit=$?"
+  bench: error: --json-out /dev/null/x: Not a directory
+  exit=2
