@@ -1770,6 +1770,277 @@ let e26 () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* E27: paging-as-a-service — the daemon under 0.5x/1x/2x offered load *)
+(* ------------------------------------------------------------------ *)
+
+let e27 () =
+  header ~id:"e27" ~title:"service overload: admission, shedding, degradation"
+    ~claim:
+      "the serve daemon under open-loop Poisson load at 0.5x/1x/2x of its \
+       calibrated capacity answers every request with a terminal status, \
+       sheds in well under 10 ms, and keeps accepted p99 latency within \
+       the declared budget plus grace";
+  let module Runner = Confcall.Runner in
+  let module Instance = Confcall.Instance in
+  let domains = 2 in
+  let capacity = 16 in
+  let budget_ms = 20.0 in
+  (* Calibrate the daemon's nominal service rate from the budgeted
+     runner itself: mean wall time per request on the loadgen's own
+     instance diet, times the worker-lane count. *)
+  let rng = Prob.Rng.create ~seed:2701 in
+  let probes = 12 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to probes do
+    let inst = Instance.random_zipf rng ~s:1.1 ~m:3 ~c:12 ~d:2 in
+    ignore (Runner.run ~budget_ms ~chain:Runner.default_chain inst)
+  done;
+  let mean_s =
+    Float.max ((Unix.gettimeofday () -. t0) /. float_of_int probes) 1e-4
+  in
+  let nominal = float_of_int domains /. mean_s in
+  Printf.printf
+    "calibration: %.2f ms/request under a %.0f ms budget -> nominal %.0f \
+     req/s on %d lanes\n\n"
+    (mean_s *. 1000.0) budget_ms nominal domains;
+  let cfg =
+    {
+      (Serve.Server.default_config (Serve.Server.Tcp 0)) with
+      domains;
+      capacity;
+      drain_grace_ms = 60_000.0;
+      quiet = true;
+    }
+  in
+  let h = Serve.Server.start cfg in
+  let port =
+    match Serve.Server.bound_port h with
+    | Some p -> p
+    | None -> failwith "e27: no bound port"
+  in
+  let legs = [ 0.5; 1.0; 2.0 ] in
+  Printf.printf "%6s %8s %6s %5s %5s %5s %4s %6s %9s %9s %9s %9s\n" "load"
+    "rate/s" "sent" "ok" "degr" "shed" "err" "unansw" "p50ms" "p99ms"
+    "p999ms" "shed p99";
+  let results =
+    List.map
+      (fun mult ->
+        let rate = nominal *. mult in
+        let requests =
+          int_of_float (Float.min 400.0 (Float.max 60.0 (rate *. 2.0)))
+        in
+        let o =
+          {
+            Serve.Loadgen.default_opts with
+            rate;
+            requests;
+            budget_ms = Some budget_ms;
+            solver = None;
+            chain = Some "default";
+            instances = 32;
+            connections = 4;
+            seed = 2702;
+            timeout_s = 120.0;
+          }
+        in
+        let s = Serve.Loadgen.run (Serve.Loadgen.Tcp port) o in
+        let p q = Serve.Loadgen.percentile s.Serve.Loadgen.accepted_ms q in
+        let shed_p99 =
+          Serve.Loadgen.percentile s.Serve.Loadgen.rejected_ms 99.0
+        in
+        Printf.printf
+          "%5.1fx %8.0f %6d %5d %5d %5d %4d %6d %9.2f %9.2f %9.2f %9.2f\n"
+          mult rate s.Serve.Loadgen.sent s.Serve.Loadgen.ok
+          s.Serve.Loadgen.degraded s.Serve.Loadgen.rejected
+          s.Serve.Loadgen.errors s.Serve.Loadgen.unanswered (p 50.0) (p 99.0)
+          (p 99.9) shed_p99;
+        (mult, s, p 50.0, p 99.0, p 99.9, shed_p99))
+      legs
+  in
+  (* Controlled shed-latency probe. The open-loop legs above measure
+     rejection RTT through a saturated client and kernel, which mostly
+     measures scheduler noise; the property the design claims is that
+     shedding happens at admission, never behind the queue. So: fill
+     both lanes and the whole queue with slow budgeted solves on one
+     connection, then time rejections on a second, otherwise idle
+     connection while the queue is pinned full. *)
+  let write_all fd s =
+    let n = String.length s in
+    let rec go off =
+      if off < n then go (off + Unix.write_substring fd s off (n - off))
+    in
+    go 0
+  in
+  let read_response fd buf =
+    let chunk = Bytes.create 4096 in
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec go () =
+      let s = Buffer.contents buf in
+      match String.index_opt s '\n' with
+      | Some i ->
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+        Some (String.sub s 0 i)
+      | None ->
+        if Unix.gettimeofday () >= deadline then None
+        else begin
+          (match Unix.select [ fd ] [] [] 0.1 with
+           | [], _, _ -> ()
+           | _ -> (
+             match Unix.read fd chunk 0 4096 with
+             | 0 -> Buffer.add_char buf '\n' (* EOF: fail via empty line *)
+             | r -> Buffer.add_subbytes buf chunk 0 r));
+          go ()
+        end
+    in
+    go ()
+  in
+  let connect () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    fd
+  in
+  let slow_inst =
+    Instance.to_string (Instance.random_zipf rng ~s:1.1 ~m:3 ~c:18 ~d:3)
+  in
+  (* The fillers run [exhaustive], which burns its whole budget on a
+     c = 18 instance, so the first [domains] jobs pin the lanes for
+     250 ms; the rest sit in the queue (where the ladder will later
+     downgrade them — irrelevant, they never start while the lanes are
+     held). The queue is therefore pinned at capacity for the whole
+     probe window. *)
+  let filler = connect () and prober = connect () in
+  let fill_n = domains + capacity + 4 in
+  for i = 1 to fill_n do
+    write_all filler
+      (Printf.sprintf
+         "{\"id\": \"fill%d\", \"op\": \"solve\", \"instance\": %s, \
+          \"chain\": \"exhaustive\", \"budget_ms\": 250, \"cache\": false}\n"
+         i (json_str slow_inst))
+  done;
+  (* let the filler connection's thread admit the batch and the lanes
+     dequeue their first jobs, then top the queue back up to capacity —
+     otherwise depth sits at capacity - lanes and probes are admitted *)
+  Unix.sleepf 0.05;
+  for i = 1 to domains + 2 do
+    write_all filler
+      (Printf.sprintf
+         "{\"id\": \"top%d\", \"op\": \"solve\", \"instance\": %s, \
+          \"chain\": \"exhaustive\", \"budget_ms\": 250, \"cache\": false}\n"
+         i (json_str slow_inst))
+  done;
+  Unix.sleepf 0.02;
+  let probe_buf = Buffer.create 1024 in
+  let probe_rtts = ref [] and probe_rejected = ref 0 in
+  for i = 1 to 10 do
+    let t = Unix.gettimeofday () in
+    write_all prober
+      (Printf.sprintf
+         "{\"id\": \"probe%d\", \"op\": \"solve\", \"instance\": %s, \
+          \"chain\": \"default\", \"budget_ms\": 20, \"cache\": false}\n"
+         i (json_str slow_inst));
+    match read_response prober probe_buf with
+    | None -> ()
+    | Some line ->
+      probe_rtts := ((Unix.gettimeofday () -. t) *. 1000.0) :: !probe_rtts;
+      let contains needle =
+        let nh = String.length line and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub line i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      if contains "\"rejected\"" then incr probe_rejected
+  done;
+  (try Unix.close prober with Unix.Unix_error _ -> ());
+  (try Unix.close filler with Unix.Unix_error _ -> ());
+  let probe_answered = List.length !probe_rtts in
+  let probe_max_ms = List.fold_left Float.max 0.0 !probe_rtts in
+  Printf.printf
+    "\nshed probe at pinned-full queue: %d/10 answered, %d rejected, max \
+     RTT %.3f ms\n"
+    probe_answered !probe_rejected probe_max_ms;
+  let drained = Serve.Server.stop h in
+  print_newline ();
+  (* Gates. Every request terminal at every load; a clean run (no error
+     frames) at 0.5x; with the queue pinned full, probes are shed and
+     every rejection lands in < 10 ms; accepted p99 stays within budget
+     + runner grace + scheduling/queueing slack. Queue wait is bounded
+     by the admission cap: capacity x mean service / lanes fits inside
+     the slack. *)
+  let slack_ms = 400.0 in
+  let all_terminal =
+    List.for_all (fun (_, s, _, _, _, _) -> s.Serve.Loadgen.unanswered = 0)
+      results
+  in
+  let clean_at_half =
+    List.for_all
+      (fun (mult, s, _, _, _, _) ->
+        mult > 0.5 || s.Serve.Loadgen.errors = 0)
+      results
+  in
+  let shed_fast =
+    probe_answered = 10 && !probe_rejected >= 8 && probe_max_ms < 10.0
+  in
+  let p99_bounded =
+    List.for_all
+      (fun (_, s, _, p99, _, _) ->
+        Array.length s.Serve.Loadgen.accepted_ms = 0
+        || p99 <= budget_ms +. 100.0 +. slack_ms)
+      results
+  in
+  let leg_json (mult, s, p50, p99, p999, shed_p99) =
+    let ladder =
+      "{"
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s: %d" (json_str k) v)
+             s.Serve.Loadgen.ladder)
+      ^ "}"
+    in
+    "{"
+    ^ String.concat ", "
+        [
+          Printf.sprintf "\"load\": %s" (json_num mult);
+          Printf.sprintf "\"sent\": %d" s.Serve.Loadgen.sent;
+          Printf.sprintf "\"ok\": %d" s.Serve.Loadgen.ok;
+          Printf.sprintf "\"degraded\": %d" s.Serve.Loadgen.degraded;
+          Printf.sprintf "\"rejected\": %d" s.Serve.Loadgen.rejected;
+          Printf.sprintf "\"errors\": %d" s.Serve.Loadgen.errors;
+          Printf.sprintf "\"unanswered\": %d" s.Serve.Loadgen.unanswered;
+          Printf.sprintf "\"throughput\": %s"
+            (json_num s.Serve.Loadgen.throughput);
+          Printf.sprintf "\"p50_ms\": %s" (json_num p50);
+          Printf.sprintf "\"p99_ms\": %s" (json_num p99);
+          Printf.sprintf "\"p999_ms\": %s" (json_num p999);
+          Printf.sprintf "\"shed_p99_ms\": %s" (json_num shed_p99);
+          Printf.sprintf "\"ladder\": %s" ladder;
+        ]
+    ^ "}"
+  in
+  record ~id:"e27"
+    ~pass:(all_terminal && clean_at_half && shed_fast && p99_bounded && drained)
+    ~metrics:
+      [
+        "nominal_rate", json_num nominal;
+        "budget_ms", json_num budget_ms;
+        "domains", string_of_int domains;
+        "capacity", string_of_int capacity;
+        "drained", (if drained then "true" else "false");
+        "shed_probe_answered", string_of_int probe_answered;
+        "shed_probe_rejected", string_of_int !probe_rejected;
+        "shed_probe_max_ms", json_num probe_max_ms;
+        ( "loads",
+          "[" ^ String.concat ", " (List.map leg_json results) ^ "]" );
+      ]
+    (Printf.sprintf
+       "all terminal: %b; clean at 0.5x: %b; pinned-queue shed < 10 ms: %b \
+        (%d/10 rejected, max %.2f ms); accepted p99 <= budget + grace + \
+        %.0f ms: %b; drained: %b"
+       all_terminal clean_at_half shed_fast !probe_rejected probe_max_ms
+       slack_ms p99_bounded drained)
+
 let experiments =
   [
     "e1", e1;
@@ -1798,6 +2069,7 @@ let experiments =
     "e24", e24;
     "e25", e25;
     "e26", e26;
+    "e27", e27;
   ]
 
 let () =

@@ -7,7 +7,9 @@
      compare    run several solvers on one instance
      evaluate   expected paging of an explicit strategy
      simulate   run the end-to-end cellular simulation
-     hardness   demonstrate the Partition -> Conference Call reduction *)
+     hardness   demonstrate the Partition -> Conference Call reduction
+     serve      run the JSONL paging daemon (admission control, deadlines)
+     loadgen    drive open-loop Poisson load at a serve daemon *)
 
 open Cmdliner
 open Confcall
@@ -1167,6 +1169,274 @@ let hardness_cmd =
        ~doc:"Demonstrate the NP-hardness reduction of Section 3")
     Term.(const hardness $ sizes)
 
+(* ---------------- serve ---------------- *)
+
+let listen_of_flags port socket =
+  match (port, socket) with
+  | Some p, None when p >= 0 && p <= 65535 -> Serve.Server.Tcp p
+  | Some p, None ->
+    invalid_arg (Printf.sprintf "--port must be in [0, 65535], got %d" p)
+  | None, Some path -> Serve.Server.Unix_path path
+  | Some _, Some _ -> invalid_arg "pass exactly one of --port or --socket"
+  | None, None -> invalid_arg "pass one of --port or --socket"
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Listen on 127.0.0.1:$(docv) (0 picks an ephemeral port).")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on (or connect to) a Unix-domain socket at $(docv).")
+
+let serve port socket domains capacity max_connections cache cache_fsync
+    grace_ms quiet =
+  guard @@ fun () ->
+  let listen = listen_of_flags port socket in
+  let domains = effective_domains domains in
+  let cfg =
+    {
+      (Serve.Server.default_config listen) with
+      domains;
+      capacity;
+      max_connections;
+      cache_path = cache;
+      cache_fsync;
+      drain_grace_ms = grace_ms;
+      quiet;
+    }
+  in
+  if not (Serve.Server.run cfg) then exit 1
+
+let serve_cmd =
+  let capacity =
+    Arg.(
+      value & opt int 64
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Admission-queue bound: requests beyond $(docv) queued are \
+                shed with rejected:overload.")
+  in
+  let max_connections =
+    Arg.(
+      value & opt int 256
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Concurrent connection cap.")
+  in
+  let cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:"Journal the solver-result cache to $(docv); a restarted \
+                daemon reloads it and serves hits.")
+  in
+  let cache_fsync =
+    Arg.(
+      value & flag
+      & info [ "cache-fsync" ]
+          ~doc:"fsync the cache journal after every store (power-loss \
+                durability).")
+  in
+  let grace_ms =
+    Arg.(
+      value & opt float 10_000.0
+      & info [ "grace-ms" ] ~docv:"MS"
+          ~doc:"Drain grace: on SIGTERM, in-flight requests get $(docv) ms \
+                to finish.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No startup/shutdown banner.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the paging daemon (JSONL over TCP or Unix socket)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "One JSON request per line, one JSON response per request \
+              (pipelining allowed; responses may arrive out of order). Ops: \
+              solve, simulate, health, metrics, drain. Under load the \
+              daemon first downgrades fallback chains (heuristic, then \
+              always-fast rungs), then sheds with rejected:overload; \
+              per-request budget_ms deadlines are armed at admission and \
+              over-budget requests return the anytime best-so-far as \
+              degraded. SIGTERM drains gracefully.";
+         ])
+    Term.(
+      const serve $ port_arg $ socket_arg $ domains_arg $ capacity
+      $ max_connections $ cache $ cache_fsync $ grace_ms $ quiet)
+
+(* ---------------- loadgen ---------------- *)
+
+let loadgen port socket rate requests budget_ms solver chain m c d instances
+    connections seed cache timeout json =
+  guard @@ fun () ->
+  let target =
+    match listen_of_flags port socket with
+    | Serve.Server.Tcp p -> Serve.Loadgen.Tcp p
+    | Serve.Server.Unix_path p -> Serve.Loadgen.Unix_path p
+  in
+  let opts =
+    {
+      Serve.Loadgen.rate;
+      requests;
+      budget_ms;
+      solver;
+      chain;
+      m;
+      c;
+      d;
+      instances;
+      connections;
+      seed;
+      cache;
+      timeout_s = timeout;
+    }
+  in
+  let s = try Serve.Loadgen.run target opts with
+    | Unix.Unix_error (e, _, _) ->
+      invalid_arg
+        (Printf.sprintf "loadgen: cannot reach the daemon (%s)"
+           (Unix.error_message e))
+  in
+  let pct a p =
+    let v = Serve.Loadgen.percentile a p in
+    if Float.is_nan v then "null" else Json.num v
+  in
+  if json then
+    print_endline
+      (Json.obj
+         [
+           "sent", string_of_int s.Serve.Loadgen.sent;
+           "ok", string_of_int s.Serve.Loadgen.ok;
+           "degraded", string_of_int s.Serve.Loadgen.degraded;
+           "rejected", string_of_int s.Serve.Loadgen.rejected;
+           "errors", string_of_int s.Serve.Loadgen.errors;
+           "unanswered", string_of_int s.Serve.Loadgen.unanswered;
+           "duration_s", Json.num s.Serve.Loadgen.duration_s;
+           "throughput", Json.num s.Serve.Loadgen.throughput;
+           ( "accepted_ms",
+             Json.obj
+               [
+                 "p50", pct s.Serve.Loadgen.accepted_ms 50.0;
+                 "p99", pct s.Serve.Loadgen.accepted_ms 99.0;
+                 "p999", pct s.Serve.Loadgen.accepted_ms 99.9;
+               ] );
+           ( "rejected_ms",
+             Json.obj
+               [
+                 "p50", pct s.Serve.Loadgen.rejected_ms 50.0;
+                 "p99", pct s.Serve.Loadgen.rejected_ms 99.0;
+               ] );
+           ( "ladder",
+             Json.obj
+               (List.map
+                  (fun (k, v) -> (k, string_of_int v))
+                  s.Serve.Loadgen.ladder) );
+         ])
+  else begin
+    Printf.printf
+      "sent %d: %d ok, %d degraded, %d rejected, %d errors, %d unanswered\n"
+      s.Serve.Loadgen.sent s.Serve.Loadgen.ok s.Serve.Loadgen.degraded
+      s.Serve.Loadgen.rejected s.Serve.Loadgen.errors
+      s.Serve.Loadgen.unanswered;
+    Printf.printf "throughput: %.1f responses/s over %.2f s\n"
+      s.Serve.Loadgen.throughput s.Serve.Loadgen.duration_s;
+    let show name a =
+      if Array.length a > 0 then
+        Printf.printf "%s latency ms: p50 %.2f  p99 %.2f  p99.9 %.2f\n" name
+          (Serve.Loadgen.percentile a 50.0)
+          (Serve.Loadgen.percentile a 99.0)
+          (Serve.Loadgen.percentile a 99.9)
+    in
+    show "accepted" s.Serve.Loadgen.accepted_ms;
+    show "rejected" s.Serve.Loadgen.rejected_ms;
+    List.iter
+      (fun (k, v) -> Printf.printf "ladder %s: %d\n" k v)
+      s.Serve.Loadgen.ladder
+  end;
+  if s.Serve.Loadgen.unanswered > 0 then exit 3
+
+let loadgen_cmd =
+  let rate =
+    Arg.(
+      value & opt float 50.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Offered load: open-loop Poisson arrivals at $(docv) \
+                requests/second.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 200
+      & info [ "requests"; "n" ] ~docv:"N" ~doc:"Total requests to send.")
+  in
+  let budget_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline attached to every solve frame.")
+  in
+  let solver =
+    Arg.(
+      value
+      & opt (some string) (Some "greedy")
+      & info [ "solver" ] ~docv:"SPEC" ~doc:"Solver spec for the frames.")
+  in
+  let chain =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chain" ] ~docv:"CHAIN"
+          ~doc:"Fallback chain for the frames (overrides the direct-solver \
+                path).")
+  in
+  let m = Arg.(value & opt int 3 & info [ "m" ] ~doc:"Devices per instance.") in
+  let c = Arg.(value & opt int 12 & info [ "c" ] ~doc:"Cells per instance.") in
+  let d = Arg.(value & opt int 2 & info [ "d" ] ~doc:"Delay budget.") in
+  let instances =
+    Arg.(
+      value & opt int 32
+      & info [ "instances" ] ~docv:"N"
+          ~doc:"Distinct instances in the generated pool.")
+  in
+  let connections =
+    Arg.(
+      value & opt int 4
+      & info [ "connections" ] ~docv:"N"
+          ~doc:"Pipelined connections the load is spread over.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let cache =
+    Arg.(
+      value & flag
+      & info [ "use-cache" ]
+          ~doc:"Let the daemon answer from its result cache (default: \
+                bypass, to measure solves).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "timeout" ] ~docv:"S"
+          ~doc:"Straggler window after the last send.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive Poisson load at a running serve daemon")
+    Term.(
+      const loadgen $ port_arg $ socket_arg $ rate $ requests $ budget_ms
+      $ solver $ chain $ m $ c $ d $ instances $ connections $ seed $ cache
+      $ timeout $ json)
+
 let () =
   let info =
     Cmd.info "confcall" ~version:"1.0.0"
@@ -1184,4 +1454,6 @@ let () =
             analyze_cmd;
             simulate_cmd;
             hardness_cmd;
+            serve_cmd;
+            loadgen_cmd;
           ]))

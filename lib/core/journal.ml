@@ -1,6 +1,7 @@
 type t = {
   path : string;
   oc : out_channel;
+  fsync : bool;  (* fdatasync-level durability on every append *)
   tbl : (string, string) Hashtbl.t;
   mutable order : string list;  (* reverse file order *)
 }
@@ -51,7 +52,7 @@ let read_back path =
     entries;
   entries
 
-let load_or_create path =
+let load_or_create ?(fsync = false) path =
   let entries, good, len = read_existing path in
   (* Physically truncate the partial trailing line before appending
      anything new — seeking alone would leave the garbage tail in place
@@ -79,7 +80,7 @@ let load_or_create path =
          id :: acc)
       [] entries
   in
-  { path; oc; tbl; order }
+  { path; oc; fsync; tbl; order }
 
 let path t = t.path
 let completed t id = Hashtbl.mem t.tbl id
@@ -107,6 +108,10 @@ let record t ~id ~payload =
   output_string t.oc payload;
   output_char t.oc '\n';
   flush t.oc;
+  (* [flush] hands the line to the kernel; [fsync] makes it survive a
+     power cut. Torn-tail recovery in [load_or_create] is unchanged
+     either way — fsync only narrows the window to the write itself. *)
+  if t.fsync then Unix.fsync (Unix.descr_of_out_channel t.oc);
   Hashtbl.replace t.tbl id payload;
   t.order <- id :: t.order
 

@@ -15,9 +15,14 @@
 
 type t
 
-(** [load_or_create path] opens the journal, recovering completed
+(** [load_or_create ?fsync path] opens the journal, recovering completed
     entries and truncating any partial trailing line. Creates the file
     (and nothing else — parent directories must exist) when absent.
+    With [~fsync:true] (default false) every {!record} additionally
+    [fsync]s the descriptor after its flush, so a committed line
+    survives power-loss-style crashes, not just process death — the
+    durability the serve-side result cache wants. Torn-tail recovery is
+    identical in both modes.
     @raise Invalid_argument with a ["Journal: duplicate id"] message
     when the same id appears on two complete lines — two runs both
     claimed the record, and silently keeping either copy would hide
@@ -25,7 +30,7 @@ type t
     check, so a half-written retry of an existing id loads fine. A
     complete line without a tab separator is not an error — the whole
     line is then the id with an empty payload. *)
-val load_or_create : string -> t
+val load_or_create : ?fsync:bool -> string -> t
 
 (** [read_back path] — the completed entries of a journal file, oldest
     first, without opening it for append or truncating its torn tail

@@ -14,3 +14,14 @@ val exhaustive : Instance.t -> k:int -> Optimal.result
 (** [sweep inst] — heuristic expected paging for every k = 1..m;
     the interpolation curve of experiment E13. *)
 val sweep : Instance.t -> float array
+
+(** [canonical_key ?quantum ~objective inst] — a stable hex digest
+    identifying the {e problem} an instance poses, for result caches:
+    two instances that differ only by device (row) order, or by float
+    noise below the [quantum] grid (default [1e-9]), share a key. The
+    key covers [m], [c], [d], the objective, the quantum and the
+    row-sorted quantized matrix. Instances within one quantum of each
+    other intentionally collide — a cache keyed on this may return the
+    strategy of a sub-quantum neighbour.
+    @raise Invalid_argument when [quantum] is not positive and finite. *)
+val canonical_key : ?quantum:float -> objective:Objective.t -> Instance.t -> string

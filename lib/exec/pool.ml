@@ -86,10 +86,32 @@ let create ~domains () =
       workers = [];
     }
   in
-  t.workers <-
-    List.init (domains - 1) (fun _ ->
-        Atomic.incr active;
-        Domain.spawn (fun () -> worker_loop t));
+  (* Spawn accounting must stay exact even when a spawn fails halfway
+     (the runtime's domain limit, resource exhaustion): [active] is
+     incremented only after the spawn succeeded, and a partial failure
+     stops and joins the workers already running before re-raising —
+     otherwise [active_domains] would stay elevated forever and the
+     leak tests downstream would blame an innocent caller. *)
+  (try
+     for _ = 2 to domains do
+       let d = Domain.spawn (fun () -> worker_loop t) in
+       Atomic.incr active;
+       t.workers <- d :: t.workers
+     done
+   with e ->
+     Mutex.lock t.mutex;
+     t.stopped <- true;
+     t.joined <- true;
+     Condition.broadcast t.nonempty;
+     Mutex.unlock t.mutex;
+     List.iter
+       (fun d ->
+         Domain.join d;
+         Atomic.decr active)
+       t.workers;
+     t.workers <- [];
+     if Obs.on () then Obs.gauge_set "pool_active_domains" (Atomic.get active);
+     raise e);
   if Obs.on () then Obs.gauge_set "pool_active_domains" (Atomic.get active);
   t
 

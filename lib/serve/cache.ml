@@ -1,0 +1,51 @@
+open Confcall
+
+type t = {
+  mutex : Mutex.t;
+  tbl : (string, string) Hashtbl.t;
+  journal : Journal.t option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?path ?(fsync = false) () =
+  let journal = Option.map (fun p -> Journal.load_or_create ~fsync p) path in
+  let tbl = Hashtbl.create 256 in
+  Option.iter
+    (fun j ->
+      List.iter (fun (key, payload) -> Hashtbl.replace tbl key payload)
+        (Journal.entries j))
+    journal;
+  { mutex = Mutex.create (); tbl; journal; hits = 0; misses = 0 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t ~key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.tbl key with
+  | Some payload ->
+    t.hits <- t.hits + 1;
+    if Obs.on () then Obs.count "serve_cache_hits";
+    Some payload
+  | None ->
+    t.misses <- t.misses + 1;
+    if Obs.on () then Obs.count "serve_cache_misses";
+    None
+
+let store t ~key ~payload =
+  locked t @@ fun () ->
+  if not (Hashtbl.mem t.tbl key) then begin
+    Hashtbl.replace t.tbl key payload;
+    Option.iter (fun j -> Journal.record j ~id:key ~payload) t.journal;
+    if Obs.on () then Obs.gauge_set "serve_cache_entries" (Hashtbl.length t.tbl)
+  end
+
+let entries t = locked t @@ fun () -> Hashtbl.length t.tbl
+let hits t = locked t @@ fun () -> t.hits
+let misses t = locked t @@ fun () -> t.misses
+
+let close t =
+  locked t @@ fun () ->
+  Option.iter Journal.close t.journal

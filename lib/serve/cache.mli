@@ -1,0 +1,38 @@
+(** Solver-result cache for the daemon, keyed on
+    {!Confcall.Signature.canonical_key} material.
+
+    In-memory hash table, optionally backed by a crash-safe
+    {!Confcall.Journal} ([key TAB payload] lines, torn tails dropped on
+    load) so a restarted daemon serves hits for everything the previous
+    incarnation solved. Thread-safe: connection threads look up, worker
+    domains store.
+
+    Only {e clean} results belong here — the server stores a payload
+    only when the solve completed undegraded, so an overload-downgraded
+    or deadline-clipped answer can never be replayed to a healthy
+    system. *)
+
+type t
+
+(** [create ?path ?fsync ()] — memory-only when [path] is [None];
+    otherwise loads (or creates) the journal at [path]. [fsync]
+    (default false) makes each store survive power loss.
+    @raise Invalid_argument as {!Confcall.Journal.load_or_create}
+    (duplicate ids in a corrupted file). *)
+val create : ?path:string -> ?fsync:bool -> unit -> t
+
+val find : t -> key:string -> string option
+(** Increments the hit/miss counters (also mirrored to [Obs] as
+    [serve_cache_hits]/[serve_cache_misses] when metrics are on). *)
+
+val store : t -> key:string -> payload:string -> unit
+(** First writer wins; a concurrent duplicate store is a no-op. The
+    payload must be journal-safe (no newlines). *)
+
+val entries : t -> int
+
+val hits : t -> int
+
+val misses : t -> int
+
+val close : t -> unit

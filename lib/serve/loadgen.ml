@@ -1,0 +1,275 @@
+open Confcall
+
+type target = Tcp of int | Unix_path of string
+
+type opts = {
+  rate : float;
+  requests : int;
+  budget_ms : float option;
+  solver : string option;
+  chain : string option;
+  m : int;
+  c : int;
+  d : int;
+  instances : int;
+  connections : int;
+  seed : int;
+  cache : bool;
+  timeout_s : float;
+}
+
+let default_opts =
+  {
+    rate = 50.0;
+    requests = 200;
+    budget_ms = None;
+    solver = Some "greedy";
+    chain = None;
+    m = 3;
+    c = 12;
+    d = 2;
+    instances = 32;
+    connections = 4;
+    seed = 1;
+    cache = false;
+    timeout_s = 30.0;
+  }
+
+type stats = {
+  sent : int;
+  ok : int;
+  degraded : int;
+  rejected : int;
+  errors : int;
+  unanswered : int;
+  duration_s : float;
+  throughput : float;
+  accepted_ms : float array;
+  rejected_ms : float array;
+  ladder : (string * int) list;
+}
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else begin
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = Int.max 0 (Int.min (n - 1) (rank - 1)) in
+    xs.(idx)
+  end
+
+let validate o =
+  if not (Float.is_finite o.rate) || o.rate <= 0.0 then
+    invalid_arg "loadgen: rate must be positive";
+  if o.requests < 1 then invalid_arg "loadgen: requests must be >= 1";
+  if o.instances < 1 then invalid_arg "loadgen: instances must be >= 1";
+  if o.connections < 1 then invalid_arg "loadgen: connections must be >= 1";
+  (match o.budget_ms with
+   | Some b when not (Float.is_finite b) || b <= 0.0 ->
+     invalid_arg "loadgen: budget_ms must be positive"
+   | _ -> ())
+
+let connect target =
+  match target with
+  | Tcp port ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  | Unix_path path ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* One record per response, filled in by the receiver threads. *)
+type reply = { status : string; rung : string option; recv_s : float }
+
+let run target o =
+  validate o;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let rng = Prob.Rng.create ~seed:o.seed in
+  let pool =
+    Array.init o.instances (fun _ ->
+        Instance.to_string
+          (Instance.random_zipf rng ~s:1.1 ~m:o.m ~c:o.c ~d:o.d))
+  in
+  let assignment = Array.init o.requests (fun _ -> Prob.Rng.int rng o.instances) in
+  let gaps =
+    Array.init o.requests (fun i ->
+        if i = 0 then 0.0 else Prob.Rng.exponential rng ~rate:o.rate)
+  in
+  let frame i =
+    let fields =
+      [
+        ("id", Json.Str (Printf.sprintf "r%d" i));
+        ("op", Json.Str "solve");
+        ("instance", Json.Str pool.(assignment.(i)));
+      ]
+      @ (match o.solver with
+         | Some s -> [ ("solver", Json.Str s) ]
+         | None -> [])
+      @ (match o.chain with
+         | Some c -> [ ("chain", Json.Str c) ]
+         | None -> [])
+      @ (match o.budget_ms with
+         | Some b -> [ ("budget_ms", Json.Num b) ]
+         | None -> [])
+      @ if o.cache then [] else [ ("cache", Json.Bool false) ]
+    in
+    Json.to_string (Json.Obj fields) ^ "\n"
+  in
+  let conns = Array.init o.connections (fun _ -> connect target) in
+  let replies : (int, reply) Hashtbl.t = Hashtbl.create o.requests in
+  let rmutex = Mutex.create () in
+  let answered = Atomic.make 0 in
+  let receiver fd =
+    let chunk = Bytes.create 65536 in
+    let acc = Buffer.create 4096 in
+    let handle line =
+      match Json.parse line with
+      | Error _ -> ()
+      | Ok json ->
+        let str k =
+          Option.bind (Json.member k json) Json.to_str
+        in
+        (match str "id" with
+         | Some id
+           when String.length id > 1 && id.[0] = 'r' ->
+           (match int_of_string_opt (String.sub id 1 (String.length id - 1)) with
+            | Some i ->
+              let reply =
+                {
+                  status = Option.value (str "status") ~default:"error";
+                  rung =
+                    (match str "cache" with
+                     | Some "hit" -> Some "cache"
+                     | _ -> str "ladder");
+                  recv_s = Obs.now ();
+                }
+              in
+              Mutex.lock rmutex;
+              if not (Hashtbl.mem replies i) then begin
+                Hashtbl.replace replies i reply;
+                Atomic.incr answered
+              end;
+              Mutex.unlock rmutex
+            | None -> ())
+         | _ -> ())
+    in
+    let rec pump () =
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+        for i = 0 to n - 1 do
+          let c = Bytes.get chunk i in
+          if c = '\n' then begin
+            handle (Buffer.contents acc);
+            Buffer.clear acc
+          end
+          else Buffer.add_char acc c
+        done;
+        pump ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ()
+      | exception Unix.Unix_error _ -> ()
+      | exception Sys_error _ -> ()
+    in
+    pump ()
+  in
+  let receivers = Array.map (fun fd -> Thread.create receiver fd) conns in
+  let send_s = Array.make o.requests 0.0 in
+  let start_s = Obs.now () in
+  let sent = ref 0 in
+  (* Open loop: each request goes out at its scheduled arrival time,
+     whatever the daemon is doing. Falling behind (blocked writes) is
+     made visible by sending immediately once past-due. *)
+  (try
+     let due = ref start_s in
+     for i = 0 to o.requests - 1 do
+       due := !due +. gaps.(i);
+       let delay = !due -. Obs.now () in
+       if delay > 0.0 then Thread.delay delay;
+       send_s.(i) <- Obs.now ();
+       write_all conns.(i mod o.connections) (frame i);
+       incr sent
+     done
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  (* Straggler window: responses owed for everything sent. *)
+  let deadline = Obs.now () +. o.timeout_s in
+  while Atomic.get answered < !sent && Obs.now () < deadline do
+    Thread.delay 0.01
+  done;
+  (* Tear down: a full shutdown unblocks the receivers (read returns
+     0) even if the daemon still holds its side open. *)
+  Array.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  Array.iter Thread.join receivers;
+  Array.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    conns;
+  let last_s = ref start_s in
+  let ok = ref 0
+  and degraded = ref 0
+  and rejected = ref 0
+  and errors = ref 0 in
+  let accepted = ref []
+  and shed = ref [] in
+  let ladder : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  for i = 0 to !sent - 1 do
+    match Hashtbl.find_opt replies i with
+    | None -> ()
+    | Some r ->
+      if r.recv_s > !last_s then last_s := r.recv_s;
+      let latency_ms = (r.recv_s -. send_s.(i)) *. 1000.0 in
+      (match r.status with
+       | "ok" | "degraded" ->
+         if r.status = "ok" then incr ok else incr degraded;
+         accepted := latency_ms :: !accepted;
+         Option.iter
+           (fun rung ->
+             Hashtbl.replace ladder rung
+               (1 + Option.value (Hashtbl.find_opt ladder rung) ~default:0))
+           r.rung
+       | "rejected" ->
+         incr rejected;
+         shed := latency_ms :: !shed
+       | _ -> incr errors)
+  done;
+  let answered_n = !ok + !degraded + !rejected + !errors in
+  let duration_s = Float.max (!last_s -. start_s) 1e-9 in
+  let sorted l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a
+  in
+  {
+    sent = !sent;
+    ok = !ok;
+    degraded = !degraded;
+    rejected = !rejected;
+    errors = !errors;
+    unanswered = !sent - answered_n;
+    duration_s;
+    throughput = float_of_int answered_n /. duration_s;
+    accepted_ms = sorted !accepted;
+    rejected_ms = sorted !shed;
+    ladder =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) ladder []);
+  }

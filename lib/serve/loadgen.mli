@@ -1,0 +1,65 @@
+(** Open-loop Poisson load generator for the serve daemon.
+
+    Arrivals follow a Poisson process of the requested rate regardless
+    of how the daemon responds — the generator never waits for a
+    response before sending the next request, which is what makes
+    overload visible: a closed-loop client would slow itself down and
+    mask the very backpressure bench e27 measures.
+
+    Deterministic given [seed]: the instance pool, the request→instance
+    assignment and the inter-arrival gaps are all drawn from
+    {!Prob.Rng}. Latencies of course are not.
+
+    Requests are solve frames spread round-robin over [connections]
+    pipelined connections; one receiver thread per connection matches
+    responses to send timestamps by frame id. *)
+
+type target = Tcp of int  (** loopback *) | Unix_path of string
+
+type opts = {
+  rate : float;  (** offered load, requests/second *)
+  requests : int;
+  budget_ms : float option;  (** attached to every solve frame *)
+  solver : string option;
+  chain : string option;
+  m : int;
+  c : int;
+  d : int;
+  instances : int;  (** distinct instances in the generated pool *)
+  connections : int;
+  seed : int;
+  cache : bool;  (** let the daemon use its result cache *)
+  timeout_s : float;  (** wait for stragglers after the last send *)
+}
+
+val default_opts : opts
+(** rate 50, 200 requests, no budget, greedy solver, 3×12×2 instances,
+    pool of 32, 4 connections, seed 1, cache off (measure solves, not
+    the cache), 30 s straggler timeout. *)
+
+type stats = {
+  sent : int;
+  ok : int;
+  degraded : int;
+  rejected : int;
+  errors : int;
+  unanswered : int;  (** sent but no response within [timeout_s] *)
+  duration_s : float;  (** first send to last response *)
+  throughput : float;  (** terminal responses per second *)
+  accepted_ms : float array;
+      (** sorted latencies of ok + degraded responses *)
+  rejected_ms : float array;  (** sorted latencies of sheds *)
+  ladder : (string * int) list;
+      (** executed-rung occupancy over accepted responses, plus
+          ["cache"] for cache hits (sorted by rung name) *)
+}
+
+(** [run target opts] drives one load session and blocks until every
+    request is answered or the straggler timeout fires.
+    @raise Invalid_argument on nonsensical opts (rate, counts).
+    @raise Unix.Unix_error when the daemon cannot be reached. *)
+val run : target -> opts -> stats
+
+(** [percentile xs p] — nearest-rank percentile ([p] in [0, 100]) of a
+    {e sorted} array; [nan] when empty. *)
+val percentile : float array -> float -> float

@@ -1,0 +1,58 @@
+(** The serve wire protocol: JSONL frames over a stream socket.
+
+    One request per line, one response line per request. Requests carry
+    a client-chosen [id] echoed on the response, so clients may
+    pipeline freely — responses complete (and are written) out of
+    order under load.
+
+    Request frames:
+    {v
+    {"id":"r1","op":"solve","instance":"2 4 2\n...","solver":"greedy"}
+    {"id":"r2","op":"solve","instance":"...","budget_ms":50,
+     "chain":"default","objective":"all","cache":true}
+    {"id":"r3","op":"simulate","scenario":"suburb","seed":7,"replicas":2}
+    {"id":"r4","op":"health"}   {"id":"r5","op":"metrics"}
+    {"id":"r6","op":"drain"}
+    v}
+
+    Every response carries ["id"] and ["status"]: ["ok"], ["degraded"]
+    (a valid but quality-reduced answer: the deadline fired and the
+    anytime best-so-far came back, or overload downgraded the fallback
+    chain), ["rejected"] (admission control refused — ["reason"] is
+    ["overload"] or ["draining"]) or ["error"] (malformed frame,
+    invalid instance — the connection itself stays up). *)
+
+type solve_req = {
+  instance : string;  (** {!Confcall.Instance.of_string} text format *)
+  solver : string option;  (** solver spec; default greedy *)
+  chain : string option;  (** fallback chain; triggers the runner path *)
+  budget_ms : float option;
+      (** per-request deadline, armed at {e admission} — queueing time
+          counts against it *)
+  objective : string option;  (** "all" | "any" | k; default all *)
+  cache : bool;  (** consult/populate the result cache (default true) *)
+}
+
+type request =
+  | Solve of solve_req
+  | Simulate of { scenario : string; seed : int; replicas : int }
+  | Health
+  | Metrics
+  | Drain
+
+type frame = { id : string; req : request }
+
+(** [decode line] — total: any byte string yields a frame or a message
+    for an ["error"] response. When the line parses far enough to carry
+    an id, the error message is paired with it so the client can match
+    the failure to its request. *)
+val decode : string -> (frame, string option * string) result
+
+(** {2 Response builders} — return one line, without the newline. *)
+
+val error_frame : id:string option -> string -> string
+val rejected_frame : id:string -> reason:string -> string
+val ok_frame : id:string -> (string * Json.t) list -> string
+(** [ok_frame ~id fields] — [{"id":.., "status":"ok", fields...}]. *)
+
+val frame : id:string -> status:string -> (string * Json.t) list -> string

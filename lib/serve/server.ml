@@ -1,0 +1,831 @@
+open Confcall
+
+type listen = Tcp of int | Unix_path of string
+
+type config = {
+  listen : listen;
+  domains : int;
+  capacity : int;
+  max_connections : int;
+  cache_path : string option;
+  cache_fsync : bool;
+  max_frame_bytes : int;
+  drain_grace_ms : float;
+  quiet : bool;
+}
+
+let default_config listen =
+  {
+    listen;
+    domains = 1;
+    capacity = 64;
+    max_connections = 256;
+    cache_path = None;
+    cache_fsync = false;
+    max_frame_bytes = 4 * 1024 * 1024;
+    drain_grace_ms = 10_000.0;
+    quiet = false;
+  }
+
+(* ---------------- the shedding ladder ---------------- *)
+
+type ladder = Full | Heuristic | Fast
+
+let ladder_to_string = function
+  | Full -> "full"
+  | Heuristic -> "heuristic"
+  | Fast -> "fast"
+
+let ladder_of_depth ~capacity depth =
+  if depth * 2 < capacity then Full
+  else if depth * 4 < capacity * 3 then Heuristic
+  else Fast
+
+(* Mirrors the runner's always-fast set: stages that run even after a
+   deadline has passed, under the grace token. *)
+let is_fast = function
+  | Solver.Greedy | Solver.Page_all | Solver.Within_order _
+  | Solver.Bandwidth_limited _ ->
+    true
+  | _ -> false
+
+let apply_ladder ladder chain =
+  match ladder with
+  | Full -> (chain, false)
+  | Heuristic ->
+    let kept =
+      List.filter (fun s -> is_fast s || s = Solver.Local_search) chain
+    in
+    let kept =
+      if kept = [] then Solver.[ Local_search; Greedy ] else kept
+    in
+    (kept, kept <> chain)
+  | Fast ->
+    let kept = List.filter is_fast chain in
+    let kept = if kept = [] then [ Solver.Greedy ] else kept in
+    (kept, kept <> chain)
+
+(* ---------------- JSON emission ----------------
+
+   Pre-rendered string fields, byte-compatible with the CLI's emitter
+   (same separators, same %.12g for numbers) — the differential test
+   compares daemon strategy/EP fields against `confcall solve --json`
+   literally. *)
+
+let jstr s = Json.to_string (Json.Str s)
+let jnum x = Json.to_string (Json.Num x)
+let jbool b = if b then "true" else "false"
+let field (k, v) = jstr k ^ ": " ^ v
+let fragment fields = String.concat ", " (List.map field fields)
+let compose fields = "{" ^ fragment fields ^ "}"
+let jarr items = "[" ^ String.concat ", " items ^ "]"
+
+let jstrategy s =
+  jarr
+    (Array.to_list
+       (Array.map
+          (fun g -> jarr (Array.to_list (Array.map string_of_int g)))
+          (Strategy.groups s)))
+
+(* ---------------- state ---------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  wmutex : Mutex.t;
+  mutable alive : bool;
+  pending : int Atomic.t;  (** admitted jobs not yet answered *)
+}
+
+type work =
+  | Jsolve of {
+      inst : Instance.t;
+      objective : Objective.t;
+      spec : Solver.spec option;
+      chain : Solver.spec list option;
+      budget_ms : float option;
+      ckey : string option;  (** cache key, when caching applies *)
+    }
+  | Jsim of {
+      build : ?seed:int -> unit -> Cellsim.Sim.config;
+      scenario : string;
+      seed : int;
+      replicas : int;
+    }
+
+type job = {
+  conn : conn;
+  id : string;
+  work : work;
+  admitted_s : float;  (** deadlines are armed here, not at execution *)
+  ladder : ladder;
+}
+
+type state = {
+  cfg : config;
+  qmutex : Mutex.t;
+  qnonempty : Condition.t;
+  queue : job Queue.t;
+  stopping : bool Atomic.t;  (** drain begun: reject new submissions *)
+  drain_flag : bool Atomic.t;  (** signal-handler-safe drain request *)
+  workers_done : bool Atomic.t;
+  cache_closed : bool Atomic.t;
+  connections : int Atomic.t;
+  inflight : int Atomic.t;
+  requests : int Atomic.t;
+  shed : int Atomic.t;
+  cache : Cache.t;
+}
+
+type handle = {
+  st : state;
+  accept_thread : Thread.t;
+  workers_thread : Thread.t;
+  bound : Unix.sockaddr;
+}
+
+(* ---------------- socket plumbing ---------------- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* One line per response, written atomically w.r.t. other responses on
+   the same connection: workers complete out of order, so pipelined
+   responses interleave only at line granularity. A dead peer flips
+   [alive] instead of raising — response loss to a vanished client is
+   not an error. *)
+let conn_send conn line =
+  Mutex.lock conn.wmutex;
+  (if conn.alive then
+     try write_all conn.fd (line ^ "\n") with
+     | Unix.Unix_error _ | Sys_error _ -> conn.alive <- false);
+  Mutex.unlock conn.wmutex
+
+let respond st conn line ~status =
+  ignore st;
+  if Obs.on () then Obs.count ("serve_responses_" ^ status);
+  conn_send conn line
+
+(* ---------------- drain ---------------- *)
+
+let initiate_drain st =
+  if not (Atomic.exchange st.stopping true) then begin
+    Mutex.lock st.qmutex;
+    Condition.broadcast st.qnonempty;
+    Mutex.unlock st.qmutex
+  end
+
+(* ---------------- admission control ---------------- *)
+
+let admit st conn ~id work =
+  Mutex.lock st.qmutex;
+  if Atomic.get st.stopping then begin
+    Mutex.unlock st.qmutex;
+    respond st conn ~status:"rejected"
+      (Proto.rejected_frame ~id ~reason:"draining")
+  end
+  else begin
+    let depth = Queue.length st.queue in
+    if depth >= st.cfg.capacity then begin
+      Mutex.unlock st.qmutex;
+      Atomic.incr st.shed;
+      if Obs.on () then Obs.count "serve_shed_total";
+      respond st conn ~status:"rejected"
+        (Proto.rejected_frame ~id ~reason:"overload")
+    end
+    else begin
+      let ladder = ladder_of_depth ~capacity:st.cfg.capacity depth in
+      Atomic.incr conn.pending;
+      Atomic.incr st.inflight;
+      Queue.add { conn; id; work; admitted_s = Obs.now (); ladder } st.queue;
+      Condition.signal st.qnonempty;
+      if Obs.on () then begin
+        Obs.gauge_set "serve_queue_depth" (depth + 1);
+        Obs.count ("serve_ladder_" ^ ladder_to_string ladder)
+      end;
+      Mutex.unlock st.qmutex
+    end
+  end
+
+(* ---------------- solve execution (worker side) ---------------- *)
+
+let mode_of_solve ~spec ~chain ~budgeted =
+  match chain with
+  | Some c -> Printf.sprintf "chain:%s|%s" (Runner.chain_to_string c)
+                (if budgeted then "budgeted" else "unbudgeted")
+  | None ->
+    (match (spec, budgeted) with
+     | Some s, false -> "spec:" ^ Solver.spec_to_string s
+     | Some s, true ->
+       Printf.sprintf "chain:%s|budgeted" (Solver.spec_to_string s)
+     | None, true -> "chain:default|budgeted"
+     | None, false -> "spec:greedy")
+
+let cache_key ~objective ~mode inst =
+  Signature.canonical_key ~objective inst
+  ^ "|"
+  ^ Digest.to_hex (Digest.string mode)
+
+let hit_response ~id payload =
+  "{" ^ fragment [ ("id", jstr id); ("status", jstr "ok") ] ^ ", " ^ payload
+  ^ ", " ^ field ("cache", jstr "hit") ^ "}"
+
+let outcome_fields spec (o : Solver.outcome) =
+  [
+    ("solver", jstr (Solver.spec_to_string spec));
+    ("strategy", jstrategy o.Solver.strategy);
+    ("expected_paging", jnum o.Solver.expected_paging);
+    ("exact", jbool o.Solver.exact);
+  ]
+
+let execute_solve st job ~inst ~objective ~spec ~chain ~budget_ms ~ckey =
+  let start_s = Obs.now () in
+  let queue_ms = (start_s -. job.admitted_s) *. 1000.0 in
+  let runner_path = budget_ms <> None || chain <> None in
+  let finish ~status ?reason core =
+    let elapsed_ms = (Obs.now () -. start_s) *. 1000.0 in
+    if Obs.on () then begin
+      Obs.observe ~buckets:Obs.latency_ms_buckets "serve_queue_ms" queue_ms;
+      Obs.observe ~buckets:Obs.latency_ms_buckets "serve_exec_ms" elapsed_ms
+    end;
+    (* Only clean answers enter the cache: full ladder, full budget,
+       nothing degraded — a clipped result must never be replayed to a
+       healthy system. *)
+    (match (status, ckey) with
+     | "ok", Some key -> Cache.store st.cache ~key ~payload:(fragment core)
+     | _ -> ());
+    let tail =
+      [
+        ("ladder", jstr (ladder_to_string job.ladder));
+        ("queue_ms", jnum queue_ms);
+        ("elapsed_ms", jnum elapsed_ms);
+        ("cache", jstr (if ckey = None then "off" else "miss"));
+      ]
+      @ match reason with
+        | Some r -> [ ("degraded_reason", jstr r) ]
+        | None -> []
+    in
+    respond st job.conn ~status
+      (compose
+         ((("id", jstr job.id) :: ("status", jstr status) :: core) @ tail))
+  in
+  if not runner_path then begin
+    (* Direct path: one solver, no deadline — mirrors `confcall solve`.
+       Under load the ladder swaps an expensive method for greedy. *)
+    let requested = Option.value spec ~default:Solver.Greedy in
+    let effective, downgraded =
+      if job.ladder = Full || is_fast requested then (requested, false)
+      else (Solver.Greedy, true)
+    in
+    match Solver.solve ~objective effective inst with
+    | o ->
+      let status = if downgraded then "degraded" else "ok" in
+      let reason = if downgraded then Some "overload" else None in
+      finish ~status ?reason (outcome_fields effective o)
+    | exception Invalid_argument msg ->
+      respond st job.conn ~status:"error"
+        (Proto.error_frame ~id:(Some job.id) ("inapplicable: " ^ msg))
+  end
+  else begin
+    let base_chain =
+      match (chain, spec) with
+      | Some c, _ -> c
+      | None, Some s -> [ s ]
+      | None, None -> Runner.default_chain
+    in
+    let eff_chain, downgraded = apply_ladder job.ladder base_chain in
+    (* The budget was armed at admission: queueing time already counts
+       against it. An exhausted budget still runs the chain under a
+       ~1 ms token, so the runner's grace window returns the anytime
+       best-so-far instead of nothing. *)
+    let expired =
+      match budget_ms with Some b -> queue_ms >= b | None -> false
+    in
+    let eff_budget =
+      Option.map (fun b -> Float.max (b -. queue_ms) 1.0) budget_ms
+    in
+    let report =
+      Runner.run ~objective ?budget_ms:eff_budget ~chain:eff_chain inst
+    in
+    match report.Runner.winner with
+    | None ->
+      let msg =
+        match report.Runner.failure with
+        | Some e -> Runner.error_to_string e
+        | None -> "no result"
+      in
+      respond st job.conn ~status:"error"
+        (Proto.error_frame ~id:(Some job.id) msg)
+    | Some (wspec, o) ->
+      let clipped =
+        expired
+        || List.exists
+             (fun (s : Runner.stage_report) ->
+               match s.Runner.status with
+               | Runner.Degraded | Runner.Failed Runner.Timeout -> true
+               | _ -> false)
+             report.Runner.stages
+      in
+      let reasons =
+        (if clipped then [ "budget" ] else [])
+        @ if downgraded then [ "overload" ] else []
+      in
+      let status = if reasons = [] then "ok" else "degraded" in
+      let reason =
+        if reasons = [] then None else Some (String.concat "+" reasons)
+      in
+      finish ~status ?reason
+        (outcome_fields wspec o
+        @ [ ("chain", jstr (Runner.chain_to_string report.Runner.chain)) ])
+  end
+
+let execute_sim st job ~build ~scenario ~seed ~replicas =
+  let start_s = Obs.now () in
+  let queue_ms = (start_s -. job.admitted_s) *. 1000.0 in
+  let per_scheme =
+    if replicas <= 1 then
+      let r = Cellsim.Sim.run (build ?seed:(Some seed) ()) in
+      List.map
+        (fun (s : Cellsim.Sim.scheme_metrics) ->
+          ( Cellsim.Sim.scheme_to_string s.Cellsim.Sim.scheme,
+            s.Cellsim.Sim.calls,
+            s.Cellsim.Sim.cells_paged,
+            s.Cellsim.Sim.expected_paging ))
+        r.Cellsim.Sim.per_scheme
+    else
+      let s = Cellsim.Replicate.run_summary ~replicas (build ?seed:(Some seed) ()) in
+      List.map
+        (fun (a : Cellsim.Replicate.scheme_agg) ->
+          ( Cellsim.Sim.scheme_to_string a.Cellsim.Replicate.scheme,
+            a.Cellsim.Replicate.calls,
+            a.Cellsim.Replicate.cells_paged,
+            a.Cellsim.Replicate.expected_paging ))
+        s.Cellsim.Replicate.per_scheme
+  in
+  let elapsed_ms = (Obs.now () -. start_s) *. 1000.0 in
+  respond st job.conn ~status:"ok"
+    (compose
+       [
+         ("id", jstr job.id);
+         ("status", jstr "ok");
+         ("scenario", jstr scenario);
+         ("seed", jnum (float_of_int seed));
+         ("replicas", jnum (float_of_int replicas));
+         ( "per_scheme",
+           jarr
+             (List.map
+                (fun (name, calls, cells, ep) ->
+                  compose
+                    [
+                      ("scheme", jstr name);
+                      ("calls", string_of_int calls);
+                      ("cells_paged", string_of_int cells);
+                      ("expected_paging", jnum ep);
+                    ])
+                per_scheme) );
+         ("queue_ms", jnum queue_ms);
+         ("elapsed_ms", jnum elapsed_ms);
+       ])
+
+(* Exactly one terminal response per admitted job, even when execution
+   throws: the catch-all turns a worker bug into an [error] frame
+   instead of a dead daemon. *)
+let execute st job =
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr job.conn.pending;
+      Atomic.decr st.inflight;
+      if Obs.on () then Obs.gauge_set "serve_inflight" (Atomic.get st.inflight))
+    (fun () ->
+      try
+        match job.work with
+        | Jsolve { inst; objective; spec; chain; budget_ms; ckey } ->
+          execute_solve st job ~inst ~objective ~spec ~chain ~budget_ms ~ckey
+        | Jsim { build; scenario; seed; replicas } ->
+          execute_sim st job ~build ~scenario ~seed ~replicas
+      with e ->
+        respond st job.conn ~status:"error"
+          (Proto.error_frame ~id:(Some job.id)
+             ("internal: " ^ Printexc.to_string e)))
+
+(* Runs as an [Exec.Pool] task: one lane per domain. Exits only when
+   draining AND the queue is empty — every admitted request is
+   answered before the pool unwinds. *)
+let rec worker_loop st =
+  Mutex.lock st.qmutex;
+  while Queue.is_empty st.queue && not (Atomic.get st.stopping) do
+    Condition.wait st.qnonempty st.qmutex
+  done;
+  match Queue.take_opt st.queue with
+  | None ->
+    Mutex.unlock st.qmutex (* draining and drained: this lane is done *)
+  | Some job ->
+    if Obs.on () then Obs.gauge_set "serve_queue_depth" (Queue.length st.queue);
+    Mutex.unlock st.qmutex;
+    execute st job;
+    worker_loop st
+
+(* ---------------- request handling (connection side) ---------------- *)
+
+let parse_objective s =
+  match String.lowercase_ascii (String.trim s) with
+  | "all" | "find-all" -> Ok Objective.Find_all
+  | "any" | "find-any" -> Ok Objective.Find_any
+  | other ->
+    let other =
+      match String.length other >= 5 && String.sub other 0 5 = "find-" with
+      | true -> String.sub other 5 (String.length other - 5)
+      | false -> other
+    in
+    (match int_of_string_opt other with
+     | Some k when k >= 1 -> Ok (Objective.Find_at_least k)
+     | _ -> Error "objective must be all|any|<k>")
+
+let handle_solve st conn ~id (sr : Proto.solve_req) =
+  let ( let* ) r f =
+    match r with
+    | Ok v -> f v
+    | Error msg ->
+      respond st conn ~status:"error" (Proto.error_frame ~id:(Some id) msg)
+  in
+  let* inst =
+    match Instance.of_string sr.Proto.instance with
+    | inst -> Ok inst
+    | exception Invalid_argument msg -> Error ("instance: " ^ msg)
+  in
+  let* objective =
+    match sr.Proto.objective with
+    | None -> Ok Objective.Find_all
+    | Some s -> parse_objective s
+  in
+  let* () =
+    Result.map_error (fun e -> "objective: " ^ e)
+      (Objective.validate objective ~m:inst.Instance.m)
+  in
+  let* spec =
+    match sr.Proto.solver with
+    | None -> Ok None
+    | Some s ->
+      Result.map
+        (fun s -> Some s)
+        (Result.map_error (fun e -> "solver: " ^ e) (Solver.spec_of_string s))
+  in
+  let* chain =
+    match sr.Proto.chain with
+    | None -> Ok None
+    | Some s ->
+      Result.map
+        (fun c -> Some c)
+        (Result.map_error (fun e -> "chain: " ^ e) (Runner.chain_of_string s))
+  in
+  let ckey =
+    if not sr.Proto.cache then None
+    else
+      let mode =
+        mode_of_solve ~spec ~chain ~budgeted:(sr.Proto.budget_ms <> None)
+      in
+      Some (cache_key ~objective ~mode inst)
+  in
+  (* Cache hits are answered here, from the connection thread, without
+     touching the queue: a warm daemon under overload still serves
+     repeats instantly, and a restarted daemon serves its journal. *)
+  match Option.bind ckey (fun key -> Cache.find st.cache ~key) with
+  | Some payload -> respond st conn ~status:"ok" (hit_response ~id payload)
+  | None ->
+    admit st conn ~id
+      (Jsolve
+         {
+           inst;
+           objective;
+           spec;
+           chain;
+           budget_ms = sr.Proto.budget_ms;
+           ckey;
+         })
+
+let health_response st ~id =
+  Mutex.lock st.qmutex;
+  let depth = Queue.length st.queue in
+  Mutex.unlock st.qmutex;
+  compose
+    [
+      ("id", jstr id);
+      ("status", jstr "ok");
+      ("draining", jbool (Atomic.get st.stopping));
+      ("queue_depth", string_of_int depth);
+      ("capacity", string_of_int st.cfg.capacity);
+      ("domains", string_of_int st.cfg.domains);
+      ("inflight", string_of_int (Atomic.get st.inflight));
+      ("connections", string_of_int (Atomic.get st.connections));
+      ("cache_entries", string_of_int (Cache.entries st.cache));
+      ("cache_hits", string_of_int (Cache.hits st.cache));
+      ("cache_misses", string_of_int (Cache.misses st.cache));
+    ]
+
+let handle_frame st conn line =
+  match Proto.decode line with
+  | Error (id, msg) ->
+    if Obs.on () then Obs.count "serve_frame_errors";
+    respond st conn ~status:"error" (Proto.error_frame ~id msg)
+  | Ok { Proto.id; req } ->
+    Atomic.incr st.requests;
+    (match req with
+     | Proto.Health ->
+       respond st conn ~status:"ok" (health_response st ~id)
+     | Proto.Metrics ->
+       respond st conn ~status:"ok"
+         (compose
+            [
+              ("id", jstr id);
+              ("status", jstr "ok");
+              ( "prometheus",
+                jstr (Obs.Metrics.to_prometheus Obs.Metrics.default) );
+            ])
+     | Proto.Drain ->
+       initiate_drain st;
+       respond st conn ~status:"ok"
+         (compose
+            [ ("id", jstr id); ("status", jstr "ok"); ("draining", "true") ])
+     | Proto.Solve sr -> handle_solve st conn ~id sr
+     | Proto.Simulate { scenario; seed; replicas } ->
+       (match List.assoc_opt scenario Cellsim.Scenario.all with
+        | None ->
+          respond st conn ~status:"error"
+            (Proto.error_frame ~id:(Some id)
+               (Printf.sprintf "unknown scenario %S (expected %s)" scenario
+                  (String.concat "|" (List.map fst Cellsim.Scenario.all))))
+        | Some build ->
+          admit st conn ~id (Jsim { build; scenario; seed; replicas })))
+
+(* ---------------- connection lifecycle ---------------- *)
+
+let read_loop st conn =
+  let chunk = Bytes.create 65536 in
+  let acc = Buffer.create 4096 in
+  let skipping = ref false in
+  let handle_line line =
+    let line =
+      let n = String.length line in
+      if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+    in
+    if line <> "" then
+      try handle_frame st conn line
+      with e ->
+        respond st conn ~status:"error"
+          (Proto.error_frame ~id:None
+             ("internal: " ^ Printexc.to_string e))
+  in
+  let feed byte =
+    if byte = '\n' then begin
+      if !skipping then skipping := false
+      else handle_line (Buffer.contents acc);
+      Buffer.clear acc
+    end
+    else if !skipping then ()
+    else begin
+      Buffer.add_char acc byte;
+      (* Oversized frame: answer once, then discard bytes until the
+         next newline resynchronises the stream. *)
+      if Buffer.length acc > st.cfg.max_frame_bytes then begin
+        skipping := true;
+        Buffer.clear acc;
+        if Obs.on () then Obs.count "serve_frame_errors";
+        respond st conn ~status:"error"
+          (Proto.error_frame ~id:None
+             (Printf.sprintf "frame exceeds %d bytes" st.cfg.max_frame_bytes))
+      end
+    end
+  in
+  let rec pump () =
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      for i = 0 to n - 1 do
+        feed (Bytes.get chunk i)
+      done;
+      pump ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ()
+    | exception Unix.Unix_error _ -> ()
+    | exception Sys_error _ -> ()
+  in
+  pump ()
+
+let conn_main st fd =
+  let conn =
+    { fd; wmutex = Mutex.create (); alive = true; pending = Atomic.make 0 }
+  in
+  if Obs.on () then Obs.gauge_set "serve_connections" (Atomic.get st.connections);
+  Fun.protect
+    ~finally:(fun () ->
+      (* EOF with responses still in flight: linger until the workers
+         have answered (or a generous bound passes) before closing. *)
+      let deadline = Obs.now () +. 60.0 in
+      while Atomic.get conn.pending > 0 && Obs.now () < deadline do
+        Thread.delay 0.005
+      done;
+      Mutex.lock conn.wmutex;
+      conn.alive <- false;
+      Mutex.unlock conn.wmutex;
+      (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+      Atomic.decr st.connections;
+      if Obs.on () then
+        Obs.gauge_set "serve_connections" (Atomic.get st.connections))
+    (fun () -> read_loop st conn)
+
+(* ---------------- accept loop ---------------- *)
+
+let bind_listen cfg =
+  match cfg.listen with
+  | Tcp port ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+       Unix.listen fd 128
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  | Unix_path path ->
+    (try
+       if (Unix.stat path).Unix.st_kind = Unix.S_SOCK then Unix.unlink path
+     with Unix.Unix_error _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 128
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+
+(* Select with a short timeout instead of a blocking accept: the loop
+   doubles as the poller that promotes a signal-handler drain request
+   (an atomic flag — handlers must not lock) into the real drain. *)
+let accept_loop st lfd =
+  let rec go () =
+    if Atomic.get st.drain_flag then initiate_drain st;
+    if not (Atomic.get st.stopping) then begin
+      (match Unix.select [ lfd ] [] [] 0.1 with
+       | [], _, _ -> ()
+       | _ ->
+         (match Unix.accept ~cloexec:true lfd with
+          | fd, _ ->
+            if Atomic.get st.stopping then
+              (try Unix.close fd with Unix.Unix_error _ -> ())
+            else if Atomic.get st.connections >= st.cfg.max_connections then begin
+              (try
+                 write_all fd
+                   (Proto.error_frame ~id:None "too many connections" ^ "\n")
+               with Unix.Unix_error _ | Sys_error _ -> ());
+              try Unix.close fd with Unix.Unix_error _ -> ()
+            end
+            else begin
+              Atomic.incr st.connections;
+              ignore (Thread.create (conn_main st) fd)
+            end
+          | exception
+              Unix.Unix_error
+                ( ( Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
+                  | Unix.ECONNABORTED ),
+                  _,
+                  _ ) ->
+            ())
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ();
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  match st.cfg.listen with
+  | Unix_path p -> (try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+(* ---------------- lifecycle ---------------- *)
+
+let validate cfg =
+  if cfg.domains < 1 then invalid_arg "serve: domains must be >= 1";
+  if cfg.capacity < 1 then invalid_arg "serve: capacity must be >= 1";
+  if cfg.max_connections < 1 then
+    invalid_arg "serve: max_connections must be >= 1";
+  if cfg.max_frame_bytes < 1024 then
+    invalid_arg "serve: max_frame_bytes must be >= 1024";
+  if not (Float.is_finite cfg.drain_grace_ms) || cfg.drain_grace_ms <= 0.0 then
+    invalid_arg "serve: drain_grace_ms must be positive"
+
+let start cfg =
+  validate cfg;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Obs.Metrics.set_enabled Obs.Metrics.default true;
+  let cache = Cache.create ?path:cfg.cache_path ~fsync:cfg.cache_fsync () in
+  let lfd = bind_listen cfg in
+  let bound = Unix.getsockname lfd in
+  let st =
+    {
+      cfg;
+      qmutex = Mutex.create ();
+      qnonempty = Condition.create ();
+      queue = Queue.create ();
+      stopping = Atomic.make false;
+      drain_flag = Atomic.make false;
+      workers_done = Atomic.make false;
+      cache_closed = Atomic.make false;
+      connections = Atomic.make 0;
+      inflight = Atomic.make 0;
+      requests = Atomic.make 0;
+      shed = Atomic.make 0;
+      cache;
+    }
+  in
+  (* The worker lanes live on an [Exec.Pool]: [map] runs one blocking
+     [worker_loop] per domain (the caller-helps scheduler makes the
+     mapping context the last lane), and [with_pool] joins the domains
+     on the way out — after it returns, [Pool.active_domains] is back
+     to baseline. The pool is launched from its own domain, not from
+     this systhread: the caller-helps lane computes in whatever domain
+     calls [map], and domain 0 hosts every connection thread — a
+     CPU-bound solve there would hold the runtime lock for whole
+     preemption quanta (~50 ms) and stall even trivial admission
+     rejections behind it. *)
+  let workers_thread =
+    Thread.create
+      (fun () ->
+        let launcher =
+          Domain.spawn (fun () ->
+              try
+                Exec.Pool.with_pool ~domains:cfg.domains (fun pool ->
+                    ignore
+                      (Exec.Pool.map pool
+                         (fun _ -> worker_loop st)
+                         (Array.init cfg.domains Fun.id)))
+              with _ -> ())
+        in
+        Domain.join launcher;
+        Atomic.set st.workers_done true)
+      ()
+  in
+  let accept_thread = Thread.create (accept_loop st) lfd in
+  if not cfg.quiet then
+    Printf.eprintf "confcall serve: listening on %s (domains=%d capacity=%d)\n%!"
+      (match bound with
+       | Unix.ADDR_INET (_, port) -> Printf.sprintf "127.0.0.1:%d" port
+       | Unix.ADDR_UNIX p -> p)
+      cfg.domains cfg.capacity;
+  { st; accept_thread; workers_thread; bound }
+
+let bound_port h =
+  match h.bound with
+  | Unix.ADDR_INET (_, port) -> Some port
+  | Unix.ADDR_UNIX _ -> None
+
+let request_drain h =
+  Atomic.set h.st.drain_flag true;
+  initiate_drain h.st
+
+let wait ?grace_ms h =
+  Thread.join h.accept_thread;
+  let deadline = Option.map (fun g -> Obs.now () +. (g /. 1000.0)) grace_ms in
+  let rec poll () =
+    if Atomic.get h.st.workers_done then true
+    else
+      match deadline with
+      | Some d when Obs.now () >= d -> false
+      | _ ->
+        Thread.delay 0.005;
+        poll ()
+  in
+  let clean = poll () in
+  if clean then begin
+    Thread.join h.workers_thread;
+    if not (Atomic.exchange h.st.cache_closed true) then Cache.close h.st.cache
+  end;
+  clean
+
+let stop h =
+  request_drain h;
+  wait ~grace_ms:h.st.cfg.drain_grace_ms h
+
+let run cfg =
+  let h = start cfg in
+  (* Handlers only flip an atomic; the accept loop notices within its
+     100 ms select timeout and performs the drain in thread context. *)
+  let on_signal _ = Atomic.set h.st.drain_flag true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  let clean = wait ~grace_ms:cfg.drain_grace_ms h in
+  if not cfg.quiet then
+    Printf.eprintf
+      "confcall serve: drained%s (requests=%d shed=%d cache: %d entries, %d \
+       hits, %d misses)\n\
+       %!"
+      (if clean then "" else " INCOMPLETE")
+      (Atomic.get h.st.requests) (Atomic.get h.st.shed)
+      (Cache.entries h.st.cache) (Cache.hits h.st.cache)
+      (Cache.misses h.st.cache);
+  clean

@@ -1,0 +1,112 @@
+(** Paging-as-a-service: the [confcall serve] daemon.
+
+    A long-lived JSONL request/response service (see {!Proto}) over a
+    TCP or Unix-domain stream socket, built only on the stdlib ([Unix],
+    [Thread], [Domain] via {!Exec.Pool}). Connection threads do the
+    I/O and the cheap work (parsing, cache lookups, admission);
+    solve/simulate execution runs on a fixed {!Exec.Pool} of worker
+    domains fed by one {e bounded} queue. Robustness is the design
+    center:
+
+    - {b Admission control + backpressure}: the queue holds at most
+      [capacity] requests. A request arriving at a full queue is shed
+      with [rejected:overload] {e immediately} from the connection
+      thread — overload degrades quality, then availability, never
+      latency-to-verdict.
+    - {b Graceful degradation}: between 50% and 75% queue occupancy the
+      fallback chain of an admitted request is filtered to its anytime
+      + always-fast stages ([heuristic] rung); above 75% to the
+      always-fast stages only ([fast] rung). Responses carry the rung
+      so clients and the load generator can see the ladder work.
+    - {b Deadline propagation}: a request's [budget_ms] is armed at
+      admission, so queueing time counts against it; what remains at
+      execution start becomes the {!Confcall.Runner} budget, which
+      turns it into the existing {!Confcall.Cancel} tokens. A request
+      whose budget was consumed in the queue still returns the anytime
+      best-so-far ([status:"degraded"]) rather than timing out
+      silently.
+    - {b Result cache}: clean (undegraded) solve results are cached
+      under {!Confcall.Signature.canonical_key}-based keys, optionally
+      journal-backed so a restarted daemon serves hits for previously
+      solved instances ({!Cache}).
+    - {b Lifecycle}: SIGTERM/SIGINT (or a [drain] frame) stop the
+      accept loop, reject new submissions with [rejected:draining],
+      finish every admitted request, flush the cache journal and exit.
+      A malformed or oversized frame gets an [error] response and the
+      connection lives on; a client disconnect never takes the daemon
+      down.
+
+    Metrics: the daemon enables the default {!Obs} registry and exposes
+    it over the same port (a [metrics] frame returns the Prometheus
+    text exposition). [serve_*] counters/gauges cover requests by
+    status, sheds, ladder occupancy, queue depth and cache traffic. *)
+
+type listen = Tcp of int  (** loopback; port 0 picks one *) | Unix_path of string
+
+type config = {
+  listen : listen;
+  domains : int;  (** worker parallelism, >= 1 (see {!Exec.Pool}) *)
+  capacity : int;  (** bounded request queue, >= 1 *)
+  max_connections : int;
+  cache_path : string option;  (** journal the result cache here *)
+  cache_fsync : bool;
+  max_frame_bytes : int;  (** oversized frames are answered and dropped *)
+  drain_grace_ms : float;  (** drain must finish within this window *)
+  quiet : bool;
+}
+
+(** Defaults: domains 1, capacity 64, 256 connections, no cache file,
+    4 MiB frames, 10 s grace, not quiet. *)
+val default_config : listen -> config
+
+(** The shedding ladder, from healthy to overloaded. *)
+type ladder = Full | Heuristic | Fast
+
+val ladder_to_string : ladder -> string
+
+(** [ladder_of_depth ~capacity depth] — the rung admission assigns at
+    the given queue depth: [Full] below 50% occupancy, [Heuristic]
+    below 75%, [Fast] at or above. Pure; exported for tests. *)
+val ladder_of_depth : capacity:int -> int -> ladder
+
+(** [apply_ladder ladder chain] filters a fallback chain to the stages
+    the rung allows ([Heuristic]: anytime + always-fast; [Fast]:
+    always-fast only; never empty — falls back to the rung's default
+    chain) and reports whether it changed anything. Pure; exported for
+    tests. *)
+val apply_ladder :
+  ladder -> Confcall.Solver.spec list -> Confcall.Solver.spec list * bool
+
+type handle
+
+(** [start cfg] binds, spawns the accept thread and the worker pool,
+    and returns. SIGPIPE is set to ignore (socket writes must fail
+    with [EPIPE], not kill the process); no other signal handlers are
+    installed — that is {!run}'s job.
+    @raise Invalid_argument on invalid config fields.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+val start : config -> handle
+
+(** The actually-bound TCP port ([None] for Unix sockets) — for tests
+    using port 0. *)
+val bound_port : handle -> int option
+
+(** Begin draining: stop accepting, reject new submissions, let the
+    workers finish the queue. Idempotent, callable from any thread
+    (also what a [drain] frame triggers). *)
+val request_drain : handle -> unit
+
+(** [wait ?grace_ms h] blocks until the daemon has drained and the
+    worker pool is joined; returns [false] when [grace_ms] elapsed
+    with work still in flight (workers are then left to finish on
+    their own and the cache journal is not closed). Without a drain
+    request this blocks until one arrives. *)
+val wait : ?grace_ms:float -> handle -> bool
+
+(** [stop h] = {!request_drain} + {!wait} with the config's grace. *)
+val stop : handle -> bool
+
+(** [run cfg] — the CLI entry: {!start}, install SIGTERM/SIGINT
+    handlers that trigger a drain, block until drained, flush, and
+    return [true] on a clean drain within grace. *)
+val run : config -> bool

@@ -193,3 +193,31 @@ unwritable ones as usage errors:
   $ $BENCH e1 --json-out /dev/null/x 2>&1 >/dev/null; echo "exit=$?"
   bench: error: --json-out /dev/null/x: Not a directory
   exit=2
+
+The paging service: a daemon over a Unix socket, the open-loop load
+generator driving it, and a SIGTERM that drains rather than kills.
+At this gentle load every request is answered and none are shed:
+
+  $ $CLI serve --socket srv.sock --capacity 64 2>serve.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do [ -S srv.sock ] && break; sleep 0.1; done
+  $ $CLI loadgen --socket srv.sock -n 40 --rate 200 --json > load.json
+  $ grep -c '"sent": 40' load.json
+  1
+  $ grep -c '"unanswered": 0' load.json
+  1
+  $ grep -c '"errors": 0' load.json
+  1
+  $ grep -c '"rejected": 0' load.json
+  1
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID; echo "exit=$?"
+  exit=0
+  $ grep -c 'confcall serve: drained (' serve.log
+  1
+
+A loadgen pointed at nothing is a clean usage error, not a backtrace:
+
+  $ $CLI loadgen --socket srv.sock -n 1 2>&1; echo "exit=$?"
+  confcall: error: loadgen: cannot reach the daemon (No such file or directory)
+  exit=2

@@ -140,10 +140,164 @@ let test_journal_fuzz () =
               case (Printexc.to_string e) (escape content))
        done)
 
+(* -------------------- serve protocol -------------------- *)
+
+(* The daemon's parse path must be total: any byte string into
+   [Serve.Json.parse] or [Serve.Proto.decode] returns a result — no
+   exception of any kind may escape (the connection loop relies on
+   this to turn bad frames into ["error"] responses). *)
+
+let valid_frame_string rng =
+  let inst = valid_instance_string rng in
+  match Prob.Rng.int rng 4 with
+  | 0 ->
+    Printf.sprintf "{\"id\": \"f%d\", \"op\": \"health\"}"
+      (Prob.Rng.int rng 1000)
+  | 1 ->
+    Printf.sprintf
+      "{\"id\": \"f%d\", \"op\": \"simulate\", \"scenario\": \"suburb\", \
+       \"seed\": %d}"
+      (Prob.Rng.int rng 1000) (Prob.Rng.int rng 100)
+  | 2 ->
+    Serve.Json.to_string
+      (Serve.Json.Obj
+         [ ("id", Serve.Json.Str (Printf.sprintf "f%d" (Prob.Rng.int rng 1000)));
+           ("op", Serve.Json.Str "solve");
+           ("instance", Serve.Json.Str inst);
+           ("budget_ms", Serve.Json.Num (1.0 +. Prob.Rng.unit_float rng));
+         ])
+  | _ ->
+    Serve.Json.to_string
+      (Serve.Json.Obj
+         [ ("id", Serve.Json.Str (Printf.sprintf "f%d" (Prob.Rng.int rng 1000)));
+           ("op", Serve.Json.Str "solve");
+           ("instance", Serve.Json.Str inst);
+           ("solver", Serve.Json.Str "greedy");
+           ("cache", Serve.Json.Bool false);
+         ])
+
+let test_protocol_fuzz () =
+  let rng = Prob.Rng.create ~seed:0xF0222 in
+  for case = 1 to cases do
+    let input =
+      match case mod 4 with
+      | 0 -> random_bytes rng (Prob.Rng.int rng 400)
+      | 1 -> random_texty rng (Prob.Rng.int rng 400)
+      | _ -> mutate_n rng (valid_frame_string rng)
+    in
+    (match Serve.Json.parse input with
+     | Ok j ->
+       (* whatever parses must re-emit to a reparseable equal value *)
+       let s = Serve.Json.to_string j in
+       (match Serve.Json.parse s with
+        | Ok j2 when j2 = j -> ()
+        | Ok _ ->
+          Alcotest.failf "Json print/reparse not fixed-point on %S"
+            (escape input)
+        | Error e ->
+          Alcotest.failf "Json emitted unparseable %S (%s) from %S"
+            (escape s) e (escape input))
+     | Error _ -> ()
+     | exception e ->
+       Alcotest.failf "Json.parse (case %d) escaped with %s on %S" case
+         (Printexc.to_string e) (escape input));
+    match Serve.Proto.decode input with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "Proto.decode (case %d) escaped with %s on %S" case
+        (Printexc.to_string e) (escape input)
+  done
+
+(* Live end of the same property: garbage frames over a real socket
+   each draw a structured [error] response, the connection survives
+   them all, and a well-formed frame afterwards still answers. *)
+let test_connection_survives_garbage () =
+  let rng = Prob.Rng.create ~seed:0xF0223 in
+  let cfg =
+    {
+      (Serve.Server.default_config (Serve.Server.Tcp 0)) with
+      domains = 1;
+      max_frame_bytes = 2048;
+      quiet = true;
+    }
+  in
+  let h = Serve.Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      if not (Serve.Server.stop h) then Alcotest.fail "server did not drain")
+  @@ fun () ->
+  let port = Option.get (Serve.Server.bound_port h) in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let send s =
+    let s = s ^ "\n" in
+    let rec go off =
+      if off < String.length s then
+        go (off + Unix.write_substring fd s off (String.length s - off))
+    in
+    go 0
+  in
+  let sanitize s =
+    String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+  in
+  let n = max 20 (cases / 10) in
+  for case = 1 to n do
+    let line =
+      match case mod 4 with
+      | 0 -> sanitize (random_bytes rng (1 + Prob.Rng.int rng 300))
+      | 1 -> sanitize (random_texty rng (1 + Prob.Rng.int rng 300))
+      | 2 -> String.make (3000 + Prob.Rng.int rng 2000) 'x' (* oversized *)
+      | _ -> sanitize (mutate_n rng (valid_frame_string rng))
+    in
+    send line
+  done;
+  send "{\"id\": \"fuzz-done\", \"op\": \"health\"}";
+  (* read lines until the health answer; every line must be JSON *)
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let done_ = ref false in
+  while (not !done_) && Unix.gettimeofday () < deadline do
+    (match Unix.select [ fd ] [] [] 0.1 with
+     | [], _, _ -> ()
+     | _ -> (
+       match Unix.read fd chunk 0 4096 with
+       | 0 -> Alcotest.fail "daemon closed the connection on garbage"
+       | r -> Buffer.add_subbytes buf chunk 0 r
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()));
+    let s = Buffer.contents buf in
+    let rec eat start =
+      match String.index_from_opt s start '\n' with
+      | None ->
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub s start (String.length s - start))
+      | Some i ->
+        let line = String.sub s start (i - start) in
+        (match Serve.Json.parse line with
+         | Ok j ->
+           if
+             Option.bind (Serve.Json.member "id" j) Serve.Json.to_str
+             = Some "fuzz-done"
+           then done_ := true
+         | Error e ->
+           Alcotest.failf "daemon emitted non-JSON line %S (%s)"
+             (escape line) e);
+        eat (i + 1)
+    in
+    eat 0
+  done;
+  if not !done_ then Alcotest.fail "health after garbage never answered"
+
 let () =
   Alcotest.run "fuzz"
     [ ( "smoke",
         [ Alcotest.test_case "instance parser" `Quick test_instance_fuzz;
           Alcotest.test_case "journal loader" `Quick test_journal_fuzz;
+          Alcotest.test_case "serve protocol parsers" `Quick
+            test_protocol_fuzz;
+          Alcotest.test_case "connection survives garbage" `Quick
+            test_connection_survives_garbage;
         ] );
     ]

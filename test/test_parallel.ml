@@ -80,6 +80,33 @@ let test_join_idempotent_no_leak () =
   check int_t "with_pool joined on exception" before
     (Exec.Pool.active_domains ())
 
+(* Regression: a task that raises must not corrupt the global
+   active-domains accounting. Repeated failing rounds through many
+   pools would previously drift the counter, masking real leaks. *)
+let test_raising_tasks_no_leak () =
+  let before = Exec.Pool.active_domains () in
+  for round = 1 to 5 do
+    (match
+       Exec.Pool.with_pool ~domains:4 (fun pool ->
+           Exec.Pool.map pool
+             (fun i -> if i mod 2 = round mod 2 then failwith "boom" else i)
+             (Array.init 16 Fun.id))
+     with
+     | _ -> Alcotest.fail "expected Failure"
+     | exception Failure _ -> ());
+    check int_t
+      (Printf.sprintf "round %d: accounting intact after task raise" round)
+      before
+      (Exec.Pool.active_domains ())
+  done;
+  (* a clean pool after the failing rounds still spawns and joins the
+     full complement — the counter did not drift negative *)
+  Exec.Pool.with_pool ~domains:4 (fun pool ->
+      check int_t "fresh pool spawns after failures" (before + 3)
+        (Exec.Pool.active_domains ());
+      ignore (Exec.Pool.map pool succ (Array.init 8 Fun.id)));
+  check int_t "fresh pool joined" before (Exec.Pool.active_domains ())
+
 let test_default_domains_env () =
   let with_env v f =
     (match v with
@@ -473,6 +500,8 @@ let () =
             test_nested_map_rejected;
           Alcotest.test_case "join idempotent, no leaks" `Quick
             test_join_idempotent_no_leak;
+          Alcotest.test_case "raising tasks keep accounting" `Quick
+            test_raising_tasks_no_leak;
           Alcotest.test_case "CONFCALL_DOMAINS parsing" `Quick
             test_default_domains_env;
         ] );

@@ -1,0 +1,647 @@
+(* The serve daemon, end to end and in pieces.
+
+   In-process servers on ephemeral loopback ports: the JSONL protocol
+   (parser totality, out-of-order pipelined responses, per-connection
+   error isolation), admission control and the shedding ladder, deadline
+   propagation into degraded anytime answers, the canonical-key result
+   cache (including journal persistence across a daemon restart), and
+   lifecycle (drain rejects new work, finishes admitted work, leaks no
+   domains).
+
+   The centerpiece is the differential: 50 seeded instances solved
+   through the daemon must answer with strategy/EP fields byte-identical
+   to what `confcall solve --json` prints — the fragment is rebuilt here
+   with a local replica of the CLI's emitter and compared as strings. *)
+
+open Confcall
+module Sv = Serve.Server
+module J = Serve.Json
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+(* ---------------- tiny JSONL client ---------------- *)
+
+type client = { fd : Unix.file_descr; buf : Buffer.t; mutable eof : bool }
+
+let connect port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { fd; buf = Buffer.create 4096; eof = false }
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send c line =
+  let s = line ^ "\n" in
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring c.fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Pull [n] complete response lines, in arrival order, within a bounded
+   window. Responses may belong to any in-flight request. *)
+let recv_n ?(timeout = 30.0) c n =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let chunk = Bytes.create 4096 in
+  let lines = ref [] in
+  let got = ref 0 in
+  let split_off () =
+    let s = Buffer.contents c.buf in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+      Buffer.clear c.buf;
+      Buffer.add_string c.buf (String.sub s (i + 1) (String.length s - i - 1));
+      Some (String.sub s 0 i)
+  in
+  while !got < n && Unix.gettimeofday () < deadline && not c.eof do
+    match split_off () with
+    | Some line ->
+      lines := line :: !lines;
+      incr got
+    | None ->
+      (match Unix.select [ c.fd ] [] [] 0.1 with
+       | [], _, _ -> ()
+       | _ ->
+         (match Unix.read c.fd chunk 0 4096 with
+          | 0 -> c.eof <- true
+          | r -> Buffer.add_subbytes c.buf chunk 0 r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+  done;
+  (* drain whole lines already buffered *)
+  let rec flush () =
+    if !got < n then
+      match split_off () with
+      | Some line ->
+        lines := line :: !lines;
+        incr got;
+        flush ()
+      | None -> ()
+  in
+  flush ();
+  if !got < n then
+    Alcotest.failf "timed out after %d/%d responses" !got n;
+  List.rev !lines
+
+let parse_response line =
+  match J.parse line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unparseable response %S: %s" line e
+
+let jstr_field k j =
+  match Option.bind (J.member k j) J.to_str with
+  | Some s -> s
+  | None -> Alcotest.failf "response missing string field %S" k
+
+let jnum_field k j =
+  match Option.bind (J.member k j) J.to_num with
+  | Some x -> x
+  | None -> Alcotest.failf "response missing numeric field %S" k
+
+let by_id lines =
+  List.map
+    (fun l ->
+      let j = parse_response l in
+      ((try jstr_field "id" j with _ -> "?"), (j, l)))
+    lines
+
+let solve_frame ?(id = "r") ?solver ?chain ?budget_ms ?(cache = false) inst =
+  let fields =
+    [ ("id", J.Str id); ("op", J.Str "solve");
+      ("instance", J.Str (Instance.to_string inst)) ]
+    @ (match solver with Some s -> [ ("solver", J.Str s) ] | None -> [])
+    @ (match chain with Some s -> [ ("chain", J.Str s) ] | None -> [])
+    @ (match budget_ms with
+       | Some b -> [ ("budget_ms", J.Num b) ]
+       | None -> [])
+    @ if cache then [] else [ ("cache", J.Bool false) ]
+  in
+  J.to_string (J.Obj fields)
+
+(* ---------------- server harness ---------------- *)
+
+let with_server ?(domains = 2) ?(capacity = 16) ?cache_path
+    ?(max_frame_bytes = 1024 * 1024) f =
+  let before = Exec.Pool.active_domains () in
+  let cfg =
+    {
+      (Sv.default_config (Sv.Tcp 0)) with
+      domains;
+      capacity;
+      cache_path;
+      max_frame_bytes;
+      drain_grace_ms = 30_000.0;
+      quiet = true;
+    }
+  in
+  let h = Sv.start cfg in
+  let port = Option.get (Sv.bound_port h) in
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        if not (Sv.stop h) then Alcotest.fail "server did not drain in grace")
+      (fun () -> f h port)
+  in
+  check int_t "no leaked domains after server stop" before
+    (Exec.Pool.active_domains ());
+  r
+
+(* ---------------- Json unit tests ---------------- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      "null"; "true"; "false"; "0"; "3.25"; "-1.5e-09"; "\"\"";
+      "\"a b\""; "[]"; "[1, 2, 3]"; "{}";
+      "{\"k\": 1, \"s\": \"v\", \"a\": [true, null]}";
+      "{\"nested\": {\"deep\": [{\"x\": 0.5}]}}";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok j -> check string_t ("roundtrip " ^ s) s (J.to_string j)
+      | Error e -> Alcotest.failf "parse %S failed: %s" s e)
+    cases;
+  (* escapes normalize to the CLI emitter's form *)
+  (match J.parse "\"a\\tb\\u0041\\n\"" with
+   | Ok j -> check string_t "escape normalization" "\"a\\u0009bA\\n\"" (J.to_string j)
+   | Error e -> Alcotest.failf "escape parse failed: %s" e);
+  (* surrogate pair decodes to UTF-8 *)
+  (match J.parse "\"\\ud83d\\ude00\"" with
+   | Ok (J.Str s) -> check string_t "surrogate pair" "\xf0\x9f\x98\x80" s
+   | _ -> Alcotest.fail "surrogate pair did not parse")
+
+let test_json_rejects () =
+  let bad =
+    [
+      ""; "   "; "{"; "[1,"; "{\"a\" 1}"; "nul"; "tru"; "01x"; "+5"; "--1";
+      "1e999"; "nan"; "inf"; "[1] trailing"; "\"unterminated";
+      "{\"a\": 1,}"; "[,]"; "{1: 2}";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON %S" s
+      | Error _ -> ())
+    bad;
+  (* depth bound is enforced, not stack-overflowed *)
+  let deep = String.make 500 '[' ^ String.make 500 ']' in
+  (match J.parse deep with
+   | Ok _ -> Alcotest.fail "accepted depth-500 nesting"
+   | Error _ -> ());
+  match J.parse ~max_depth:600 deep with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected depth-500 with max_depth 600: %s" e
+
+(* ---------------- canonical key ---------------- *)
+
+let test_canonical_key () =
+  let key = Signature.canonical_key ~objective:Objective.Find_all in
+  let i1 =
+    Instance.of_string "2 4 2\n0.1 0.2 0.3 0.4\n0.25 0.25 0.25 0.25\n"
+  in
+  let i2 =
+    Instance.of_string "2 4 2\n0.25 0.25 0.25 0.25\n0.1 0.2 0.3 0.4\n"
+  in
+  check string_t "row order canonicalized" (key i1) (key i2);
+  let i3 =
+    Instance.of_string "2 4 2\n0.1 0.2 0.3 0.4\n0.25 0.25 0.2 0.3\n"
+  in
+  check bool_t "different rows, different key" true (key i1 <> key i3);
+  check bool_t "objective separates keys" true
+    (key i1 <> Signature.canonical_key ~objective:Objective.Find_any i1);
+  (* sub-quantum jitter collapses to the same key *)
+  let j1 =
+    Instance.of_string "1 2 1\n0.5 0.5\n"
+  and j2 =
+    Instance.of_string "1 2 1\n0.5000000001 0.4999999999\n"
+  in
+  check string_t "coarse quantum collapses jitter"
+    (Signature.canonical_key ~quantum:1e-6 ~objective:Objective.Find_all j1)
+    (Signature.canonical_key ~quantum:1e-6 ~objective:Objective.Find_all j2);
+  check bool_t "fine quantum distinguishes jitter" true
+    (Signature.canonical_key ~quantum:1e-12 ~objective:Objective.Find_all j1
+    <> Signature.canonical_key ~quantum:1e-12 ~objective:Objective.Find_all j2);
+  (match Signature.canonical_key ~quantum:0.0 ~objective:Objective.Find_all i1 with
+   | _ -> Alcotest.fail "quantum 0 accepted"
+   | exception Invalid_argument _ -> ())
+
+(* ---------------- ladder ---------------- *)
+
+let test_ladder () =
+  let l = Sv.ladder_of_depth ~capacity:8 in
+  check bool_t "empty queue full service" true (l 0 = Sv.Full);
+  check bool_t "below 50%" true (l 3 = Sv.Full);
+  check bool_t "at 50%" true (l 4 = Sv.Heuristic);
+  check bool_t "below 75%" true (l 5 = Sv.Heuristic);
+  check bool_t "at 75%" true (l 6 = Sv.Fast);
+  check bool_t "at capacity" true (l 8 = Sv.Fast);
+  let chain = Runner.default_chain in
+  check bool_t "full ladder is identity" true
+    (Sv.apply_ladder Sv.Full chain = (chain, false));
+  let heuristic, changed = Sv.apply_ladder Sv.Heuristic chain in
+  check bool_t "heuristic drops exact stages" true changed;
+  check bool_t "heuristic keeps anytime + fast" true
+    (heuristic = Solver.[ Local_search; Greedy; Page_all ]);
+  let fast, changed = Sv.apply_ladder Sv.Fast chain in
+  check bool_t "fast drops local search" true changed;
+  check bool_t "fast keeps always-fast" true
+    (fast = Solver.[ Greedy; Page_all ]);
+  check bool_t "fast chain unchanged by fast rung" true
+    (Sv.apply_ladder Sv.Fast Solver.[ Greedy; Page_all ]
+    = (Solver.[ Greedy; Page_all ], false));
+  check bool_t "never empty" true
+    (Sv.apply_ladder Sv.Fast [ Solver.Exhaustive ] = ([ Solver.Greedy ], true))
+
+(* ---------------- protocol decoding ---------------- *)
+
+let test_proto_decode () =
+  let ok s =
+    match Serve.Proto.decode s with
+    | Ok f -> f
+    | Error (_, e) -> Alcotest.failf "decode %S failed: %s" s e
+  in
+  let err s =
+    match Serve.Proto.decode s with
+    | Ok _ -> Alcotest.failf "decode %S unexpectedly succeeded" s
+    | Error (id, _) -> id
+  in
+  let f = ok "{\"id\": \"a\", \"op\": \"health\"}" in
+  check bool_t "health" true (f.Serve.Proto.req = Serve.Proto.Health);
+  let f =
+    ok
+      "{\"id\": \"s\", \"op\": \"solve\", \"instance\": \"1 1 1\\n1\\n\", \
+       \"budget_ms\": 5}"
+  in
+  (match f.Serve.Proto.req with
+   | Serve.Proto.Solve sr ->
+     check bool_t "budget decoded" true (sr.Serve.Proto.budget_ms = Some 5.0);
+     check bool_t "cache defaults on" true sr.Serve.Proto.cache
+   | _ -> Alcotest.fail "not a solve");
+  check bool_t "id recovered from bad frame" true
+    (err "{\"id\": \"x\", \"op\": \"nope\"}" = Some "x");
+  check bool_t "no id on garbage" true (err "]junk[" = None);
+  check bool_t "missing op" true (err "{\"id\": \"y\"}" = Some "y");
+  check bool_t "missing id" true (err "{\"op\": \"health\"}" = None);
+  check bool_t "zero budget rejected" true
+    (err
+       "{\"id\": \"z\", \"op\": \"solve\", \"instance\": \"i\", \
+        \"budget_ms\": 0}"
+    = Some "z");
+  check bool_t "oversized id rejected" true
+    (err
+       (Printf.sprintf "{\"id\": \"%s\", \"op\": \"health\"}"
+          (String.make 300 'i'))
+    <> None)
+
+(* ---------------- cache ---------------- *)
+
+let test_cache_persistence () =
+  let path = Filename.temp_file "confcall_serve" ".cache" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      let c = Serve.Cache.create ~path ~fsync:true () in
+      Serve.Cache.store c ~key:"k1" ~payload:"\"solver\": \"greedy\"";
+      Serve.Cache.store c ~key:"k1" ~payload:"SHOULD NOT REPLACE";
+      Serve.Cache.store c ~key:"k2" ~payload:"p2";
+      check bool_t "find hit" true
+        (Serve.Cache.find c ~key:"k1" = Some "\"solver\": \"greedy\"");
+      check bool_t "find miss" true (Serve.Cache.find c ~key:"nope" = None);
+      check int_t "hits" 1 (Serve.Cache.hits c);
+      check int_t "misses" 1 (Serve.Cache.misses c);
+      Serve.Cache.close c;
+      (* torn final line: the crash dropped half a store — reload keeps
+         the complete entries and simply forgets the torn one *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "k3\thalf a payload with no newline";
+      close_out oc;
+      let c2 = Serve.Cache.create ~path () in
+      check int_t "complete entries survive" 2 (Serve.Cache.entries c2);
+      check bool_t "first writer won across restart" true
+        (Serve.Cache.find c2 ~key:"k1" = Some "\"solver\": \"greedy\"");
+      check bool_t "torn entry forgotten" true
+        (Serve.Cache.find c2 ~key:"k3" = None);
+      Serve.Cache.close c2)
+
+(* ---------------- differential: daemon vs CLI emitter ---------------- *)
+
+(* Local replica of the CLI's JSON emitter (bin/confcall_cli.ml) for the
+   fields a solve response shares with `confcall solve --json`. *)
+let cli_num x =
+  if Float.is_finite x then Printf.sprintf "%.12g" x
+  else Printf.sprintf "\"%h\"" x
+
+let cli_strategy s =
+  let arr items = "[" ^ String.concat ", " items ^ "]" in
+  arr
+    (Array.to_list
+       (Array.map
+          (fun g -> arr (Array.to_list (Array.map string_of_int g)))
+          (Strategy.groups s)))
+
+let cli_fragment spec (o : Solver.outcome) =
+  Printf.sprintf
+    "\"solver\": \"%s\", \"strategy\": %s, \"expected_paging\": %s, \
+     \"exact\": %b"
+    (Solver.spec_to_string spec)
+    (cli_strategy o.Solver.strategy)
+    (cli_num o.Solver.expected_paging)
+    o.Solver.exact
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let test_differential_50_instances () =
+  with_server ~domains:2 ~capacity:64 (fun _h port ->
+      let rng = Prob.Rng.create ~seed:0x5E21 in
+      let insts =
+        List.init 50 (fun i ->
+            let m = 1 + Prob.Rng.int rng 3
+            and c = 2 + Prob.Rng.int rng 10 in
+            let d = 1 + Prob.Rng.int rng (min c 3) in
+            (Printf.sprintf "i%d" i,
+             Instance.random_uniform_simplex rng ~m ~c ~d))
+      in
+      let c = connect port in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      List.iter
+        (fun (id, inst) -> send c (solve_frame ~id ~solver:"greedy" inst))
+        insts;
+      let responses = by_id (recv_n c (List.length insts)) in
+      check int_t "every instance answered" (List.length insts)
+        (List.length responses);
+      List.iter
+        (fun (id, inst) ->
+          let j, raw = List.assoc id responses in
+          check string_t (id ^ " status") "ok" (jstr_field "status" j);
+          let expected =
+            cli_fragment Solver.Greedy (Solver.solve Solver.Greedy inst)
+          in
+          let start =
+            match find_sub raw "\"solver\"" with
+            | Some i -> i
+            | None -> Alcotest.failf "%s: no solver field in %s" id raw
+          in
+          let stop =
+            match find_sub raw ", \"ladder\"" with
+            | Some i -> i
+            | None -> Alcotest.failf "%s: no ladder field in %s" id raw
+          in
+          check string_t (id ^ " byte-identical strategy/EP fields") expected
+            (String.sub raw start (stop - start)))
+        insts)
+
+(* ---------------- pipelining and error isolation ---------------- *)
+
+let test_pipelining_and_isolation () =
+  with_server ~domains:2 ~capacity:64 ~max_frame_bytes:2048
+    (fun _h port ->
+      let c = connect port in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      let rng = Prob.Rng.create ~seed:7 in
+      let slow = Instance.random_uniform_simplex rng ~m:3 ~c:14 ~d:3 in
+      let fast = Instance.random_uniform_simplex rng ~m:2 ~c:6 ~d:2 in
+      (* a slow budgeted chain first, then quick ones: all must answer *)
+      send c (solve_frame ~id:"slow" ~chain:"exact" ~budget_ms:300.0 slow);
+      for i = 1 to 8 do
+        send c (solve_frame ~id:(Printf.sprintf "f%d" i) ~solver:"greedy" fast)
+      done;
+      (* malformed frames interleaved: each answers, none kills the pipe *)
+      send c "this is not json";
+      send c "{\"id\": \"noop\", \"op\": \"warp\"}";
+      send c (String.make 4000 'x');
+      send c "{\"id\": \"after\", \"op\": \"health\"}";
+      let responses = by_id (recv_n c 13) in
+      check int_t "13 terminal responses" 13 (List.length responses);
+      let status id = jstr_field "status" (fst (List.assoc id responses)) in
+      List.iter
+        (fun i ->
+          check string_t (Printf.sprintf "f%d ok" i) "ok"
+            (status (Printf.sprintf "f%d" i)))
+        [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+      check bool_t "slow answered" true
+        (List.mem (status "slow") [ "ok"; "degraded" ]);
+      check string_t "bad op answered" "error" (status "noop");
+      check string_t "connection survives garbage" "ok" (status "after");
+      let errors =
+        List.filter (fun (_, (j, _)) -> jstr_field "status" j = "error")
+          responses
+      in
+      check int_t "three error frames" 3 (List.length errors))
+
+(* ---------------- deadline propagation ---------------- *)
+
+let test_deadline_degrades () =
+  with_server ~domains:1 ~capacity:8 (fun _h port ->
+      let c = connect port in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      let rng = Prob.Rng.create ~seed:11 in
+      let inst = Instance.random_uniform_simplex rng ~m:3 ~c:16 ~d:3 in
+      send c (solve_frame ~id:"tight" ~chain:"exact" ~budget_ms:1.0 inst);
+      let j = parse_response (List.hd (recv_n c 1)) in
+      check string_t "over-budget returns degraded" "degraded"
+        (jstr_field "status" j);
+      let reason = jstr_field "degraded_reason" j in
+      check bool_t "reason names the budget" true
+        (find_sub reason "budget" <> None);
+      (* still a real answer: a strategy and a finite EP *)
+      check bool_t "anytime strategy present" true
+        (J.member "strategy" j <> None);
+      check bool_t "EP finite" true
+        (Float.is_finite (jnum_field "expected_paging" j)))
+
+(* ---------------- overload and shedding ---------------- *)
+
+let test_overload_sheds () =
+  with_server ~domains:1 ~capacity:2 (fun _h port ->
+      let c = connect port in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      let rng = Prob.Rng.create ~seed:13 in
+      let slow = Instance.random_uniform_simplex rng ~m:3 ~c:14 ~d:3 in
+      let n = 12 in
+      for i = 1 to n do
+        send c
+          (solve_frame ~id:(Printf.sprintf "o%d" i) ~chain:"exact"
+             ~budget_ms:150.0 slow)
+      done;
+      let responses = by_id (recv_n c n) in
+      check int_t "every request got a terminal response" n
+        (List.length responses);
+      let count st =
+        List.length
+          (List.filter (fun (_, (j, _)) -> jstr_field "status" j = st)
+             responses)
+      in
+      let ok = count "ok" and degraded = count "degraded" in
+      let rejected = count "rejected" in
+      check int_t "no errors" 0 (count "error");
+      check bool_t "some requests shed" true (rejected > 0);
+      check int_t "accepted + shed = sent" n (ok + degraded + rejected);
+      List.iter
+        (fun (_, (j, _)) ->
+          if jstr_field "status" j = "rejected" then
+            check string_t "shed reason" "overload" (jstr_field "reason" j))
+        responses)
+
+(* ---------------- cache through the daemon, across restart ------------- *)
+
+let test_cache_hit_and_restart () =
+  let path = Filename.temp_file "confcall_serve" ".cachej" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      let rng = Prob.Rng.create ~seed:17 in
+      let inst = Instance.random_uniform_simplex rng ~m:2 ~c:8 ~d:2 in
+      let ep =
+        with_server ~domains:1 ~cache_path:path (fun _h port ->
+            let c = connect port in
+            Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+            send c (solve_frame ~id:"a" ~solver:"greedy" ~cache:true inst);
+            let j1 = parse_response (List.hd (recv_n c 1)) in
+            check string_t "first solve is a miss" "miss"
+              (jstr_field "cache" j1);
+            send c (solve_frame ~id:"b" ~solver:"greedy" ~cache:true inst);
+            let j2 = parse_response (List.hd (recv_n c 1)) in
+            check string_t "second solve hits" "hit" (jstr_field "cache" j2);
+            check bool_t "hit EP matches miss EP" true
+              (jnum_field "expected_paging" j1
+              = jnum_field "expected_paging" j2);
+            jnum_field "expected_paging" j1)
+      in
+      (* restarted daemon, same journal: first request already hits *)
+      with_server ~domains:1 ~cache_path:path (fun _h port ->
+          let c = connect port in
+          Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+          send c (solve_frame ~id:"c" ~solver:"greedy" ~cache:true inst);
+          let j = parse_response (List.hd (recv_n c 1)) in
+          check string_t "restart serves the journal" "hit"
+            (jstr_field "cache" j);
+          check bool_t "EP survives the restart byte-exactly" true
+            (ep = jnum_field "expected_paging" j)))
+
+(* ---------------- health, metrics, simulate, drain ---------------- *)
+
+let test_ops_and_drain () =
+  with_server ~domains:1 ~capacity:8 (fun h port ->
+      let c = connect port in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      send c "{\"id\": \"h\", \"op\": \"health\"}";
+      let j = parse_response (List.hd (recv_n c 1)) in
+      check bool_t "health not draining" true
+        (J.member "draining" j = Some (J.Bool false));
+      check bool_t "health capacity" true
+        (jnum_field "capacity" j = 8.0);
+      send c "{\"id\": \"m\", \"op\": \"metrics\"}";
+      let j = parse_response (List.hd (recv_n c 1)) in
+      let prom = jstr_field "prometheus" j in
+      check bool_t "prometheus exposition has serve counters" true
+        (find_sub prom "serve_responses_ok" <> None);
+      send c
+        "{\"id\": \"sim\", \"op\": \"simulate\", \"scenario\": \"suburb\", \
+         \"seed\": 3}";
+      let j = parse_response (List.hd (recv_n c 1)) in
+      check string_t "simulate ok" "ok" (jstr_field "status" j);
+      check bool_t "simulate reports schemes" true
+        (match J.member "per_scheme" j with
+         | Some (J.Arr (_ :: _)) -> true
+         | _ -> false);
+      send c
+        "{\"id\": \"bad\", \"op\": \"simulate\", \"scenario\": \"atlantis\"}";
+      let j = parse_response (List.hd (recv_n c 1)) in
+      check string_t "unknown scenario is an error" "error"
+        (jstr_field "status" j);
+      (* drain: new work is rejected, the daemon stops cleanly *)
+      Sv.request_drain h;
+      let rng = Prob.Rng.create ~seed:23 in
+      let inst = Instance.random_uniform_simplex rng ~m:2 ~c:6 ~d:2 in
+      send c (solve_frame ~id:"late" ~solver:"greedy" inst);
+      let j = parse_response (List.hd (recv_n c 1)) in
+      check string_t "submission during drain rejected" "rejected"
+        (jstr_field "status" j);
+      check string_t "drain reason" "draining" (jstr_field "reason" j))
+
+let test_drain_finishes_inflight () =
+  with_server ~domains:1 ~capacity:16 (fun h port ->
+      let c = connect port in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      let rng = Prob.Rng.create ~seed:29 in
+      let slow = Instance.random_uniform_simplex rng ~m:3 ~c:14 ~d:3 in
+      (* several admitted requests, then an immediate drain: each one
+         must still get its terminal response *)
+      let n = 5 in
+      for i = 1 to n do
+        send c
+          (solve_frame ~id:(Printf.sprintf "w%d" i) ~chain:"exact"
+             ~budget_ms:100.0 slow)
+      done;
+      Thread.delay 0.05 (* let admission happen before the drain *);
+      Sv.request_drain h;
+      let responses = by_id (recv_n c n) in
+      check int_t "all in-flight answered across drain" n
+        (List.length responses);
+      List.iter
+        (fun (id, (j, _)) ->
+          check bool_t (id ^ " terminal") true
+            (List.mem (jstr_field "status" j)
+               [ "ok"; "degraded"; "rejected" ]))
+        responses;
+      check bool_t "drain completes within grace" true (Sv.stop h))
+
+(* ---------------- registration ---------------- *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects invalid" `Quick test_json_rejects;
+        ] );
+      ( "keys-and-ladder",
+        [
+          Alcotest.test_case "canonical instance key" `Quick
+            test_canonical_key;
+          Alcotest.test_case "shedding ladder" `Quick test_ladder;
+        ] );
+      ( "protocol",
+        [ Alcotest.test_case "frame decoding" `Quick test_proto_decode ] );
+      ( "cache",
+        [
+          Alcotest.test_case "persistence, torn tail, fsync" `Quick
+            test_cache_persistence;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "differential: 50 instances vs CLI emitter"
+            `Quick test_differential_50_instances;
+          Alcotest.test_case "pipelining + error isolation" `Quick
+            test_pipelining_and_isolation;
+          Alcotest.test_case "deadline propagation degrades" `Quick
+            test_deadline_degrades;
+          Alcotest.test_case "overload sheds with backpressure" `Quick
+            test_overload_sheds;
+          Alcotest.test_case "cache hit and restart" `Quick
+            test_cache_hit_and_restart;
+          Alcotest.test_case "health/metrics/simulate/drain" `Quick
+            test_ops_and_drain;
+          Alcotest.test_case "drain finishes in-flight work" `Quick
+            test_drain_finishes_inflight;
+        ] );
+    ]

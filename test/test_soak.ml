@@ -202,6 +202,127 @@ let test_soak_corners () =
         generators)
     [ (1, 1, 1); (1, 2, 2); (2, 2, 1); (3, 2, 2); (1, 300, 8); (6, 50, 50) ]
 
+(* ---------------- serve overload soak ---------------- *)
+
+(* The daemon under a 4x-capacity burst of the same adversarial diet,
+   with 1–20 ms budgets. Invariants:
+
+     1. every request gets exactly one terminal response
+        (ok / degraded / rejected — never silence, never a duplicate);
+     2. a drain requested mid-burst still completes within grace;
+     3. no leaked domains once the daemon stops. *)
+let test_soak_serve () =
+  let before = Exec.Pool.active_domains () in
+  let capacity = 8 in
+  let cfg =
+    {
+      (Serve.Server.default_config (Serve.Server.Tcp 0)) with
+      domains = 2;
+      capacity;
+      drain_grace_ms = 30_000.0;
+      quiet = true;
+    }
+  in
+  let h = Serve.Server.start cfg in
+  let port = Option.get (Serve.Server.bound_port h) in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let send line =
+    let s = line ^ "\n" in
+    let rec go off =
+      if off < String.length s then
+        go (off + Unix.write_substring fd s off (String.length s - off))
+    in
+    go 0
+  in
+  let rng = Prob.Rng.create ~seed:0x50AC in
+  let n = 4 * capacity in
+  let burst () =
+    for i = 1 to n do
+      let gen_name, gen =
+        List.nth generators (Prob.Rng.int rng (List.length generators))
+      in
+      ignore gen_name;
+      let m = 1 + Prob.Rng.int rng 3 in
+      let c = 2 + Prob.Rng.int rng 60 in
+      let d = 1 + Prob.Rng.int rng (min 6 c) in
+      let inst = gen ~m ~c ~d rng in
+      let budget_ms =
+        match Prob.Rng.int rng 3 with 0 -> 1.0 | 1 -> 5.0 | _ -> 20.0
+      in
+      send
+        (Serve.Json.to_string
+           (Serve.Json.Obj
+              [
+                ("id", Serve.Json.Str (Printf.sprintf "s%d" i));
+                ("op", Serve.Json.Str "solve");
+                ("instance", Serve.Json.Str (Instance.to_string inst));
+                ("chain", Serve.Json.Str "default");
+                ("budget_ms", Serve.Json.Num budget_ms);
+                ("cache", Serve.Json.Bool false);
+              ]))
+    done
+  in
+  burst ();
+  (* drain lands while the burst is still in flight *)
+  Serve.Server.request_drain h;
+  (* collect until every id has answered, counting duplicates *)
+  let seen : (string, int) Hashtbl.t = Hashtbl.create n in
+  let statuses : (string, string) Hashtbl.t = Hashtbl.create n in
+  let buf = Buffer.create 8192 in
+  let chunk = Bytes.create 8192 in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while Hashtbl.length seen < n && Unix.gettimeofday () < deadline do
+    (match Unix.select [ fd ] [] [] 0.1 with
+     | [], _, _ -> ()
+     | _ -> (
+       match Unix.read fd chunk 0 (Bytes.length chunk) with
+       | 0 -> Alcotest.fail "daemon closed mid-burst"
+       | r -> Buffer.add_subbytes buf chunk 0 r
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()));
+    let s = Buffer.contents buf in
+    let rec eat start =
+      match String.index_from_opt s start '\n' with
+      | None ->
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub s start (String.length s - start))
+      | Some i ->
+        let line = String.sub s start (i - start) in
+        (match Serve.Json.parse line with
+         | Error e -> Alcotest.failf "non-JSON response %S (%s)" line e
+         | Ok j ->
+           let str k = Option.bind (Serve.Json.member k j) Serve.Json.to_str in
+           (match str "id" with
+            | Some id ->
+              Hashtbl.replace seen id
+                (1 + Option.value (Hashtbl.find_opt seen id) ~default:0);
+              Hashtbl.replace statuses id
+                (Option.value (str "status") ~default:"?")
+            | None -> Alcotest.failf "response without id: %S" line));
+        eat (i + 1)
+    in
+    eat 0
+  done;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  check bool_t "drain completes within grace" true (Serve.Server.stop h);
+  check bool_t
+    (Printf.sprintf "all %d burst requests answered (got %d)" n
+       (Hashtbl.length seen))
+    true
+    (Hashtbl.length seen = n);
+  for i = 1 to n do
+    let id = Printf.sprintf "s%d" i in
+    check bool_t (id ^ ": exactly one terminal response") true
+      (Hashtbl.find_opt seen id = Some 1);
+    match Hashtbl.find_opt statuses id with
+    | Some ("ok" | "degraded" | "rejected") -> ()
+    | st ->
+      Alcotest.failf "%s: non-terminal status %s" id
+        (Option.value st ~default:"<none>")
+  done;
+  check bool_t "no leaked domains after serve soak" true
+    (Exec.Pool.active_domains () = before)
+
 let () =
   Alcotest.run "soak"
     [
@@ -211,5 +332,10 @@ let () =
           Alcotest.test_case "parallel randomized soak" `Quick
             test_soak_parallel;
           Alcotest.test_case "degenerate corners" `Quick test_soak_corners;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "overload burst, drain mid-flight" `Quick
+            test_soak_serve;
         ] );
     ]
