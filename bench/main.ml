@@ -2041,6 +2041,167 @@ let e27 () =
        all_terminal clean_at_half shed_fast !probe_rejected probe_max_ms
        slack_ms p99_bounded drained)
 
+let e28 () =
+  header ~id:"e28" ~title:"self-healing: recovery cost under injected faults"
+    ~claim:
+      "with worker-lane deaths, journal write/fsync faults and cache-store \
+       faults injected, the serve daemon still answers every request with a \
+       terminal status, respawns every crashed domain, drains clean, and \
+       keeps accepted p99 within a bounded multiple of its own fault-free \
+       baseline";
+  let module Runner = Confcall.Runner in
+  let module Instance = Confcall.Instance in
+  let domains = 2 in
+  let capacity = 16 in
+  let budget_ms = 20.0 in
+  (* Same calibration recipe as e27: nominal rate from the budgeted
+     runner on the loadgen's instance diet. *)
+  let rng = Prob.Rng.create ~seed:2801 in
+  let probes = 12 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to probes do
+    let inst = Instance.random_zipf rng ~s:1.1 ~m:3 ~c:12 ~d:2 in
+    ignore (Runner.run ~budget_ms ~chain:Runner.default_chain inst)
+  done;
+  let mean_s =
+    Float.max ((Unix.gettimeofday () -. t0) /. float_of_int probes) 1e-4
+  in
+  let nominal = float_of_int domains /. mean_s in
+  let rate = nominal in
+  let requests =
+    int_of_float (Float.min 400.0 (Float.max 80.0 (rate *. 2.0)))
+  in
+  Printf.printf
+    "calibration: %.2f ms/request -> nominal %.0f req/s; both legs at 1.0x \
+     (%d requests)\n\n"
+    (mean_s *. 1000.0) nominal requests;
+  (* One daemon per leg so the fault leg's respawn/chaos accounting is
+     isolated; both see an identical fresh cache journal setup. *)
+  let run_leg ~label ~chaos =
+    (match chaos with
+     | Some spec -> Faultpoint.configure_exn ~seed:1 spec
+     | None -> Faultpoint.disable ());
+    let cache_path = Filename.temp_file "confcall_e28" ".cache" in
+    Sys.remove cache_path;
+    let cfg =
+      {
+        (Serve.Server.default_config (Serve.Server.Tcp 0)) with
+        domains;
+        capacity;
+        cache_path = Some cache_path;
+        cache_fsync = true;
+        drain_grace_ms = 60_000.0;
+        quiet = true;
+      }
+    in
+    let respawns0 = Exec.Pool.total_respawns () in
+    let h = Serve.Server.start cfg in
+    let port =
+      match Serve.Server.bound_port h with
+      | Some p -> p
+      | None -> failwith "e28: no bound port"
+    in
+    let o =
+      {
+        Serve.Loadgen.default_opts with
+        rate;
+        requests;
+        budget_ms = Some budget_ms;
+        solver = None;
+        chain = Some "default";
+        instances = 32;
+        connections = 4;
+        seed = 2802;
+        timeout_s = 120.0;
+      }
+    in
+    let s = Serve.Loadgen.run (Serve.Loadgen.Tcp port) o in
+    let drained = Serve.Server.stop h in
+    let respawns = Exec.Pool.total_respawns () - respawns0 in
+    let fired = Faultpoint.fired_all () in
+    Faultpoint.disable ();
+    (try Sys.remove cache_path with Sys_error _ -> ());
+    let p q = Serve.Loadgen.percentile s.Serve.Loadgen.accepted_ms q in
+    Printf.printf
+      "%-9s sent %4d  ok %4d  degr %3d  shed %3d  err %3d  unansw %3d  \
+       p50 %8.2f ms  p99 %8.2f ms  respawns %d%s\n"
+      label s.Serve.Loadgen.sent s.Serve.Loadgen.ok
+      s.Serve.Loadgen.degraded s.Serve.Loadgen.rejected
+      s.Serve.Loadgen.errors s.Serve.Loadgen.unanswered (p 50.0) (p 99.0)
+      respawns
+      (match fired with
+       | [] -> ""
+       | l ->
+         "  fired "
+         ^ String.concat " "
+             (List.map (fun (pt, n) -> Printf.sprintf "%s=%d" pt n) l));
+    (s, drained, p 99.0, respawns, fired)
+  in
+  let base_s, base_drained, p99_base, _, _ =
+    run_leg ~label:"baseline" ~chaos:None
+  in
+  (* Lane deaths dominate the spec; journal/cache faults ride along.
+     Probabilities sized so expected crashes stay well inside the
+     serve layer's spare-lane budget. *)
+  let spec =
+    "serve.lane.crash=0.03,journal.fsync=0.1,journal.append.short=0.05,\
+     cache.store=0.05,pool.task.delay=0.02@5"
+  in
+  let fault_s, fault_drained, p99_fault, respawns, fired =
+    run_leg ~label:"faulted" ~chaos:(Some spec)
+  in
+  print_newline ();
+  (* Gates. Terminal responses and a clean drain on both legs; every
+     fired lane crash was healed by a respawn; accepted p99 under fault
+     within max(5x, +200 ms) of the leg-local fault-free baseline (the
+     floor absorbs sub-millisecond baselines where a multiple is
+     noise). *)
+  let all_terminal =
+    base_s.Serve.Loadgen.unanswered = 0
+    && fault_s.Serve.Loadgen.unanswered = 0
+  in
+  let lane_crashes =
+    match List.assoc_opt "serve.lane.crash" fired with
+    | Some n -> n
+    | None -> 0
+  in
+  let healed = lane_crashes = 0 || respawns >= 1 in
+  let p99_gate = Float.max (5.0 *. p99_base) (p99_base +. 200.0) in
+  let p99_bounded =
+    Array.length fault_s.Serve.Loadgen.accepted_ms = 0
+    || p99_fault <= p99_gate
+  in
+  record ~id:"e28"
+    ~pass:
+      (all_terminal && base_drained && fault_drained && healed && p99_bounded)
+    ~metrics:
+      [
+        "nominal_rate", json_num nominal;
+        "requests", string_of_int requests;
+        "p99_base_ms", json_num p99_base;
+        "p99_fault_ms", json_num p99_fault;
+        "p99_gate_ms", json_num p99_gate;
+        "lane_crashes", string_of_int lane_crashes;
+        "respawns", string_of_int respawns;
+        ( "faults_fired",
+          "{"
+          ^ String.concat ", "
+              (List.map
+                 (fun (pt, n) -> Printf.sprintf "%s: %d" (json_str pt) n)
+                 fired)
+          ^ "}" );
+        "unanswered_base", string_of_int base_s.Serve.Loadgen.unanswered;
+        "unanswered_fault", string_of_int fault_s.Serve.Loadgen.unanswered;
+        "drained_base", (if base_drained then "true" else "false");
+        "drained_fault", (if fault_drained then "true" else "false");
+      ]
+    (Printf.sprintf
+       "all terminal: %b; drained: %b/%b; lane crashes %d healed by %d \
+        respawns: %b; fault p99 %.2f ms within gate %.2f ms (baseline %.2f \
+        ms): %b"
+       all_terminal base_drained fault_drained lane_crashes respawns healed
+       p99_fault p99_gate p99_base p99_bounded)
+
 let experiments =
   [
     "e1", e1;
@@ -2070,6 +2231,7 @@ let experiments =
     "e25", e25;
     "e26", e26;
     "e27", e27;
+    "e28", e28;
   ]
 
 let () =

@@ -1195,10 +1195,18 @@ let socket_arg =
         ~doc:"Listen on (or connect to) a Unix-domain socket at $(docv).")
 
 let serve port socket domains capacity max_connections cache cache_fsync
-    grace_ms quiet =
+    cache_max grace_ms write_timeout_ms chaos chaos_seed quiet =
   guard @@ fun () ->
   let listen = listen_of_flags port socket in
   let domains = effective_domains domains in
+  (* Arm the chaos seam before any subsystem starts: --chaos wins over
+     CONFCALL_CHAOS; a malformed spec dies here, at the boundary. *)
+  (match chaos with
+   | Some spec -> (
+     match Faultpoint.configure ~seed:chaos_seed spec with
+     | Ok () -> ()
+     | Error msg -> invalid_arg msg)
+   | None -> Faultpoint.arm_from_env ());
   let cfg =
     {
       (Serve.Server.default_config listen) with
@@ -1207,11 +1215,21 @@ let serve port socket domains capacity max_connections cache cache_fsync
       max_connections;
       cache_path = cache;
       cache_fsync;
+      cache_max;
       drain_grace_ms = grace_ms;
+      write_timeout_ms;
       quiet;
     }
   in
-  if not (Serve.Server.run cfg) then exit 1
+  let clean = Serve.Server.run cfg in
+  (if Faultpoint.on () && not cfg.Serve.Server.quiet then
+     match Faultpoint.fired_all () with
+     | [] -> ()
+     | fired ->
+       Printf.eprintf "confcall serve: chaos fired %s\n%!"
+         (String.concat " "
+            (List.map (fun (p, n) -> Printf.sprintf "%s=%d" p n) fired)));
+  if not clean then exit 1
 
 let serve_cmd =
   let capacity =
@@ -1242,12 +1260,43 @@ let serve_cmd =
           ~doc:"fsync the cache journal after every store (power-loss \
                 durability).")
   in
+  let cache_max =
+    Arg.(
+      value
+      & opt int Serve.Cache.default_max_entries
+      & info [ "cache-max" ] ~docv:"N"
+          ~doc:"Result-cache LRU bound: beyond $(docv) resident entries the \
+                least-recently-used is evicted (journal lines are kept).")
+  in
   let grace_ms =
     Arg.(
       value & opt float 10_000.0
       & info [ "grace-ms" ] ~docv:"MS"
           ~doc:"Drain grace: on SIGTERM, in-flight requests get $(docv) ms \
                 to finish.")
+  in
+  let write_timeout_ms =
+    Arg.(
+      value & opt float 5_000.0
+      & info [ "write-timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-chunk socket-write deadline: a client that stalls its \
+                reads longer than $(docv) ms is disconnected.")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:"Arm runtime fault injection: comma-separated \
+                point=prob[@param] entries, or *=prob for every point \
+                (e.g. 'serve.lane.crash=0.05,journal.fsync=0.1'). \
+                Overrides CONFCALL_CHAOS. For chaos testing only.")
+  in
+  let chaos_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "chaos-seed" ] ~docv:"N"
+          ~doc:"PRNG seed for --chaos draws (reproducible chaos).")
   in
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No startup/shutdown banner.")
@@ -1270,7 +1319,8 @@ let serve_cmd =
          ])
     Term.(
       const serve $ port_arg $ socket_arg $ domains_arg $ capacity
-      $ max_connections $ cache $ cache_fsync $ grace_ms $ quiet)
+      $ max_connections $ cache $ cache_fsync $ cache_max $ grace_ms
+      $ write_timeout_ms $ chaos $ chaos_seed $ quiet)
 
 (* ---------------- loadgen ---------------- *)
 

@@ -4,7 +4,32 @@ type t = {
   fsync : bool;  (* fdatasync-level durability on every append *)
   tbl : (string, string) Hashtbl.t;
   mutable order : string list;  (* reverse file order *)
+  corrupt : int;  (* checksum-failed lines skipped at load *)
+  mutable broken : bool;  (* an append failed and could not be sealed *)
 }
+
+(* ---------------- CRC-32 (IEEE 802.3, reflected) ----------------
+   The stdlib has no checksum; the classic 256-entry table fits in a
+   dozen lines and OCaml's 63-bit ints hold the 32-bit arithmetic
+   natively. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1)
+                else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff
 
 let split_line line =
   match String.index_opt line '\t' with
@@ -13,10 +38,40 @@ let split_line line =
       String.sub line (i + 1) (String.length line - i - 1) )
   | None -> (line, "")
 
+(* A checksummed line is [body TAB "crc:" hex8] with the crc taken over
+   [body] (itself [id TAB payload]); the field sits after the LAST tab
+   because payloads may contain tabs. Lines without the suffix are
+   legacy (pre-checksum journals) and load as before. The one
+   ambiguity — a legacy payload that happens to end in a crc-shaped
+   field — resolves by arithmetic: the hex either matches the body's
+   crc (and stripping it is correct by construction of the writer) or
+   the line is counted corrupt; both beat trusting unverifiable
+   bytes. *)
+let crc_field_len = 12 (* "crc:" + 8 hex *)
+
+let is_hex8 s =
+  String.length s = 8
+  && String.for_all
+       (fun ch -> (ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f'))
+       s
+
+let parse_line line =
+  let n = String.length line in
+  match String.rindex_opt line '\t' with
+  | Some tb
+    when n - tb - 1 = crc_field_len
+         && String.sub line (tb + 1) 4 = "crc:"
+         && is_hex8 (String.sub line (tb + 5) 8) ->
+    let body = String.sub line 0 tb in
+    let expect = int_of_string ("0x" ^ String.sub line (tb + 5) 8) in
+    if crc32 body = expect then Some (split_line body) else None
+  | _ -> Some (split_line line)
+
 (* Read back completed entries; return them plus the byte offset of the
-   first partial (un-terminated) trailing line, if any. *)
+   first partial (un-terminated) trailing line, if any, and the count
+   of complete-but-corrupt (checksum-failed) lines skipped. *)
 let read_existing path =
-  if not (Sys.file_exists path) then ([], 0, 0)
+  if not (Sys.file_exists path) then ([], 0, 0, 0)
   else begin
     let ic = open_in_bin path in
     let len = in_channel_length ic in
@@ -25,11 +80,15 @@ let read_existing path =
     let entries = ref [] in
     let pos = ref 0 in
     let good = ref 0 in
+    let corrupt = ref 0 in
     while !pos < len do
       match String.index_from_opt buf !pos '\n' with
       | Some nl ->
         let line = String.sub buf !pos (nl - !pos) in
-        if line <> "" then entries := split_line line :: !entries;
+        (if line <> "" then
+           match parse_line line with
+           | Some entry -> entries := entry :: !entries
+           | None -> incr corrupt);
         pos := nl + 1;
         good := !pos
       | None ->
@@ -37,11 +96,11 @@ let read_existing path =
            did not finish — drop them, the item will be re-done *)
         pos := len
     done;
-    (List.rev !entries, !good, len)
+    (List.rev !entries, !good, len, !corrupt)
   end
 
 let read_back path =
-  let entries, _, _ = read_existing path in
+  let entries, _, _, _ = read_existing path in
   let seen = Hashtbl.create 64 in
   List.iter
     (fun (id, _) ->
@@ -53,11 +112,13 @@ let read_back path =
   entries
 
 let load_or_create ?(fsync = false) path =
-  let entries, good, len = read_existing path in
+  let entries, good, len, corrupt = read_existing path in
   (* Physically truncate the partial trailing line before appending
      anything new — seeking alone would leave the garbage tail in place
      whenever the replacement record is shorter. *)
   if good < len then Unix.truncate path good;
+  if corrupt > 0 && Obs.on () then
+    Obs.count_n "journal_corrupt_lines" corrupt;
   let oc =
     open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
       path
@@ -80,11 +141,13 @@ let load_or_create ?(fsync = false) path =
          id :: acc)
       [] entries
   in
-  { path; oc; fsync; tbl; order }
+  { path; oc; fsync; tbl; order; corrupt; broken = false }
 
 let path t = t.path
 let completed t id = Hashtbl.mem t.tbl id
 let count t = Hashtbl.length t.tbl
+let corrupt_lines t = t.corrupt
+let broken t = t.broken
 
 let entries t =
   List.rev_map (fun id -> (id, Hashtbl.find t.tbl id)) t.order
@@ -97,23 +160,67 @@ let check_field ~what s ~allow_tab =
            (Printf.sprintf "Journal: %s contains a forbidden character" what))
     s
 
+(* A failed append may have left a torn prefix at EOF; writing the
+   terminating newline seals it into a complete line that fails its
+   checksum on the next load (counted corrupt, skipped) instead of
+   gluing onto — and corrupting — the next record. Only when even the
+   seal cannot be written does the journal go read-only. *)
+let seal t =
+  try
+    output_char t.oc '\n';
+    flush t.oc
+  with _ -> t.broken <- true
+
 let record t ~id ~payload =
   if id = "" then invalid_arg "Journal: empty id";
   check_field ~what:"id" id ~allow_tab:false;
   check_field ~what:"payload" payload ~allow_tab:true;
   if completed t id then
     invalid_arg (Printf.sprintf "Journal: duplicate id %S" id);
-  output_string t.oc id;
-  output_char t.oc '\t';
-  output_string t.oc payload;
-  output_char t.oc '\n';
-  flush t.oc;
-  (* [flush] hands the line to the kernel; [fsync] makes it survive a
-     power cut. Torn-tail recovery in [load_or_create] is unchanged
-     either way — fsync only narrows the window to the write itself. *)
-  if t.fsync then Unix.fsync (Unix.descr_of_out_channel t.oc);
+  if t.broken then
+    failwith
+      (Printf.sprintf
+         "Journal %s: an earlier append failed and could not be sealed; \
+          journal is read-only"
+         t.path);
+  let body = id ^ "\t" ^ payload in
+  let line = Printf.sprintf "%s\tcrc:%08x\n" body (crc32 body) in
+  (try
+     Faultpoint.hit "journal.append";
+     (match Faultpoint.short "journal.append.short" with
+      | Some frac ->
+        (* Torn write: some prefix — never the whole line — reaches the
+           file, then the append "fails" (ENOSPC, crash). *)
+        let keep =
+          max 0
+            (min
+               (String.length line - 1)
+               (int_of_float (frac *. float_of_int (String.length line))))
+        in
+        output_string t.oc (String.sub line 0 keep);
+        flush t.oc;
+        raise (Faultpoint.Injected "journal.append.short")
+      | None -> ());
+     output_string t.oc line;
+     flush t.oc
+   with e ->
+     seal t;
+     raise e);
+  (* The line is fully in the file from here on: record it in memory
+     before the fsync so the two views cannot diverge (a duplicate
+     append after a failed-but-written fsync would poison the next
+     load). *)
   Hashtbl.replace t.tbl id payload;
-  t.order <- id :: t.order
+  t.order <- id :: t.order;
+  if t.fsync then begin
+    (* [flush] handed the line to the kernel; [fsync] makes it survive
+       a power cut. Torn-tail recovery in [load_or_create] is unchanged
+       either way — fsync only narrows the window to the write itself.
+       A failing fsync raises (durability was NOT confirmed) but the
+       entry stands: the bytes are complete in the file. *)
+    Faultpoint.hit "journal.fsync";
+    Unix.fsync (Unix.descr_of_out_channel t.oc)
+  end
 
 let run t ~id f =
   match Hashtbl.find_opt t.tbl id with

@@ -11,7 +11,18 @@
     append, and a partial trailing line (the process died mid-write) is
     truncated away on load, so that item is simply re-done. Ids and
     payloads must not contain tabs or newlines; ids must be unique per
-    item and deterministic across runs (e.g. ["e23/c60/seed7"]). *)
+    item and deterministic across runs (e.g. ["e23/c60/seed7"]).
+
+    Integrity (DESIGN §11): every appended line carries a CRC-32 suffix
+    ([... TAB "crc:" hex8]) computed over [id TAB payload]; loading
+    verifies it and {e skips} complete-but-corrupt mid-file lines
+    (counted in {!corrupt_lines}) instead of trusting flipped bits —
+    the torn-tail truncation only ever protected the last line. Lines
+    without the suffix are legacy journals and load unverified. A
+    failed append seals its torn prefix with a newline so the garbage
+    becomes one checksum-rejected line rather than corrupting the next
+    record; only when even the seal cannot be written does the journal
+    go read-only ({!broken}). *)
 
 type t
 
@@ -46,10 +57,24 @@ val path : t -> string
     run? *)
 val completed : t -> string -> bool
 
-(** [record t ~id ~payload] appends one completed item and flushes.
+(** [record t ~id ~payload] appends one completed item (with its CRC-32
+    suffix) and flushes.
     @raise Invalid_argument on tabs/newlines in [id] or newlines in
-    [payload], or when [id] was already recorded. *)
+    [payload], or when [id] was already recorded.
+    @raise Failure when the journal is {!broken}. Any other exception
+    means this append failed (the entry is {e not} recorded) — except a
+    failure out of the final fsync, after which the entry stands but
+    its durability was not confirmed. *)
 val record : t -> id:string -> payload:string -> unit
+
+(** Complete lines whose checksum did not verify at load — skipped, not
+    loaded. Zero on a healthy or legacy journal. *)
+val corrupt_lines : t -> int
+
+(** True once an append failure could not even be sealed with a
+    newline: further {!record} calls fail fast rather than risk gluing
+    onto torn bytes. *)
+val broken : t -> bool
 
 (** Entries in file order, oldest first. *)
 val entries : t -> (string * string) list

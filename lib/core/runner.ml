@@ -376,7 +376,37 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
             (stage, None)
         end
       in
-      let results = Exec.Pool.map pool run_one (Array.init n Fun.id) in
+      (* [run_all], not [map]: a stage crashing its domain (chaos seam,
+         stack overflow in a solver) must fail only that stage. The
+         watchdog guard mirrors the sequential loop's budget + grace
+         promise for tasks that stop cooperating: its cancel fires the
+         stage's lose flag, and a stage that still will not unwind gets
+         its worker lane recycled underneath it on completion. *)
+      let guard i =
+        match deadline with
+        | None -> None
+        | Some d ->
+          Some
+            Exec.Pool.
+              { deadline_s = d; grace_s = grace_ms /. 1000.0;
+                cancel = (fun () -> Atomic.set lose.(i) true) }
+      in
+      let results =
+        Exec.Pool.run_all pool ~guard run_one (Array.init n Fun.id)
+        |> Array.mapi (fun i -> function
+          | Ok r -> r
+          | Error e ->
+            (* The stage never published: its domain died mid-flight.
+               Surface it through the ordinary taxonomy. *)
+            let stage =
+              { spec = chain_arr.(i);
+                status = Failed (Internal (Printexc.to_string e));
+                elapsed_ms = 0.0; expected_paging = None;
+                robust_ep = None; raced = true }
+            in
+            obs_record_stage stage;
+            (stage, None))
+      in
       let stages_rev =
         Array.fold_left (fun acc (s, _) -> s :: acc) [] results
       in

@@ -8,7 +8,16 @@
    drains the queue alongside the workers before blocking, so a pool of
    [domains] applies exactly [domains] domains and [domains = 1] spawns
    nothing at all — that degenerate case is the repository's historical
-   sequential path, bit for bit. *)
+   sequential path, bit for bit.
+
+   Self-healing (DESIGN §11): a queued task is a {run; fail} pair, so a
+   crash that escapes the task harness — an injected domain death, a
+   [Stack_overflow] in result publication, an [Out_of_memory] — fails
+   {e only that task} (the map above it sees an [Error] slot, never a
+   hang) while the worker respawns a fresh domain in its place. A
+   watchdog systhread escalates tasks that overstay their guard
+   deadline: fire the cooperative cancel, then poison the lane so the
+   domain is recycled the moment the stuck task finally completes. *)
 
 let max_domains = 256
 let env_var = "CONFCALL_DOMAINS"
@@ -19,6 +28,14 @@ let active = Atomic.make 0
 
 let active_domains () = Atomic.get active
 
+(* Lifetime totals across all pools, for the chaos bench and soaks:
+   respawned worker domains and watchdog-flagged stuck tasks. *)
+let all_respawns = Atomic.make 0
+let all_stuck = Atomic.make 0
+
+let total_respawns () = Atomic.get all_respawns
+let total_stuck () = Atomic.get all_stuck
+
 let default_domains () =
   match Sys.getenv_opt env_var with
   | None -> 1
@@ -27,15 +44,52 @@ let default_domains () =
       | Some n when n >= 1 -> min n max_domains
       | Some _ | None -> 1)
 
+exception Killed of exn
+
+type guard = {
+  deadline_s : float;
+  grace_s : float;
+  cancel : unit -> unit;
+}
+
+type task = {
+  run : unit -> unit;  (* publishes its own result, normally *)
+  fail : exn -> unit;  (* publish failure when [run] never got to *)
+  guard : guard option;
+}
+
+(* One per worker slot (never for the caller lane): the respawn chain
+   reuses the slot, and the watchdog poisons it to force a recycle. *)
+type lane = {
+  index : int;
+  poisoned : bool Atomic.t;
+}
+
+(* A guarded task currently executing somewhere, as seen by the
+   watchdog. [flagged] is owned by the watchdog thread. *)
+type ctx = {
+  g : guard;
+  mutable flagged : bool;
+  on_lane : lane option;  (* None: running on the caller's domain *)
+}
+
 type t = {
   id : int;
   size : int;
   mutex : Mutex.t;
   nonempty : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  queue : task Queue.t;
   mutable stopped : bool;
   mutable joined : bool;
   mutable workers : unit Domain.t list;
+  lanes : lane array;  (* size - 1 worker slots *)
+  respawns : int Atomic.t;
+  stuck : int Atomic.t;
+  (* watchdog: lazily started by the first guarded [run_all] *)
+  wd_mutex : Mutex.t;
+  mutable wd_running : ctx list;
+  mutable wd_thread : Thread.t option;
+  mutable wd_stop : bool;
 }
 
 let next_id = Atomic.make 0
@@ -46,7 +100,106 @@ let next_id = Atomic.make 0
 let executing : int list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
-let worker_loop t =
+(* The worker lane the current domain services, for watchdog poisoning;
+   [None] on caller domains. *)
+let my_lane : lane option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let respawns t = Atomic.get t.respawns
+let stuck_tasks t = Atomic.get t.stuck
+
+(* ---------------- watchdog ---------------- *)
+
+let wd_register t ctx =
+  Mutex.lock t.wd_mutex;
+  t.wd_running <- ctx :: t.wd_running;
+  Mutex.unlock t.wd_mutex
+
+let wd_unregister t ctx =
+  Mutex.lock t.wd_mutex;
+  t.wd_running <- List.filter (fun c -> c != ctx) t.wd_running;
+  Mutex.unlock t.wd_mutex
+
+(* Escalation ladder, per scan: a task past deadline + grace gets its
+   cooperative cancel fired (once) and is counted stuck; past a second
+   grace window it clearly is not cooperating, so its lane is poisoned —
+   the worker respawns a fresh domain as soon as the task lets go. *)
+let wd_scan t =
+  let now = Unix.gettimeofday () in
+  Mutex.lock t.wd_mutex;
+  let running = t.wd_running in
+  List.iter
+    (fun ctx ->
+      if (not ctx.flagged) && now > ctx.g.deadline_s +. ctx.g.grace_s then begin
+        ctx.flagged <- true;
+        Atomic.incr t.stuck;
+        Atomic.incr all_stuck;
+        if Obs.on () then Obs.count "pool_stuck_tasks";
+        (try ctx.g.cancel () with _ -> ())
+      end
+      else if
+        ctx.flagged && now > ctx.g.deadline_s +. (2.0 *. ctx.g.grace_s)
+      then
+        match ctx.on_lane with
+        | Some lane ->
+          if not (Atomic.exchange lane.poisoned true) then
+            if Obs.on () then Obs.count "pool_lane_poisoned"
+        | None -> ())
+    running;
+  Mutex.unlock t.wd_mutex
+
+let wd_loop t =
+  let rec go () =
+    Mutex.lock t.wd_mutex;
+    let stop = t.wd_stop in
+    Mutex.unlock t.wd_mutex;
+    if not stop then begin
+      wd_scan t;
+      Thread.delay 0.005;
+      go ()
+    end
+  in
+  go ()
+
+(* Only guarded work needs a watchdog; unguarded pools (the common
+   case, and every [domains = 1] pool) never start the thread. *)
+let ensure_watchdog t =
+  Mutex.lock t.wd_mutex;
+  if t.wd_thread = None && not t.wd_stop then
+    t.wd_thread <- Some (Thread.create wd_loop t);
+  Mutex.unlock t.wd_mutex
+
+let stop_watchdog t =
+  Mutex.lock t.wd_mutex;
+  t.wd_stop <- true;
+  let th = t.wd_thread in
+  t.wd_thread <- None;
+  Mutex.unlock t.wd_mutex;
+  Option.iter Thread.join th
+
+(* ---------------- workers, crashes, respawn ---------------- *)
+
+(* Run one dequeued task on a worker (or the caller's help loop),
+   turning anything that escapes the task's own harness into a
+   contained crash: the task is failed — the map above sees an [Error]
+   slot instead of hanging forever on [remaining] — and the caller
+   decides whether the executing domain must be recycled. Returns
+   [true] when the execution crashed. *)
+let run_task_contained task =
+  match
+    Faultpoint.hit "pool.task.crash";
+    Faultpoint.delay "pool.task.delay";
+    task.run ()
+  with
+  | () -> false
+  | exception Killed e ->
+    (try task.fail e with _ -> ());
+    true
+  | exception e ->
+    (try task.fail e with _ -> ());
+    true
+
+let rec worker_loop t lane =
   let rec loop () =
     Mutex.lock t.mutex;
     while Queue.is_empty t.queue && not t.stopped do
@@ -64,10 +217,62 @@ let worker_loop t =
           Obs.count "pool_tasks_worker";
           Obs.gauge_add "pool_queue_depth" (-1)
         end;
-        task ();
-        loop ()
+        let crashed = run_task_contained task in
+        if crashed || Atomic.get lane.poisoned then respawn t lane
+        else loop ()
   in
   loop ()
+
+(* The executing domain is done for — crashed out of a task, or
+   poisoned by the watchdog. Hand the lane to a freshly spawned domain
+   and let this one exit; the replacement's first act is to join its
+   predecessor, keeping [active] accounting exact across any number of
+   deaths. After [join] has begun (or if the spawn itself fails) the
+   domain recovers in place instead: correctness never depends on the
+   respawn succeeding. *)
+and respawn t lane =
+  Atomic.set lane.poisoned false;
+  let self = Domain.self () in
+  Mutex.lock t.mutex;
+  if t.joined then begin
+    Mutex.unlock t.mutex;
+    worker_loop t lane
+  end
+  else begin
+    match
+      Domain.spawn (fun () ->
+          (* join the predecessor (it exits right after this spawn
+             returns) and drop it from the books before serving. *)
+          (Mutex.lock t.mutex;
+           let pred =
+             List.find_opt (fun d -> Domain.get_id d = self) t.workers
+           in
+           t.workers <- List.filter (fun d -> Domain.get_id d <> self) t.workers;
+           Mutex.unlock t.mutex;
+           match pred with
+           | Some d ->
+             Domain.join d;
+             Atomic.decr active
+           | None -> ());
+          Domain.DLS.set my_lane (ref (Some lane));
+          worker_loop t lane)
+    with
+    | d ->
+      Atomic.incr active;
+      t.workers <- d :: t.workers;
+      Atomic.incr t.respawns;
+      Atomic.incr all_respawns;
+      Mutex.unlock t.mutex;
+      if Obs.on () then begin
+        Obs.count "pool_respawns";
+        Obs.gauge_set "pool_active_domains" (Atomic.get active)
+      end
+    | exception _ ->
+      (* Could not spawn a replacement (domain limit, resources):
+         recover in place — a slightly stale stack beats a lost lane. *)
+      Mutex.unlock t.mutex;
+      worker_loop t lane
+  end
 
 let create ~domains () =
   if domains < 1 || domains > max_domains then
@@ -84,6 +289,15 @@ let create ~domains () =
       stopped = false;
       joined = false;
       workers = [];
+      lanes =
+        Array.init (max 0 (domains - 1)) (fun index ->
+            { index; poisoned = Atomic.make false });
+      respawns = Atomic.make 0;
+      stuck = Atomic.make 0;
+      wd_mutex = Mutex.create ();
+      wd_running = [];
+      wd_thread = None;
+      wd_stop = false;
     }
   in
   (* Spawn accounting must stay exact even when a spawn fails halfway
@@ -93,8 +307,13 @@ let create ~domains () =
      otherwise [active_domains] would stay elevated forever and the
      leak tests downstream would blame an innocent caller. *)
   (try
-     for _ = 2 to domains do
-       let d = Domain.spawn (fun () -> worker_loop t) in
+     for k = 2 to domains do
+       let lane = t.lanes.(k - 2) in
+       let d =
+         Domain.spawn (fun () ->
+             Domain.DLS.set my_lane (ref (Some lane));
+             worker_loop t lane)
+       in
        Atomic.incr active;
        t.workers <- d :: t.workers
      done
@@ -127,66 +346,140 @@ let run_guarded t body =
       | [] -> ())
     body
 
+(* Core scheduler: every element becomes a {run; fail} task whose
+   result lands in its input-index slot as a [result]; the caller helps
+   drain the queue, then waits. Guarded elements are registered with
+   the watchdog for the time they actually execute. *)
+let run_all_parallel t ?(guard = fun _ -> None) f input =
+  let n = Array.length input in
+  let results = Array.make n None in
+  let remaining = Atomic.make n in
+  let all_done = Condition.create () in
+  let any_guard = ref false in
+  let publish i r =
+    results.(i) <- Some r;
+    if Atomic.fetch_and_add remaining (-1) = 1 then begin
+      (* Last task out signals under the mutex, so the caller's
+         check-then-wait below cannot miss the wakeup. *)
+      Mutex.lock t.mutex;
+      Condition.broadcast all_done;
+      Mutex.unlock t.mutex
+    end
+  in
+  let make_task i =
+    let g = guard input.(i) in
+    if g <> None then any_guard := true;
+    let run () =
+      let exec () =
+        run_guarded t (fun () ->
+            try Ok (f input.(i)) with
+            | Killed _ as k -> raise k
+            | e -> Error e)
+      in
+      let r =
+        match g with
+        | None -> exec ()
+        | Some g ->
+          let ctx =
+            { g; flagged = false; on_lane = !(Domain.DLS.get my_lane) }
+          in
+          wd_register t ctx;
+          Fun.protect ~finally:(fun () -> wd_unregister t ctx) exec
+      in
+      publish i r
+    in
+    { run; fail = (fun e -> publish i (Error e)); guard = g }
+  in
+  let tasks = Array.init n make_task in
+  if !any_guard then ensure_watchdog t;
+  Mutex.lock t.mutex;
+  Array.iter (fun task -> Queue.add task t.queue) tasks;
+  Condition.broadcast t.nonempty;
+  if Obs.on () then Obs.gauge_add "pool_queue_depth" n;
+  (* Caller helps: execute queued tasks (this run's or a concurrent
+     one's) until the queue is dry, then wait for stragglers running
+     on workers. A crash on the caller's domain is contained the same
+     way as on a worker — the task is failed — but there is nothing to
+     respawn: the caller simply keeps helping. *)
+  let rec help () =
+    match Queue.take_opt t.queue with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        if Obs.on () then begin
+          Obs.count "pool_tasks_caller";
+          Obs.gauge_add "pool_queue_depth" (-1)
+        end;
+        ignore (run_task_contained task : bool);
+        Mutex.lock t.mutex;
+        help ()
+    | None -> ()
+  in
+  help ();
+  while Atomic.get remaining > 0 do
+    Condition.wait all_done t.mutex
+  done;
+  Mutex.unlock t.mutex;
+  Array.map
+    (function
+      | Some r -> r
+      | None -> assert false)
+    results
+
+let run_all t ?guard f input =
+  if t.joined then invalid_arg "Pool.run_all: pool already joined";
+  if List.mem t.id !(Domain.DLS.get executing) then
+    invalid_arg
+      "Pool.run_all: nested map on the same pool from one of its tasks";
+  if Array.length input = 0 then [||]
+  else if t.size = 1 then
+    (* Sequential: no domains, no watchdog; crashes are still contained
+       per element so a chaos run on one core keeps the run_all
+       contract (an [Error] slot, not an exception). *)
+    Array.map
+      (fun x ->
+        match run_guarded t (fun () -> f x) with
+        | v -> Ok v
+        | exception Killed e -> Error e
+        | exception e -> Error e)
+      input
+  else run_all_parallel t ?guard f input
+
 let map t f input =
   if t.joined then invalid_arg "Pool.map: pool already joined";
   if List.mem t.id !(Domain.DLS.get executing) then
     invalid_arg "Pool.map: nested map on the same pool from one of its tasks";
   let n = Array.length input in
   if n = 0 then [||]
-  else if t.size = 1 then Array.map f input
+  else if t.size = 1 then begin
+    (* The historical sequential path, bit for bit, with one addition
+       invisible to clean runs: a [Killed] crash (only ever raised by
+       chaos seams) fails that element but lets the rest run, so a
+       single-domain chaos soak degrades instead of aborting. Any other
+       exception propagates immediately, exactly as before. *)
+    let killed = ref None in
+    let out =
+      Array.map
+        (fun x ->
+          match f x with
+          | v -> Some v
+          | exception Killed e ->
+            if !killed = None then killed := Some e;
+            None)
+        input
+    in
+    match !killed with
+    | Some e -> raise e
+    | None -> Array.map Option.get out
+  end
   else begin
-    let results = Array.make n None in
-    let remaining = Atomic.make n in
-    let all_done = Condition.create () in
-    let run_task i () =
-      let r =
-        run_guarded t (fun () -> try Ok (f input.(i)) with e -> Error e)
-      in
-      results.(i) <- Some r;
-      if Atomic.fetch_and_add remaining (-1) = 1 then begin
-        (* Last task out signals under the mutex, so the caller's
-           check-then-wait below cannot miss the wakeup. *)
-        Mutex.lock t.mutex;
-        Condition.broadcast all_done;
-        Mutex.unlock t.mutex
-      end
-    in
-    Mutex.lock t.mutex;
-    for i = 0 to n - 1 do
-      Queue.add (run_task i) t.queue
-    done;
-    Condition.broadcast t.nonempty;
-    if Obs.on () then Obs.gauge_add "pool_queue_depth" n;
-    (* Caller helps: execute queued tasks (this map's or a concurrent
-       one's) until the queue is dry, then wait for stragglers running
-       on workers. *)
-    let rec help () =
-      match Queue.take_opt t.queue with
-      | Some task ->
-          Mutex.unlock t.mutex;
-          if Obs.on () then begin
-            Obs.count "pool_tasks_caller";
-            Obs.gauge_add "pool_queue_depth" (-1)
-          end;
-          task ();
-          Mutex.lock t.mutex;
-          help ()
-      | None -> ()
-    in
-    help ();
-    while Atomic.get remaining > 0 do
-      Condition.wait all_done t.mutex
-    done;
-    Mutex.unlock t.mutex;
+    let results = run_all_parallel t f input in
     (* Surface the lowest-indexed failure so the raised exception is as
        deterministic as the results. *)
     Array.iter
-      (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+      (function Error e -> raise e | Ok _ -> ())
       results;
     Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error _) | None -> assert false)
+      (function Ok v -> v | Error _ -> assert false)
       results
   end
 
@@ -200,13 +493,17 @@ let join t =
     t.joined <- true;
     t.stopped <- true;
     Condition.broadcast t.nonempty;
+    (* Snapshot under the mutex: respawns check [joined] under the same
+       mutex before adding a worker, so this list is complete. *)
+    let ws = t.workers in
+    t.workers <- [];
     Mutex.unlock t.mutex;
     List.iter
       (fun d ->
         Domain.join d;
         Atomic.decr active)
-      t.workers;
-    t.workers <- [];
+      ws;
+    stop_watchdog t;
     if Obs.on () then Obs.gauge_set "pool_active_domains" (Atomic.get active)
   end
 

@@ -1,22 +1,99 @@
 open Confcall
 
-type t = {
-  mutex : Mutex.t;
-  tbl : (string, string) Hashtbl.t;
-  journal : Journal.t option;
-  mutable hits : int;
-  mutable misses : int;
+(* Exact LRU over an intrusive doubly-linked list: [find] and [store]
+   are O(1), eviction unlinks the tail. The journal stays append-only —
+   evicted entries keep their lines, and [Journal.completed] prevents a
+   re-stored key from appending a duplicate id (which would refuse to
+   load next restart). *)
+
+type node = {
+  nkey : string;
+  payload : string;
+  mutable prev : node option;  (* towards most-recent *)
+  mutable next : node option;  (* towards least-recent *)
 }
 
-let create ?path ?(fsync = false) () =
+type t = {
+  mutex : Mutex.t;
+  tbl : (string, node) Hashtbl.t;
+  max_entries : int;
+  journal : Journal.t option;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used; evicted first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable store_errors : int;
+}
+
+let default_max_entries = 65536
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+    unlink t n;
+    push_front t n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl n.nkey;
+    t.evictions <- t.evictions + 1;
+    if Obs.on () then Obs.count "serve_cache_evictions"
+
+(* Insert without journaling; evicts to stay within the cap. *)
+let insert t ~key ~payload =
+  (if not (Hashtbl.mem t.tbl key) then begin
+     if Hashtbl.length t.tbl >= t.max_entries then evict_lru t;
+     let n = { nkey = key; payload; prev = None; next = None } in
+     push_front t n;
+     Hashtbl.replace t.tbl key n
+   end);
+  if Obs.on () then Obs.gauge_set "serve_cache_entries" (Hashtbl.length t.tbl)
+
+let create ?path ?(fsync = false) ?(max_entries = default_max_entries) () =
+  if max_entries < 1 then
+    invalid_arg "Cache.create: max_entries must be >= 1";
   let journal = Option.map (fun p -> Journal.load_or_create ~fsync p) path in
-  let tbl = Hashtbl.create 256 in
+  let t =
+    {
+      mutex = Mutex.create ();
+      tbl = Hashtbl.create 256;
+      max_entries;
+      journal;
+      head = None;
+      tail = None;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      store_errors = 0;
+    }
+  in
+  (* File order is oldest-first, so inserting in order and evicting as
+     the cap is passed leaves exactly the newest [max_entries] resident
+     — the journal keeps the rest on disk for the next incarnation. *)
   Option.iter
     (fun j ->
-      List.iter (fun (key, payload) -> Hashtbl.replace tbl key payload)
+      List.iter
+        (fun (key, payload) -> insert t ~key ~payload)
         (Journal.entries j))
     journal;
-  { mutex = Mutex.create (); tbl; journal; hits = 0; misses = 0 }
+  t
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -25,10 +102,11 @@ let locked t f =
 let find t ~key =
   locked t @@ fun () ->
   match Hashtbl.find_opt t.tbl key with
-  | Some payload ->
+  | Some n ->
+    touch t n;
     t.hits <- t.hits + 1;
     if Obs.on () then Obs.count "serve_cache_hits";
-    Some payload
+    Some n.payload
   | None ->
     t.misses <- t.misses + 1;
     if Obs.on () then Obs.count "serve_cache_misses";
@@ -37,14 +115,30 @@ let find t ~key =
 let store t ~key ~payload =
   locked t @@ fun () ->
   if not (Hashtbl.mem t.tbl key) then begin
-    Hashtbl.replace t.tbl key payload;
-    Option.iter (fun j -> Journal.record j ~id:key ~payload) t.journal;
-    if Obs.on () then Obs.gauge_set "serve_cache_entries" (Hashtbl.length t.tbl)
+    insert t ~key ~payload;
+    (* The memory entry stands whatever happens to the journal: a full
+       disk or an injected fault must not cost the daemon its warm
+       cache, only the persistence of this one answer. A key evicted
+       and later re-solved is already journalled — appending it again
+       would be a duplicate id the next load refuses. *)
+    try
+      Faultpoint.hit "cache.store";
+      Option.iter
+        (fun j ->
+          if not (Journal.completed j key) then
+            Journal.record j ~id:key ~payload)
+        t.journal
+    with _ ->
+      t.store_errors <- t.store_errors + 1;
+      if Obs.on () then Obs.count "serve_cache_store_errors"
   end
 
 let entries t = locked t @@ fun () -> Hashtbl.length t.tbl
 let hits t = locked t @@ fun () -> t.hits
 let misses t = locked t @@ fun () -> t.misses
+let evictions t = locked t @@ fun () -> t.evictions
+let store_errors t = locked t @@ fun () -> t.store_errors
+let max_entries t = t.max_entries
 
 let close t =
   locked t @@ fun () ->

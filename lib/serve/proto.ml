@@ -147,8 +147,15 @@ let frame ~id ~status fields =
 
 let ok_frame ~id fields = frame ~id ~status:"ok" fields
 
-let rejected_frame ~id ~reason =
-  frame ~id ~status:"rejected" [ ("reason", Json.Str reason) ]
+let rejected_frame ~id ?retry_after_ms ~reason () =
+  let fields =
+    ("reason", Json.Str reason)
+    ::
+    (match retry_after_ms with
+     | Some ms -> [ ("retry_after_ms", Json.Num (float_of_int ms)) ]
+     | None -> [])
+  in
+  frame ~id ~status:"rejected" fields
 
 let error_frame ~id msg =
   let fields = [ ("status", Json.Str "error"); ("error", Json.Str msg) ] in

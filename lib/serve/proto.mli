@@ -51,7 +51,13 @@ val decode : string -> (frame, string option * string) result
 (** {2 Response builders} — return one line, without the newline. *)
 
 val error_frame : id:string option -> string -> string
-val rejected_frame : id:string -> reason:string -> string
+
+(** [retry_after_ms]: backpressure hint — how long the client should
+    wait before retrying (overload estimate, or the circuit breaker's
+    remaining cooldown). *)
+val rejected_frame :
+  id:string -> ?retry_after_ms:int -> reason:string -> unit -> string
+
 val ok_frame : id:string -> (string * Json.t) list -> string
 (** [ok_frame ~id fields] — [{"id":.., "status":"ok", fields...}]. *)
 

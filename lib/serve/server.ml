@@ -12,6 +12,9 @@ type config = {
   max_frame_bytes : int;
   drain_grace_ms : float;
   quiet : bool;
+  cache_max : int;
+  write_timeout_ms : float;
+  max_buffer_bytes : int;
 }
 
 let default_config listen =
@@ -25,6 +28,9 @@ let default_config listen =
     max_frame_bytes = 4 * 1024 * 1024;
     drain_grace_ms = 10_000.0;
     quiet = false;
+    cache_max = Cache.default_max_entries;
+    write_timeout_ms = 5_000.0;
+    max_buffer_bytes = 1024 * 1024;
   }
 
 (* ---------------- the shedding ladder ---------------- *)
@@ -89,9 +95,20 @@ let jstrategy s =
 
 (* ---------------- state ---------------- *)
 
+(* Each connection owns a dedicated writer systhread draining a
+   bounded output buffer: solver lanes and connection readers only ever
+   append bytes under the mutex (never touching the socket), so a
+   stalled or slow client can pin nothing but its own writer — and that
+   writer enforces a per-chunk deadline, after which the client is
+   declared dead and disconnected. Overflowing the buffer (a client
+   reading slower than it asks questions) kills the connection the same
+   way: backpressure, not unbounded memory. *)
 type conn = {
   fd : Unix.file_descr;
   wmutex : Mutex.t;
+  wcond : Condition.t;  (* writer wakeup: bytes queued, or shutdown *)
+  wbuf : Buffer.t;
+  mutable wclosed : bool;  (* no more appends; writer exits once dry *)
   mutable alive : bool;
   pending : int Atomic.t;  (** admitted jobs not yet answered *)
 }
@@ -134,7 +151,24 @@ type state = {
   requests : int Atomic.t;
   shed : int Atomic.t;
   cache : Cache.t;
+  (* Circuit breaker, one rung below the shedding ladder: when even
+     Fast-rung shedding is rejecting at a sustained rate (the queue is
+     pinned at capacity), admission stops touching the queue lock at
+     all for a cooldown window and rejects instantly with a
+     [retry_after_ms] hint — the cheapest possible "come back later". *)
+  breaker_until : float Atomic.t;  (* epoch s; 0 = closed *)
+  breaker_window_start : float Atomic.t;
+  breaker_window_sheds : int Atomic.t;
+  exec_ms_ewma : float Atomic.t;  (* retry-after estimator *)
 }
+
+let breaker_window_s = 1.0
+let breaker_cooldown_ms = 500.0
+
+(* Sheds per window that trip the breaker: at least one full queue's
+   worth, so a brief burst against a small queue does not slam the
+   door. *)
+let breaker_threshold capacity = max 8 capacity
 
 type handle = {
   st : state;
@@ -145,32 +179,96 @@ type handle = {
 
 (* ---------------- socket plumbing ---------------- *)
 
-let write_all fd s =
+exception Write_stalled
+
+(* Write with a deadline per [select]: a peer that stops reading makes
+   the socket unwritable, [select] times out, and the caller declares
+   the client dead — no systhread is ever pinned by a stalled socket.
+   The injected [serve.write] fault is a transient (absorbed, chunk
+   retried); the delay point models a slow kernel buffer. *)
+let write_all_deadline fd s ~timeout_s =
   let n = String.length s in
   let rec go off =
-    if off < n then
-      match Unix.write_substring fd s off (n - off) with
-      | w -> go (off + w)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    if off < n then begin
+      Faultpoint.delay "serve.write.delay";
+      match Faultpoint.hit "serve.write" with
+      | exception Faultpoint.Injected _ -> go off
+      | () -> (
+        match Unix.select [] [ fd ] [] timeout_s with
+        | _, [], _ -> raise Write_stalled
+        | _ -> (
+          match Unix.write_substring fd s off (n - off) with
+          | w -> go (off + w)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off)
+    end
   in
   go 0
 
-(* One line per response, written atomically w.r.t. other responses on
+(* Best-effort blocking write for pre-connection rejects (no [conn]
+   exists yet); still deadline-bounded so an accept-time abuser cannot
+   stall the accept loop's helper. *)
+let write_all fd s = write_all_deadline fd s ~timeout_s:1.0
+
+(* One line per response, appended atomically w.r.t. other responses on
    the same connection: workers complete out of order, so pipelined
-   responses interleave only at line granularity. A dead peer flips
-   [alive] instead of raising — response loss to a vanished client is
-   not an error. *)
-let conn_send conn line =
+   responses interleave only at line granularity. A dead peer (or a
+   full buffer) flips [alive] instead of raising — response loss to a
+   vanished or hopelessly slow client is not an error. *)
+let conn_send ?(max_buffer = max_int) conn line =
   Mutex.lock conn.wmutex;
-  (if conn.alive then
-     try write_all conn.fd (line ^ "\n") with
-     | Unix.Unix_error _ | Sys_error _ -> conn.alive <- false);
+  (if conn.alive && not conn.wclosed then begin
+     if Buffer.length conn.wbuf + String.length line + 1 > max_buffer then begin
+       conn.alive <- false;
+       if Obs.on () then Obs.count "serve_write_overflow"
+     end
+     else begin
+       Buffer.add_string conn.wbuf line;
+       Buffer.add_char conn.wbuf '\n'
+     end;
+     Condition.signal conn.wcond
+   end);
   Mutex.unlock conn.wmutex
 
+(* The per-connection writer: sleeps until bytes are queued, drains
+   them outside the lock under the write deadline. Exits when the
+   connection is shut down ([wclosed]) and the buffer is dry, or the
+   moment the peer is declared dead. *)
+let writer_loop cfg conn =
+  let timeout_s = cfg.write_timeout_ms /. 1000.0 in
+  let rec loop () =
+    Mutex.lock conn.wmutex;
+    while Buffer.length conn.wbuf = 0 && conn.alive && not conn.wclosed do
+      Condition.wait conn.wcond conn.wmutex
+    done;
+    if Buffer.length conn.wbuf = 0 || not conn.alive then
+      Mutex.unlock conn.wmutex (* done: shutdown drained, or peer dead *)
+    else begin
+      let chunk = Buffer.contents conn.wbuf in
+      Buffer.clear conn.wbuf;
+      Mutex.unlock conn.wmutex;
+      (match write_all_deadline conn.fd chunk ~timeout_s with
+       | () -> ()
+       | exception Write_stalled ->
+         Mutex.lock conn.wmutex;
+         conn.alive <- false;
+         Mutex.unlock conn.wmutex;
+         if Obs.on () then Obs.count "serve_write_timeouts";
+         (* unblock the reader too: the connection is over *)
+         (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ())
+       | exception (Unix.Unix_error _ | Sys_error _) ->
+         Mutex.lock conn.wmutex;
+         conn.alive <- false;
+         Mutex.unlock conn.wmutex);
+      loop ()
+    end
+  in
+  loop ()
+
 let respond st conn line ~status =
-  ignore st;
   if Obs.on () then Obs.count ("serve_responses_" ^ status);
-  conn_send conn line
+  conn_send ~max_buffer:st.cfg.max_buffer_bytes conn line
 
 (* ---------------- drain ---------------- *)
 
@@ -183,21 +281,71 @@ let initiate_drain st =
 
 (* ---------------- admission control ---------------- *)
 
+(* How long a rejected client should back off: roughly the time for the
+   current queue to drain through the workers, from the execution-time
+   EWMA. Clamped — never 0 (that invites an instant retry storm), never
+   more than 10 s. *)
+let retry_after_hint st ~depth =
+  let ewma = Atomic.get st.exec_ms_ewma in
+  let per_job = if ewma > 0.0 then ewma else 10.0 in
+  let est = float_of_int (max depth 1) *. per_job
+            /. float_of_int st.cfg.domains in
+  int_of_float (Float.min 10_000.0 (Float.max 1.0 est))
+
+(* One shed: slide the 1 s window, and trip the breaker when the rate
+   within it crosses the threshold. Racy counts under concurrent sheds
+   only make the trip a request or two late — the breaker is a relief
+   valve, not an invariant. *)
+let note_shed st =
+  Atomic.incr st.shed;
+  if Obs.on () then Obs.count "serve_shed_total";
+  let now = Obs.now () in
+  if now -. Atomic.get st.breaker_window_start > breaker_window_s then begin
+    Atomic.set st.breaker_window_start now;
+    Atomic.set st.breaker_window_sheds 1
+  end
+  else if
+    Atomic.fetch_and_add st.breaker_window_sheds 1 + 1
+    >= breaker_threshold st.cfg.capacity
+    && Atomic.get st.breaker_until < now
+  then begin
+    Atomic.set st.breaker_until (now +. (breaker_cooldown_ms /. 1000.0));
+    Atomic.set st.breaker_window_sheds 0;
+    if Obs.on () then Obs.count "serve_breaker_opens"
+  end
+
+let breaker_open_ms st =
+  let rem = Atomic.get st.breaker_until -. Obs.now () in
+  if rem > 0.0 then Some (int_of_float (Float.ceil (rem *. 1000.0)))
+  else None
+
 let admit st conn ~id work =
+  match breaker_open_ms st with
+  | Some retry_after_ms ->
+    (* Open breaker: reject without taking any lock. *)
+    Atomic.incr st.shed;
+    if Obs.on () then begin
+      Obs.count "serve_shed_total";
+      Obs.count "serve_breaker_rejects"
+    end;
+    respond st conn ~status:"rejected"
+      (Proto.rejected_frame ~id ~retry_after_ms ~reason:"overload" ())
+  | None ->
   Mutex.lock st.qmutex;
   if Atomic.get st.stopping then begin
     Mutex.unlock st.qmutex;
     respond st conn ~status:"rejected"
-      (Proto.rejected_frame ~id ~reason:"draining")
+      (Proto.rejected_frame ~id ~reason:"draining" ())
   end
   else begin
     let depth = Queue.length st.queue in
     if depth >= st.cfg.capacity then begin
       Mutex.unlock st.qmutex;
-      Atomic.incr st.shed;
-      if Obs.on () then Obs.count "serve_shed_total";
+      note_shed st;
       respond st conn ~status:"rejected"
-        (Proto.rejected_frame ~id ~reason:"overload")
+        (Proto.rejected_frame ~id
+           ~retry_after_ms:(retry_after_hint st ~depth)
+           ~reason:"overload" ())
     end
     else begin
       let ladder = ladder_of_depth ~capacity:st.cfg.capacity depth in
@@ -244,12 +392,21 @@ let outcome_fields spec (o : Solver.outcome) =
     ("exact", jbool o.Solver.exact);
   ]
 
+(* Feed the retry-after estimator. A plain [Atomic.set] race loses at
+   most one sample of a smoothed hint. *)
+let note_exec_ms st elapsed_ms =
+  let prev = Atomic.get st.exec_ms_ewma in
+  Atomic.set st.exec_ms_ewma
+    (if prev <= 0.0 then elapsed_ms
+     else (0.9 *. prev) +. (0.1 *. elapsed_ms))
+
 let execute_solve st job ~inst ~objective ~spec ~chain ~budget_ms ~ckey =
   let start_s = Obs.now () in
   let queue_ms = (start_s -. job.admitted_s) *. 1000.0 in
   let runner_path = budget_ms <> None || chain <> None in
   let finish ~status ?reason core =
     let elapsed_ms = (Obs.now () -. start_s) *. 1000.0 in
+    note_exec_ms st elapsed_ms;
     if Obs.on () then begin
       Obs.observe ~buckets:Obs.latency_ms_buckets "serve_queue_ms" queue_ms;
       Obs.observe ~buckets:Obs.latency_ms_buckets "serve_exec_ms" elapsed_ms
@@ -369,6 +526,7 @@ let execute_sim st job ~build ~scenario ~seed ~replicas =
         s.Cellsim.Replicate.per_scheme
   in
   let elapsed_ms = (Obs.now () -. start_s) *. 1000.0 in
+  note_exec_ms st elapsed_ms;
   respond st job.conn ~status:"ok"
     (compose
        [
@@ -414,10 +572,17 @@ let execute st job =
           (Proto.error_frame ~id:(Some job.id)
              ("internal: " ^ Printexc.to_string e)))
 
-(* Runs as an [Exec.Pool] task: one lane per domain. Exits only when
-   draining AND the queue is empty — every admitted request is
-   answered before the pool unwinds. *)
+(* Runs as an [Exec.Pool] task: one lane per domain (plus queued
+   spares, below). Exits only when draining AND the queue is empty —
+   every admitted request is answered before the pool unwinds.
+
+   The [serve.lane.crash] seam fires {e between} jobs, before one is
+   taken: a lane death never swallows an admitted request's response —
+   it costs a domain, which the pool respawns, and the replacement
+   picks up a spare lane task. *)
 let rec worker_loop st =
+  (try Faultpoint.hit "serve.lane.crash"
+   with Faultpoint.Injected _ as e -> raise (Exec.Pool.Killed e));
   Mutex.lock st.qmutex;
   while Queue.is_empty st.queue && not (Atomic.get st.stopping) do
     Condition.wait st.qnonempty st.qmutex
@@ -526,6 +691,9 @@ let health_response st ~id =
       ("cache_entries", string_of_int (Cache.entries st.cache));
       ("cache_hits", string_of_int (Cache.hits st.cache));
       ("cache_misses", string_of_int (Cache.misses st.cache));
+      ("cache_evictions", string_of_int (Cache.evictions st.cache));
+      ("breaker_open", jbool (breaker_open_ms st <> None));
+      ("pool_respawns", string_of_int (Exec.Pool.total_respawns ()));
     ]
 
 let handle_frame st conn line =
@@ -603,13 +771,18 @@ let read_loop st conn =
     end
   in
   let rec pump () =
-    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    Faultpoint.delay "serve.read.delay";
+    match
+      Faultpoint.hit "serve.read";
+      Unix.read conn.fd chunk 0 (Bytes.length chunk)
+    with
     | 0 -> ()
     | n ->
       for i = 0 to n - 1 do
         feed (Bytes.get chunk i)
       done;
       pump ()
+    | exception Faultpoint.Injected _ -> pump () (* transient: retry *)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ()
     | exception Unix.Unix_error _ -> ()
     | exception Sys_error _ -> ()
@@ -618,17 +791,32 @@ let read_loop st conn =
 
 let conn_main st fd =
   let conn =
-    { fd; wmutex = Mutex.create (); alive = true; pending = Atomic.make 0 }
+    {
+      fd;
+      wmutex = Mutex.create ();
+      wcond = Condition.create ();
+      wbuf = Buffer.create 4096;
+      wclosed = false;
+      alive = true;
+      pending = Atomic.make 0;
+    }
   in
+  let writer = Thread.create (writer_loop st.cfg) conn in
   if Obs.on () then Obs.gauge_set "serve_connections" (Atomic.get st.connections);
   Fun.protect
     ~finally:(fun () ->
       (* EOF with responses still in flight: linger until the workers
-         have answered (or a generous bound passes) before closing. *)
+         have answered (or a generous bound passes), then let the
+         writer drain what they queued before closing the socket. *)
       let deadline = Obs.now () +. 60.0 in
       while Atomic.get conn.pending > 0 && Obs.now () < deadline do
         Thread.delay 0.005
       done;
+      Mutex.lock conn.wmutex;
+      conn.wclosed <- true;
+      Condition.signal conn.wcond;
+      Mutex.unlock conn.wmutex;
+      Thread.join writer;
       Mutex.lock conn.wmutex;
       conn.alive <- false;
       Mutex.unlock conn.wmutex;
@@ -675,11 +863,18 @@ let accept_loop st lfd =
       (match Unix.select [ lfd ] [] [] 0.1 with
        | [], _, _ -> ()
        | _ ->
-         (match Unix.accept ~cloexec:true lfd with
+         (match
+            Faultpoint.hit "serve.accept";
+            Unix.accept ~cloexec:true lfd
+          with
+          | exception Faultpoint.Injected _ -> () (* transient: retry *)
           | fd, _ ->
-            if Atomic.get st.stopping then
-              (try Unix.close fd with Unix.Unix_error _ -> ())
-            else if Atomic.get st.connections >= st.cfg.max_connections then begin
+            (* A connection the kernel completed just before the drain
+               flag was observed raced the drain fairly: closing it here
+               would RST a client mid-burst (its unread request bytes
+               turn close into a reset). Serve it — admission answers
+               every submission with a terminal "draining" reject. *)
+            if Atomic.get st.connections >= st.cfg.max_connections then begin
               (try
                  write_all fd
                    (Proto.error_frame ~id:None "too many connections" ^ "\n")
@@ -702,6 +897,31 @@ let accept_loop st lfd =
     end
   in
   go ();
+  (* Final sweep: connections already completed by the listen backlog
+     when the drain landed would be RST by closing [lfd] under them.
+     Accept and serve each one — their submissions reject terminally. *)
+  let rec sweep () =
+    match Unix.select [ lfd ] [] [] 0.0 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept ~cloexec:true lfd with
+      | fd, _ ->
+        (if Atomic.get st.connections >= st.cfg.max_connections then begin
+           (try
+              write_all fd
+                (Proto.error_frame ~id:None "too many connections" ^ "\n")
+            with Unix.Unix_error _ | Sys_error _ -> ());
+           try Unix.close fd with Unix.Unix_error _ -> ()
+         end
+         else begin
+           Atomic.incr st.connections;
+           ignore (Thread.create (conn_main st) fd)
+         end);
+        sweep ()
+      | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  sweep ();
   (try Unix.close lfd with Unix.Unix_error _ -> ());
   match st.cfg.listen with
   | Unix_path p -> (try Unix.unlink p with Unix.Unix_error _ -> ())
@@ -717,13 +937,22 @@ let validate cfg =
   if cfg.max_frame_bytes < 1024 then
     invalid_arg "serve: max_frame_bytes must be >= 1024";
   if not (Float.is_finite cfg.drain_grace_ms) || cfg.drain_grace_ms <= 0.0 then
-    invalid_arg "serve: drain_grace_ms must be positive"
+    invalid_arg "serve: drain_grace_ms must be positive";
+  if cfg.cache_max < 1 then invalid_arg "serve: cache_max must be >= 1";
+  if
+    not (Float.is_finite cfg.write_timeout_ms) || cfg.write_timeout_ms <= 0.0
+  then invalid_arg "serve: write_timeout_ms must be positive";
+  if cfg.max_buffer_bytes < 4096 then
+    invalid_arg "serve: max_buffer_bytes must be >= 4096"
 
 let start cfg =
   validate cfg;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Obs.Metrics.set_enabled Obs.Metrics.default true;
-  let cache = Cache.create ?path:cfg.cache_path ~fsync:cfg.cache_fsync () in
+  let cache =
+    Cache.create ?path:cfg.cache_path ~fsync:cfg.cache_fsync
+      ~max_entries:cfg.cache_max ()
+  in
   let lfd = bind_listen cfg in
   let bound = Unix.getsockname lfd in
   let st =
@@ -741,6 +970,10 @@ let start cfg =
       requests = Atomic.make 0;
       shed = Atomic.make 0;
       cache;
+      breaker_until = Atomic.make 0.0;
+      breaker_window_start = Atomic.make 0.0;
+      breaker_window_sheds = Atomic.make 0;
+      exec_ms_ewma = Atomic.make 0.0;
     }
   in
   (* The worker lanes live on an [Exec.Pool]: [map] runs one blocking
@@ -760,10 +993,22 @@ let start cfg =
           Domain.spawn (fun () ->
               try
                 Exec.Pool.with_pool ~domains:cfg.domains (fun pool ->
+                    (* More lane tasks than domains: the surplus sits
+                       in the pool queue as {e spares}. A lane that
+                       crashes (chaos seam, solver domain death) fails
+                       only its task; the respawned domain dequeues a
+                       spare and service is restored at full width. At
+                       drain, unused spares run once into the
+                       stopping-and-empty exit, so the map always
+                       completes. [run_all], not [map]: crashed lanes
+                       are expected under chaos and must not raise. *)
+                    let lanes =
+                      cfg.domains + max 16 (4 * cfg.domains)
+                    in
                     ignore
-                      (Exec.Pool.map pool
+                      (Exec.Pool.run_all pool
                          (fun _ -> worker_loop st)
-                         (Array.init cfg.domains Fun.id)))
+                         (Array.init lanes Fun.id)))
               with _ -> ())
         in
         Domain.join launcher;

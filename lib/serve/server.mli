@@ -11,8 +11,19 @@
     - {b Admission control + backpressure}: the queue holds at most
       [capacity] requests. A request arriving at a full queue is shed
       with [rejected:overload] {e immediately} from the connection
-      thread — overload degrades quality, then availability, never
-      latency-to-verdict.
+      thread, carrying a [retry_after_ms] hint sized to the queue's
+      estimated drain time — overload degrades quality, then
+      availability, never latency-to-verdict. Sustained shedding trips
+      a {b circuit breaker}: for a short cooldown, admission rejects
+      without touching the queue lock at all, and the hint is the
+      breaker's remaining cooldown.
+    - {b Client hardening} (DESIGN §11): every connection has a
+      dedicated writer systhread draining a bounded output buffer
+      under a per-chunk write deadline, so a stalled or slow-reading
+      client is disconnected instead of pinning a worker or growing
+      memory; worker lanes are [Exec.Pool] tasks with queued spares,
+      so an injected or real lane death ([serve.lane.crash]) costs a
+      respawned domain, never an admitted request's response.
     - {b Graceful degradation}: between 50% and 75% queue occupancy the
       fallback chain of an admitted request is filtered to its anytime
       + always-fast stages ([heuristic] rung); above 75% to the
@@ -53,10 +64,18 @@ type config = {
   max_frame_bytes : int;  (** oversized frames are answered and dropped *)
   drain_grace_ms : float;  (** drain must finish within this window *)
   quiet : bool;
+  cache_max : int;  (** LRU cap on the result cache, >= 1 *)
+  write_timeout_ms : float;
+      (** per-chunk socket-write deadline; a client that stalls longer
+          is disconnected *)
+  max_buffer_bytes : int;
+      (** per-connection output buffer bound, >= 4096; overflow kills
+          the connection (backpressure, not unbounded memory) *)
 }
 
 (** Defaults: domains 1, capacity 64, 256 connections, no cache file,
-    4 MiB frames, 10 s grace, not quiet. *)
+    4 MiB frames, 10 s grace, not quiet, 65536 cache entries, 5 s write
+    timeout, 1 MiB output buffer. *)
 val default_config : listen -> config
 
 (** The shedding ladder, from healthy to overloaded. *)

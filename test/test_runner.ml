@@ -360,7 +360,10 @@ let test_journal_truncates_partial_line () =
   check bool_t "c must be redone" false (Journal.completed j "c");
   Journal.record j ~id:"c" ~payload:"3";
   Journal.close j;
-  check string_t "file repaired byte-exactly" "a\t1\nb\t2\nc\t3\n"
+  (* Legacy lines survive verbatim; the repair appends in the
+     checksummed format. *)
+  check string_t "file repaired byte-exactly"
+    "a\t1\nb\t2\nc\t3\tcrc:dbc27634\n"
     (read_file path);
   Sys.remove path
 
@@ -374,7 +377,8 @@ let test_journal_fsync_torn_tail () =
   Journal.record j ~id:"a" ~payload:"1";
   Journal.record j ~id:"b" ~payload:"2";
   Journal.close j;
-  check string_t "fsync writes the plain format" "a\t1\nb\t2\n"
+  check string_t "fsync writes the checksummed format"
+    "a\t1\tcrc:3648c376\nb\t2\tcrc:ad072c95\n"
     (read_file path);
   let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
   output_string oc "c\ttorn-by-pow";
@@ -385,7 +389,9 @@ let test_journal_fsync_torn_tail () =
     (Journal.entries j2 = [ ("a", "1"); ("b", "2") ]);
   Journal.record j2 ~id:"c" ~payload:"3";
   Journal.close j2;
-  check string_t "repaired byte-exactly" "a\t1\nb\t2\nc\t3\n" (read_file path);
+  check string_t "repaired byte-exactly"
+    "a\t1\tcrc:3648c376\nb\t2\tcrc:ad072c95\nc\t3\tcrc:dbc27634\n"
+    (read_file path);
   Sys.remove path
 
 let test_journal_rejects_bad_input () =

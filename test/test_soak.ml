@@ -211,14 +211,27 @@ let test_soak_corners () =
         (ok / degraded / rejected — never silence, never a duplicate);
      2. a drain requested mid-burst still completes within grace;
      3. no leaked domains once the daemon stops. *)
-let test_soak_serve () =
+let run_serve_burst ~chaos () =
   let before = Exec.Pool.active_domains () in
   let capacity = 8 in
+  (* Chaos leg: every faultpoint armed at once, double the burst, cache
+     journalling on so the journal/cache points actually probe. *)
+  let n_mult = if chaos then 8 else 4 in
+  let cache_path =
+    if chaos then begin
+      let p = Filename.temp_file "confcall_soak" ".cache" in
+      Sys.remove p;
+      Some p
+    end
+    else None
+  in
   let cfg =
     {
       (Serve.Server.default_config (Serve.Server.Tcp 0)) with
       domains = 2;
       capacity;
+      cache_path;
+      cache_fsync = chaos;
       drain_grace_ms = 30_000.0;
       quiet = true;
     }
@@ -236,7 +249,7 @@ let test_soak_serve () =
     go 0
   in
   let rng = Prob.Rng.create ~seed:0x50AC in
-  let n = 4 * capacity in
+  let n = n_mult * capacity in
   let burst () =
     for i = 1 to n do
       let gen_name, gen =
@@ -259,7 +272,7 @@ let test_soak_serve () =
                 ("instance", Serve.Json.Str (Instance.to_string inst));
                 ("chain", Serve.Json.Str "default");
                 ("budget_ms", Serve.Json.Num budget_ms);
-                ("cache", Serve.Json.Bool false);
+                ("cache", Serve.Json.Bool chaos);
               ]))
     done
   in
@@ -316,12 +329,38 @@ let test_soak_serve () =
       (Hashtbl.find_opt seen id = Some 1);
     match Hashtbl.find_opt statuses id with
     | Some ("ok" | "degraded" | "rejected") -> ()
+    (* Under chaos an injected fault may legitimately surface as an
+       error frame — still exactly one, still terminal. *)
+    | Some "error" when chaos -> ()
     | st ->
       Alcotest.failf "%s: non-terminal status %s" id
         (Option.value st ~default:"<none>")
   done;
+  Option.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) cache_path;
   check bool_t "no leaked domains after serve soak" true
     (Exec.Pool.active_domains () = before)
+
+let test_soak_serve () = run_serve_burst ~chaos:false ()
+
+(* The ISSUE-7 chaos gate: every catalogued faultpoint armed at once
+   (CHAOS_SEED selects the draw sequence; CI runs a small seed matrix),
+   double the burst of the clean leg, result cache journalled with
+   fsync so the journal points probe. Invariants are the clean leg's —
+   exactly one terminal response per request, drain within grace, zero
+   leaked domains — plus: the seam actually fired, and disabling it
+   restores the clean path. *)
+let test_soak_serve_chaos () =
+  let seed =
+    match Option.bind (Sys.getenv_opt "CHAOS_SEED") int_of_string_opt with
+    | Some s -> s
+    | None -> 1
+  in
+  Faultpoint.configure_exn ~seed "*=0.05";
+  Fun.protect ~finally:Faultpoint.disable (fun () ->
+      run_serve_burst ~chaos:true ();
+      check bool_t "chaos seam fired at least once" true
+        (Faultpoint.total_fired () > 0));
+  check bool_t "seam off after chaos leg" false (Faultpoint.on ())
 
 let () =
   Alcotest.run "soak"
@@ -337,5 +376,7 @@ let () =
         [
           Alcotest.test_case "overload burst, drain mid-flight" `Quick
             test_soak_serve;
+          Alcotest.test_case "chaos burst: every faultpoint armed" `Quick
+            test_soak_serve_chaos;
         ] );
     ]
