@@ -2202,6 +2202,246 @@ let e28 () =
        all_terminal base_drained fault_drained lane_crashes respawns healed
        p99_fault p99_gate p99_base p99_bounded)
 
+(* ------------------------------------------------------------------ *)
+(* E29: replica failover — kill one of two daemons under resilient load *)
+(* ------------------------------------------------------------------ *)
+
+let e29 () =
+  header ~id:"e29" ~title:"resilient client: replica loss under load"
+    ~claim:
+      "a retrying, failover-capable client driving two serve replicas \
+       brings >= 99% of requests to a terminal answer even when one \
+       replica is SIGKILLed mid-run, never makes a replica execute the \
+       same request_id twice (per-replica request-log audit), and keeps \
+       the failover leg's accepted p99 within +500 ms of the \
+       two-replica baseline";
+  let module Runner = Confcall.Runner in
+  let module Instance = Confcall.Instance in
+  let module Journal = Confcall.Journal in
+  let domains = 2 in
+  let capacity = 16 in
+  let budget_ms = 20.0 in
+  (* Real processes this time: SIGKILL on an in-process server is not a
+     thing, so each replica is the actual CLI daemon as a subprocess. *)
+  let cli =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      "../bin/confcall_cli.exe"
+  in
+  if not (Sys.file_exists cli) then
+    failwith ("e29: daemon binary not built: " ^ cli ^ " (run dune build)");
+  (* Same calibration recipe as e27/e28, scaled to the pair: nominal is
+     what the two replicas sustain together. The legs run at 0.6x of
+     that so the survivor of the kill leg lands at ~1.2x of its own
+     capacity — stressed into admission control, not collapsed. *)
+  let rng = Prob.Rng.create ~seed:2901 in
+  let probes = 12 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to probes do
+    let inst = Instance.random_zipf rng ~s:1.1 ~m:3 ~c:12 ~d:2 in
+    ignore (Runner.run ~budget_ms ~chain:Runner.default_chain inst)
+  done;
+  let mean_s =
+    Float.max ((Unix.gettimeofday () -. t0) /. float_of_int probes) 1e-4
+  in
+  let nominal = float_of_int (2 * domains) /. mean_s in
+  let rate = 0.6 *. nominal in
+  let requests =
+    int_of_float (Float.min 400.0 (Float.max 100.0 (rate *. 2.5)))
+  in
+  let expected_s = float_of_int requests /. rate in
+  Printf.printf
+    "calibration: %.2f ms/request -> pair nominal %.0f req/s; legs at \
+     0.6x (%.0f req/s, %d requests, ~%.1f s)\n\n"
+    (mean_s *. 1000.0) nominal rate requests expected_s;
+  let spawn ~sock ~reqlog =
+    (try Sys.remove sock with Sys_error _ -> ());
+    (try Sys.remove reqlog with Sys_error _ -> ());
+    let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+    let pid =
+      Unix.create_process cli
+        [|
+          cli; "serve"; "--socket"; sock;
+          "--domains"; string_of_int domains;
+          "--capacity"; string_of_int capacity;
+          "--request-log"; reqlog; "--quiet";
+        |]
+        null null null
+    in
+    Unix.close null;
+    pid
+  in
+  let wait_ready sock =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec go () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let up =
+        try
+          Unix.connect fd (Unix.ADDR_UNIX sock);
+          true
+        with Unix.Unix_error _ -> false
+      in
+      Unix.close fd;
+      if up then ()
+      else if Unix.gettimeofday () >= deadline then
+        failwith ("e29: daemon not ready: " ^ sock)
+      else begin
+        Thread.delay 0.05;
+        go ()
+      end
+    in
+    go ()
+  in
+  let reap pid =
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    let deadline = Unix.gettimeofday () +. 15.0 in
+    let rec go () =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+        if Unix.gettimeofday () >= deadline then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid)
+        end
+        else begin
+          Thread.delay 0.05;
+          go ()
+        end
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    in
+    go ()
+  in
+  (* The audit: [Journal.read_back] raises on a duplicate id, and a
+     duplicate id in a replica's request log IS a duplicate execution —
+     the very thing idempotency promises away. Re-execution on the
+     OTHER replica after a failover is legitimate (at-most-once is per
+     replica) and shows up as the same id across the two logs. *)
+  let audit reqlog =
+    match Journal.read_back reqlog with
+    | entries -> (List.length entries, false)
+    | exception Invalid_argument _ -> (0, true)
+  in
+  let run_leg ~label ~kill_after ~hedge =
+    let sock_a = Filename.temp_file "confcall_e29a" ".sock" in
+    let sock_b = Filename.temp_file "confcall_e29b" ".sock" in
+    let log_a = Filename.temp_file "confcall_e29a" ".reqlog" in
+    let log_b = Filename.temp_file "confcall_e29b" ".reqlog" in
+    let pid_a = spawn ~sock:sock_a ~reqlog:log_a in
+    let pid_b = spawn ~sock:sock_b ~reqlog:log_b in
+    wait_ready sock_a;
+    wait_ready sock_b;
+    let killer =
+      Option.map
+        (fun after_s ->
+          Thread.create
+            (fun () ->
+              Thread.delay after_s;
+              try Unix.kill pid_a Sys.sigkill with Unix.Unix_error _ -> ())
+            ())
+        kill_after
+    in
+    let o =
+      {
+        Serve.Loadgen.default_opts with
+        rate;
+        requests;
+        budget_ms = Some budget_ms;
+        solver = None;
+        chain = Some "default";
+        instances = 32;
+        seed = 2902;
+        timeout_s = 120.0;
+        retries = 3;
+        hedge_after_ms = hedge;
+      }
+    in
+    let s =
+      Serve.Loadgen.run_multi
+        [ Serve.Loadgen.Unix_path sock_a; Serve.Loadgen.Unix_path sock_b ]
+        o
+    in
+    Option.iter Thread.join killer;
+    reap pid_a;
+    reap pid_b;
+    let exec_a, dup_a = audit log_a in
+    let exec_b, dup_b = audit log_b in
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ sock_a; sock_b; log_a; log_b ];
+    let p q = Serve.Loadgen.percentile s.Serve.Loadgen.accepted_ms q in
+    let terminal = s.Serve.Loadgen.sent - s.Serve.Loadgen.unanswered in
+    Printf.printf
+      "%-9s sent %4d  term %4d  ok %4d  degr %3d  err %3d  retr %3d  \
+       failover %3d  hedgewin %3d  p50 %8.2f ms  p99 %8.2f ms  exec \
+       %d+%d%s\n"
+      label s.Serve.Loadgen.sent terminal s.Serve.Loadgen.ok
+      s.Serve.Loadgen.degraded s.Serve.Loadgen.errors
+      s.Serve.Loadgen.retried s.Serve.Loadgen.failed_over
+      s.Serve.Loadgen.hedge_wins (p 50.0) (p 99.0) exec_a exec_b
+      (if dup_a || dup_b then "  DUPLICATE EXECUTION" else "");
+    (s, terminal, p 99.0, exec_a + exec_b, dup_a || dup_b)
+  in
+  let base_s, base_term, p99_base, _, base_dup =
+    run_leg ~label:"baseline" ~kill_after:None ~hedge:None
+  in
+  let kill_s, kill_term, p99_kill, _, kill_dup =
+    run_leg ~label:"killed"
+      ~kill_after:(Some (Float.max 0.3 (0.4 *. expected_s)))
+      ~hedge:None
+  in
+  let hedge_s, hedge_term, p99_hedge, _, hedge_dup =
+    run_leg ~label:"hedged" ~kill_after:None
+      ~hedge:(Some (budget_ms *. 2.0))
+  in
+  print_newline ();
+  let rate_of term s =
+    if s.Serve.Loadgen.sent = 0 then 0.0
+    else float_of_int term /. float_of_int s.Serve.Loadgen.sent
+  in
+  let base_rate = rate_of base_term base_s in
+  let kill_rate = rate_of kill_term kill_s in
+  let hedge_rate = rate_of hedge_term hedge_s in
+  let terminal_ok =
+    base_rate >= 0.99 && kill_rate >= 0.99 && hedge_rate >= 0.99
+  in
+  let no_dups = (not base_dup) && (not kill_dup) && not hedge_dup in
+  (* The kill must actually have exercised the resilience machinery:
+     some request retried or changed replica. *)
+  let failover_seen =
+    kill_s.Serve.Loadgen.failed_over >= 1 || kill_s.Serve.Loadgen.retried >= 1
+  in
+  let p99_gate = p99_base +. 500.0 in
+  let p99_bounded =
+    Array.length kill_s.Serve.Loadgen.accepted_ms = 0 || p99_kill <= p99_gate
+  in
+  record ~id:"e29"
+    ~pass:(terminal_ok && no_dups && failover_seen && p99_bounded)
+    ~metrics:
+      [
+        "pair_nominal_rate", json_num nominal;
+        "rate", json_num rate;
+        "requests", string_of_int requests;
+        "terminal_rate_base", json_num base_rate;
+        "terminal_rate_kill", json_num kill_rate;
+        "terminal_rate_hedge", json_num hedge_rate;
+        "p99_base_ms", json_num p99_base;
+        "p99_kill_ms", json_num p99_kill;
+        "p99_hedge_ms", json_num p99_hedge;
+        "p99_gate_ms", json_num p99_gate;
+        "kill_retried", string_of_int kill_s.Serve.Loadgen.retried;
+        "kill_failed_over", string_of_int kill_s.Serve.Loadgen.failed_over;
+        "hedge_wins", string_of_int hedge_s.Serve.Loadgen.hedge_wins;
+        "duplicate_executions", (if no_dups then "0" else "1");
+      ]
+    (Printf.sprintf
+       "terminal >= 99%%: %b (%.3f/%.3f/%.3f); duplicate executions: %s; \
+        kill leg exercised failover: %b (retried %d, failed over %d); \
+        kill p99 %.2f ms within baseline %.2f + 500 ms: %b"
+       terminal_ok base_rate kill_rate hedge_rate
+       (if no_dups then "none" else "FOUND")
+       failover_seen kill_s.Serve.Loadgen.retried
+       kill_s.Serve.Loadgen.failed_over p99_kill p99_base p99_bounded)
+
 let experiments =
   [
     "e1", e1;
@@ -2232,6 +2472,7 @@ let experiments =
     "e26", e26;
     "e27", e27;
     "e28", e28;
+    "e29", e29;
   ]
 
 let () =

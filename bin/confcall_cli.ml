@@ -1195,7 +1195,8 @@ let socket_arg =
         ~doc:"Listen on (or connect to) a Unix-domain socket at $(docv).")
 
 let serve port socket domains capacity max_connections cache cache_fsync
-    cache_max grace_ms write_timeout_ms chaos chaos_seed quiet =
+    cache_max grace_ms write_timeout_ms request_log dedup_max chaos chaos_seed
+    quiet =
   guard @@ fun () ->
   let listen = listen_of_flags port socket in
   let domains = effective_domains domains in
@@ -1218,6 +1219,8 @@ let serve port socket domains capacity max_connections cache cache_fsync
       cache_max;
       drain_grace_ms = grace_ms;
       write_timeout_ms;
+      request_log;
+      dedup_max;
       quiet;
     }
   in
@@ -1282,6 +1285,21 @@ let serve_cmd =
           ~doc:"Per-chunk socket-write deadline: a client that stalls its \
                 reads longer than $(docv) ms is disconnected.")
   in
+  let request_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "request-log" ] ~docv:"FILE"
+          ~doc:"Append-only journal of executed request_ids (id TAB \
+                status): the exactly-once audit trail for retried or \
+                hedged requests.")
+  in
+  let dedup_max =
+    Arg.(
+      value & opt int 4096
+      & info [ "dedup-max" ] ~docv:"N"
+          ~doc:"Completed idempotency entries kept for replay (LRU).")
+  in
   let chaos =
     Arg.(
       value
@@ -1320,18 +1338,33 @@ let serve_cmd =
     Term.(
       const serve $ port_arg $ socket_arg $ domains_arg $ capacity
       $ max_connections $ cache $ cache_fsync $ cache_max $ grace_ms
-      $ write_timeout_ms $ chaos $ chaos_seed $ quiet)
+      $ write_timeout_ms $ request_log $ dedup_max $ chaos $ chaos_seed
+      $ quiet)
 
 (* ---------------- loadgen ---------------- *)
 
-let loadgen port socket rate requests budget_ms solver chain m c d instances
-    connections seed cache timeout json =
-  guard @@ fun () ->
-  let target =
+(* --endpoints wins over --port/--socket; each entry is PORT, tcp:PORT,
+   unix:PATH or a bare socket path (see {!Client.endpoint_of_string}). *)
+let loadgen_targets endpoints port socket =
+  match endpoints with
+  | Some s -> (
+    match Client.endpoints_of_string s with
+    | Error msg -> invalid_arg ("loadgen: " ^ msg)
+    | Ok eps ->
+      List.map
+        (function
+          | Client.Tcp p -> Serve.Loadgen.Tcp p
+          | Client.Unix_path p -> Serve.Loadgen.Unix_path p)
+        eps)
+  | None -> (
     match listen_of_flags port socket with
-    | Serve.Server.Tcp p -> Serve.Loadgen.Tcp p
-    | Serve.Server.Unix_path p -> Serve.Loadgen.Unix_path p
-  in
+    | Serve.Server.Tcp p -> [ Serve.Loadgen.Tcp p ]
+    | Serve.Server.Unix_path p -> [ Serve.Loadgen.Unix_path p ])
+
+let loadgen port socket endpoints rate requests budget_ms solver chain m c d
+    instances connections seed cache timeout retries hedge_after_ms json =
+  guard @@ fun () ->
+  let targets = loadgen_targets endpoints port socket in
   let opts =
     {
       Serve.Loadgen.rate;
@@ -1347,9 +1380,11 @@ let loadgen port socket rate requests budget_ms solver chain m c d instances
       seed;
       cache;
       timeout_s = timeout;
+      retries;
+      hedge_after_ms;
     }
   in
-  let s = try Serve.Loadgen.run target opts with
+  let s = try Serve.Loadgen.run_multi targets opts with
     | Unix.Unix_error (e, _, _) ->
       invalid_arg
         (Printf.sprintf "loadgen: cannot reach the daemon (%s)"
@@ -1369,6 +1404,10 @@ let loadgen port socket rate requests budget_ms solver chain m c d instances
            "rejected", string_of_int s.Serve.Loadgen.rejected;
            "errors", string_of_int s.Serve.Loadgen.errors;
            "unanswered", string_of_int s.Serve.Loadgen.unanswered;
+           "conn_lost", string_of_int s.Serve.Loadgen.conn_lost;
+           "retried", string_of_int s.Serve.Loadgen.retried;
+           "failed_over", string_of_int s.Serve.Loadgen.failed_over;
+           "hedge_wins", string_of_int s.Serve.Loadgen.hedge_wins;
            "duration_s", Json.num s.Serve.Loadgen.duration_s;
            "throughput", Json.num s.Serve.Loadgen.throughput;
            ( "accepted_ms",
@@ -1392,10 +1431,19 @@ let loadgen port socket rate requests budget_ms solver chain m c d instances
          ])
   else begin
     Printf.printf
-      "sent %d: %d ok, %d degraded, %d rejected, %d errors, %d unanswered\n"
+      "sent %d: %d ok, %d degraded, %d rejected, %d errors, %d unanswered, \
+       %d conn-lost\n"
       s.Serve.Loadgen.sent s.Serve.Loadgen.ok s.Serve.Loadgen.degraded
       s.Serve.Loadgen.rejected s.Serve.Loadgen.errors
-      s.Serve.Loadgen.unanswered;
+      s.Serve.Loadgen.unanswered s.Serve.Loadgen.conn_lost;
+    if
+      s.Serve.Loadgen.retried > 0
+      || s.Serve.Loadgen.failed_over > 0
+      || s.Serve.Loadgen.hedge_wins > 0
+    then
+      Printf.printf "resilience: %d retried, %d failed over, %d hedge wins\n"
+        s.Serve.Loadgen.retried s.Serve.Loadgen.failed_over
+        s.Serve.Loadgen.hedge_wins;
     Printf.printf "throughput: %.1f responses/s over %.2f s\n"
       s.Serve.Loadgen.throughput s.Serve.Loadgen.duration_s;
     let show name a =
@@ -1411,7 +1459,11 @@ let loadgen port socket rate requests budget_ms solver chain m c d instances
       (fun (k, v) -> Printf.printf "ladder %s: %d\n" k v)
       s.Serve.Loadgen.ladder
   end;
-  if s.Serve.Loadgen.unanswered > 0 then exit 3
+  if
+    s.Serve.Loadgen.unanswered > 0
+    || s.Serve.Loadgen.conn_lost > 0
+    || s.Serve.Loadgen.sent < requests
+  then exit 3
 
 let loadgen_cmd =
   let rate =
@@ -1479,13 +1531,232 @@ let loadgen_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
   in
+  let endpoints =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "endpoints" ] ~docv:"LIST"
+          ~doc:"Comma-separated daemon endpoints (PORT, tcp:PORT, \
+                unix:PATH or a socket path). More than one endpoint \
+                switches to the resilient client with health-scored \
+                failover. Wins over --port/--socket.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Per-request retry budget (capped exponential backoff with \
+                decorrelated jitter, honoring server retry_after_ms \
+                hints). Any value > 0 switches to the resilient client, \
+                and requests carry an idempotency request_id.")
+  in
+  let hedge_after_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hedge-after-ms" ] ~docv:"MS"
+          ~doc:"Tail-latency hedging: when no answer arrived within \
+                $(docv) ms, fire the request again at the next-best \
+                endpoint; first terminal answer wins. Implies the \
+                resilient client.")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Drive Poisson load at a running serve daemon")
     Term.(
-      const loadgen $ port_arg $ socket_arg $ rate $ requests $ budget_ms
-      $ solver $ chain $ m $ c $ d $ instances $ connections $ seed $ cache
-      $ timeout $ json)
+      const loadgen $ port_arg $ socket_arg $ endpoints $ rate $ requests
+      $ budget_ms $ solver $ chain $ m $ c $ d $ instances $ connections
+      $ seed $ cache $ timeout $ retries $ hedge_after_ms $ json)
+
+(* ---------------- call ---------------- *)
+
+let call path endpoints port socket retries hedge_after_ms deadline_ms
+    budget_ms solver chain objective no_cache request_id json =
+  guard @@ fun () ->
+  let inst = read_instance path in
+  let eps =
+    match endpoints with
+    | Some s -> (
+      match Client.endpoints_of_string s with
+      | Error msg -> invalid_arg ("call: " ^ msg)
+      | Ok eps -> eps)
+    | None -> (
+      match listen_of_flags port socket with
+      | Serve.Server.Tcp p -> [ Client.Tcp p ]
+      | Serve.Server.Unix_path p -> [ Client.Unix_path p ])
+  in
+  if not (Float.is_finite deadline_ms) || deadline_ms <= 0.0 then
+    invalid_arg "call: --deadline-ms must be positive";
+  let cl =
+    Client.create
+      {
+        endpoints = eps;
+        retry = { Client.Retry.default with max_retries = retries };
+        budget_ms = Some deadline_ms;
+        hedge_after_ms;
+        seed = Unix.getpid ();
+      }
+  in
+  let request_id =
+    match request_id with
+    | Some r -> r
+    | None ->
+      (* fresh per invocation: a re-run of the command is a new request,
+         only in-process retries/hedges share the key *)
+      Printf.sprintf "cli-%d-%.0f" (Unix.getpid ())
+        (Unix.gettimeofday () *. 1e6)
+  in
+  let fields =
+    [
+      ("op", Wire.Json.Str "solve");
+      ("instance", Wire.Json.Str (Instance.to_string inst));
+    ]
+    @ (match solver with Some s -> [ ("solver", Wire.Json.Str s) ] | None -> [])
+    @ (match chain with Some c -> [ ("chain", Wire.Json.Str c) ] | None -> [])
+    @ (match budget_ms with
+       | Some b -> [ ("budget_ms", Wire.Json.Num b) ]
+       | None -> [])
+    @ (match objective with
+       | Some o -> [ ("objective", Wire.Json.Str o) ]
+       | None -> [])
+    @ if no_cache then [ ("cache", Wire.Json.Bool false) ] else []
+  in
+  let result = Client.call cl ~request_id fields in
+  Client.close cl;
+  match result with
+  | Ok (out : Client.call_outcome) ->
+    if json then
+      print_endline
+        (Json.obj
+           [
+             (* the winning response line, embedded verbatim *)
+             "response", out.Client.raw;
+             "endpoint", Json.str (Client.endpoint_to_string out.Client.endpoint);
+             "attempts", string_of_int out.Client.attempts;
+             "retries", string_of_int out.Client.retries;
+             "failovers", string_of_int out.Client.failovers;
+             "hedges", string_of_int out.Client.hedges;
+             "hedge_won", (if out.Client.hedge_won then "true" else "false");
+             "elapsed_ms", Json.num out.Client.elapsed_ms;
+           ])
+    else begin
+      print_endline out.Client.raw;
+      Printf.eprintf
+        "confcall call: %s from %s in %.1f ms (attempts=%d retries=%d \
+         failovers=%d hedges=%d%s)\n\
+         %!"
+        out.Client.response.Wire.Proto.status
+        (Client.endpoint_to_string out.Client.endpoint)
+        out.Client.elapsed_ms out.Client.attempts out.Client.retries
+        out.Client.failovers out.Client.hedges
+        (if out.Client.hedge_won then ", hedge won" else "")
+    end
+  | Error (e : Client.call_error) ->
+    Printf.eprintf
+      "confcall call: %s: %s (attempts=%d retries=%d failovers=%d hedges=%d \
+       elapsed=%.1f ms)\n\
+       %!"
+      (Client.failure_kind_to_string e.Client.kind)
+      e.Client.message e.Client.err_attempts e.Client.err_retries
+      e.Client.err_failovers e.Client.err_hedges e.Client.err_elapsed_ms;
+    exit 1
+
+let call_cmd =
+  let endpoints =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "endpoints" ] ~docv:"LIST"
+          ~doc:"Comma-separated daemon endpoints (PORT, tcp:PORT, \
+                unix:PATH or a socket path), ranked by observed health; \
+                wins over --port/--socket.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry budget: overload/draining rejects and connection \
+                losses retry with capped exponential backoff and \
+                decorrelated jitter, honoring server retry_after_ms \
+                hints.")
+  in
+  let hedge_after_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hedge-after-ms" ] ~docv:"MS"
+          ~doc:"Fire a second attempt at the next-best endpoint when no \
+                answer arrived within $(docv) ms; first terminal answer \
+                wins (server-side idempotency keeps it exactly-once).")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt float 30_000.0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"End-to-end budget across all retries and hedges; on \
+                exhaustion the best-so-far error is reported.")
+  in
+  let solver =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "solver" ] ~docv:"SPEC" ~doc:"Solver spec for the request.")
+  in
+  let chain =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chain" ] ~docv:"CHAIN" ~doc:"Fallback chain for the request.")
+  in
+  let budget_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:"Server-side per-request deadline (budget_ms frame field).")
+  in
+  let objective =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "objective" ] ~docv:"OBJ" ~doc:"all | any | <k>.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Bypass the daemon's result cache.")
+  in
+  let request_id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "request-id" ] ~docv:"ID"
+          ~doc:"Idempotency key (default: fresh per invocation). Reusing \
+                one replays the daemon's memoized terminal response.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:"One-shot resilient solve against one or more daemons"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Sends a single solve request through the resilient client \
+              runtime: deadline-aware retries with capped, jittered \
+              backoff; health-scored failover across --endpoints; and \
+              optional tail-latency hedging. The request carries an \
+              idempotency request_id, so retries and hedges never execute \
+              twice on the same daemon. Exits 0 on an ok or degraded \
+              answer, 1 when no terminal success was obtained, 2 on bad \
+              arguments.";
+         ])
+    Term.(
+      const call $ file_arg $ endpoints $ port_arg $ socket_arg $ retries
+      $ hedge_after_ms $ deadline_ms $ budget_ms $ solver $ chain $ objective
+      $ no_cache $ request_id $ json)
 
 let () =
   let info =
@@ -1506,4 +1777,5 @@ let () =
             hardness_cmd;
             serve_cmd;
             loadgen_cmd;
+            call_cmd;
           ]))

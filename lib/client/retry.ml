@@ -1,0 +1,62 @@
+(* The retry state machine's pure core: delay computation and response
+   classification. Everything timing- and socket-related lives in
+   [Client]; this module is deterministic given the caller's uniform
+   draw, which is what the unit tests pin. *)
+
+type policy = {
+  max_retries : int;  (** retry attempts beyond the first try *)
+  base_ms : float;  (** first backoff, and the jitter floor *)
+  cap_ms : float;  (** computed delays never exceed this *)
+}
+
+let default = { max_retries = 3; base_ms = 10.0; cap_ms = 2_000.0 }
+
+let validate p =
+  if p.max_retries < 0 then invalid_arg "Retry: max_retries must be >= 0";
+  if not (Float.is_finite p.base_ms) || p.base_ms <= 0.0 then
+    invalid_arg "Retry: base_ms must be positive and finite";
+  if not (Float.is_finite p.cap_ms) || p.cap_ms < p.base_ms then
+    invalid_arg "Retry: cap_ms must be >= base_ms"
+
+(* Decorrelated jitter: sleep_{n+1} = min(cap, U(base, 3 * sleep_n)),
+   seeded at sleep_0 = base, with [u] the caller's uniform draw in
+   [0, 1). A server [retry_after_ms] hint acts as a floor that
+   dominates the computed curve — the daemon's estimate of its own
+   queue drain beats any client-side guess — while the jitter on top
+   keeps a burst of synchronized rejects from returning as a
+   synchronized retry storm. *)
+let next_delay_ms p ~u ~prev_ms ~hint_ms =
+  let u = Float.max 0.0 (Float.min 1.0 u) in
+  let prev = Float.max p.base_ms (Float.min p.cap_ms prev_ms) in
+  let hi = Float.min p.cap_ms (3.0 *. prev) in
+  let lo = Float.min p.base_ms hi in
+  let computed = lo +. (u *. (hi -. lo)) in
+  match hint_ms with
+  | Some h when Float.is_finite h && h > 0.0 -> Float.max h computed
+  | _ -> computed
+
+(* What a terminal response frame means for the retry loop. Connection
+   losses never reach this function — they are retryable by
+   construction and classified at the socket layer. Unknown future
+   statuses are treated as fatal: blindly retrying semantics we do not
+   understand is how duplicate side effects happen. *)
+type verdict =
+  | Success
+  | Retryable of { hint_ms : float option; draining : bool }
+  | Fatal of string
+
+let classify (r : Wire.Proto.response) =
+  match r.Wire.Proto.status with
+  | "ok" | "degraded" -> Success
+  | "rejected" ->
+    Retryable
+      {
+        hint_ms = Option.map float_of_int r.Wire.Proto.retry_after_ms;
+        draining = r.Wire.Proto.reason = Some "draining";
+      }
+  | "error" ->
+    Fatal
+      (match r.Wire.Proto.error with
+       | Some e -> e
+       | None -> "server error")
+  | other -> Fatal (Printf.sprintf "unexpected response status %S" other)

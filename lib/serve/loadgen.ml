@@ -16,6 +16,8 @@ type opts = {
   seed : int;
   cache : bool;
   timeout_s : float;
+  retries : int;  (** per-request retry budget; 0 = resilience off *)
+  hedge_after_ms : float option;  (** tail-latency hedge delay *)
 }
 
 let default_opts =
@@ -33,6 +35,8 @@ let default_opts =
     seed = 1;
     cache = false;
     timeout_s = 30.0;
+    retries = 0;
+    hedge_after_ms = None;
   }
 
 type stats = {
@@ -42,6 +46,12 @@ type stats = {
   rejected : int;
   errors : int;
   unanswered : int;
+  conn_lost : int;
+      (** in flight on a connection that died (legacy path); the
+          resilient path retries these instead *)
+  retried : int;  (** requests that retried at least once *)
+  failed_over : int;  (** requests answered after moving endpoints *)
+  hedge_wins : int;  (** requests whose hedge beat the primary *)
   duration_s : float;
   throughput : float;
   accepted_ms : float array;
@@ -64,10 +74,15 @@ let validate o =
   if o.requests < 1 then invalid_arg "loadgen: requests must be >= 1";
   if o.instances < 1 then invalid_arg "loadgen: instances must be >= 1";
   if o.connections < 1 then invalid_arg "loadgen: connections must be >= 1";
-  (match o.budget_ms with
-   | Some b when not (Float.is_finite b) || b <= 0.0 ->
-     invalid_arg "loadgen: budget_ms must be positive"
-   | _ -> ())
+  if o.retries < 0 then invalid_arg "loadgen: retries must be >= 0";
+  (match o.hedge_after_ms with
+   | Some h when not (Float.is_finite h) || h < 0.0 ->
+     invalid_arg "loadgen: hedge_after_ms must be >= 0"
+   | _ -> ());
+  match o.budget_ms with
+  | Some b when not (Float.is_finite b) || b <= 0.0 ->
+    invalid_arg "loadgen: budget_ms must be positive"
+  | _ -> ()
 
 let connect target =
   match target with
@@ -96,61 +111,113 @@ let write_all fd s =
   in
   go 0
 
-(* One record per response, filled in by the receiver threads. *)
-type reply = { status : string; rung : string option; recv_s : float }
+(* Shared between both paths: the workload (instances, arrival gaps)
+   and the request fields. Byte-for-byte the same frames either way —
+   except the resilient path's [id]/[request_id], which the client
+   runtime owns. *)
+type workload = {
+  pool : string array;
+  assignment : int array;
+  gaps : float array;
+}
 
-let run target o =
-  validate o;
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+let make_workload o =
   let rng = Prob.Rng.create ~seed:o.seed in
   let pool =
     Array.init o.instances (fun _ ->
         Instance.to_string
           (Instance.random_zipf rng ~s:1.1 ~m:o.m ~c:o.c ~d:o.d))
   in
-  let assignment = Array.init o.requests (fun _ -> Prob.Rng.int rng o.instances) in
+  let assignment =
+    Array.init o.requests (fun _ -> Prob.Rng.int rng o.instances)
+  in
   let gaps =
     Array.init o.requests (fun i ->
         if i = 0 then 0.0 else Prob.Rng.exponential rng ~rate:o.rate)
   in
+  { pool; assignment; gaps }
+
+let solve_fields o w i =
+  [
+    ("op", Json.Str "solve");
+    ("instance", Json.Str w.pool.(w.assignment.(i)));
+  ]
+  @ (match o.solver with Some s -> [ ("solver", Json.Str s) ] | None -> [])
+  @ (match o.chain with Some c -> [ ("chain", Json.Str c) ] | None -> [])
+  @ (match o.budget_ms with
+     | Some b -> [ ("budget_ms", Json.Num b) ]
+     | None -> [])
+  @ if o.cache then [] else [ ("cache", Json.Bool false) ]
+
+(* One record per response, filled in by the receiver threads. *)
+type reply = { status : string; rung : string option; recv_s : float }
+
+let summarize ~sent ~start_s ~last_s ~conn_lost ~retried ~failed_over
+    ~hedge_wins ~counts =
+  let ok, degraded, rejected, errors, accepted, shed, ladder = counts in
+  let answered_n = ok + degraded + rejected + errors in
+  let duration_s = Float.max (last_s -. start_s) 1e-9 in
+  let sorted l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a
+  in
+  {
+    sent;
+    ok;
+    degraded;
+    rejected;
+    errors;
+    unanswered = sent - answered_n - conn_lost;
+    conn_lost;
+    retried;
+    failed_over;
+    hedge_wins;
+    duration_s;
+    throughput = float_of_int answered_n /. duration_s;
+    accepted_ms = sorted accepted;
+    rejected_ms = sorted shed;
+    ladder =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) ladder []);
+  }
+
+(* ---------------- legacy path: raw pipelined connections -------------
+
+   The original loadgen: N pipelined connections to one daemon, frame
+   [i] on connection [i mod N]. Wire bytes are unchanged from before
+   the resilient client existed (no [request_id] field). A connection
+   that dies mid-run no longer aborts the whole run: its in-flight
+   requests are recorded as [conn_lost], later sends reroute to the
+   surviving connections, and the summary reports the split. *)
+
+let run_legacy target o =
+  let w = make_workload o in
   let frame i =
-    let fields =
-      [
-        ("id", Json.Str (Printf.sprintf "r%d" i));
-        ("op", Json.Str "solve");
-        ("instance", Json.Str pool.(assignment.(i)));
-      ]
-      @ (match o.solver with
-         | Some s -> [ ("solver", Json.Str s) ]
-         | None -> [])
-      @ (match o.chain with
-         | Some c -> [ ("chain", Json.Str c) ]
-         | None -> [])
-      @ (match o.budget_ms with
-         | Some b -> [ ("budget_ms", Json.Num b) ]
-         | None -> [])
-      @ if o.cache then [] else [ ("cache", Json.Bool false) ]
-    in
-    Json.to_string (Json.Obj fields) ^ "\n"
+    Json.to_string
+      (Json.Obj
+         (("id", Json.Str (Printf.sprintf "r%d" i)) :: solve_fields o w i))
+    ^ "\n"
   in
   let conns = Array.init o.connections (fun _ -> connect target) in
+  let dead = Array.make o.connections false in
+  let teardown = Atomic.make false in
   let replies : (int, reply) Hashtbl.t = Hashtbl.create o.requests in
   let rmutex = Mutex.create () in
   let answered = Atomic.make 0 in
-  let receiver fd =
+  let receiver k =
+    let fd = conns.(k) in
     let chunk = Bytes.create 65536 in
     let acc = Buffer.create 4096 in
     let handle line =
       match Json.parse line with
       | Error _ -> ()
       | Ok json ->
-        let str k =
-          Option.bind (Json.member k json) Json.to_str
-        in
+        let str k = Option.bind (Json.member k json) Json.to_str in
         (match str "id" with
-         | Some id
-           when String.length id > 1 && id.[0] = 'r' ->
-           (match int_of_string_opt (String.sub id 1 (String.length id - 1)) with
+         | Some id when String.length id > 1 && id.[0] = 'r' ->
+           (match
+              int_of_string_opt (String.sub id 1 (String.length id - 1))
+            with
             | Some i ->
               let reply =
                 {
@@ -188,33 +255,66 @@ let run target o =
       | exception Unix.Unix_error _ -> ()
       | exception Sys_error _ -> ()
     in
-    pump ()
+    pump ();
+    (* EOF or error before the run tore the socket down: the daemon
+       side died under us. Everything in flight here is lost. *)
+    if not (Atomic.get teardown) then dead.(k) <- true
   in
-  let receivers = Array.map (fun fd -> Thread.create receiver fd) conns in
+  let receivers = Array.init o.connections (fun k -> Thread.create receiver k) in
   let send_s = Array.make o.requests 0.0 in
+  let conn_of = Array.make o.requests (-1) in
   let start_s = Obs.now () in
   let sent = ref 0 in
   (* Open loop: each request goes out at its scheduled arrival time,
      whatever the daemon is doing. Falling behind (blocked writes) is
-     made visible by sending immediately once past-due. *)
+     made visible by sending immediately once past-due. A dead
+     connection only loses its own traffic: the send rotates to the
+     next surviving one. *)
+  let send i =
+    let rec try_from k tried =
+      if tried >= o.connections then false
+      else if dead.(k) then try_from ((k + 1) mod o.connections) (tried + 1)
+      else
+        match write_all conns.(k) (frame i) with
+        | () ->
+          conn_of.(i) <- k;
+          true
+        | exception (Unix.Unix_error _ | Sys_error _) ->
+          dead.(k) <- true;
+          try_from ((k + 1) mod o.connections) (tried + 1)
+    in
+    try_from (i mod o.connections) 0
+  in
   (try
      let due = ref start_s in
-     for i = 0 to o.requests - 1 do
-       due := !due +. gaps.(i);
+     let alive = ref true in
+     let i = ref 0 in
+     while !alive && !i < o.requests do
+       due := !due +. w.gaps.(!i);
        let delay = !due -. Obs.now () in
        if delay > 0.0 then Thread.delay delay;
-       send_s.(i) <- Obs.now ();
-       write_all conns.(i mod o.connections) (frame i);
-       incr sent
+       send_s.(!i) <- Obs.now ();
+       if send !i then incr sent else alive := false;
+       incr i
      done
    with Unix.Unix_error _ | Sys_error _ -> ());
-  (* Straggler window: responses owed for everything sent. *)
+  (* Straggler window: responses owed for everything sent on a
+     connection that is still alive. *)
+  let outstanding () =
+    let n = ref 0 in
+    for i = 0 to o.requests - 1 do
+      let k = conn_of.(i) in
+      if k >= 0 && (not dead.(k)) && not (Hashtbl.mem replies i) then incr n
+    done;
+    !n
+  in
   let deadline = Obs.now () +. o.timeout_s in
-  while Atomic.get answered < !sent && Obs.now () < deadline do
+  while outstanding () > 0 && Obs.now () < deadline do
     Thread.delay 0.01
   done;
   (* Tear down: a full shutdown unblocks the receivers (read returns
      0) even if the daemon still holds its side open. *)
+  Atomic.set teardown true;
   Array.iter
     (fun fd ->
       try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
@@ -227,13 +327,14 @@ let run target o =
   let ok = ref 0
   and degraded = ref 0
   and rejected = ref 0
-  and errors = ref 0 in
+  and errors = ref 0
+  and conn_lost = ref 0 in
   let accepted = ref []
   and shed = ref [] in
   let ladder : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  for i = 0 to !sent - 1 do
+  for i = 0 to o.requests - 1 do
     match Hashtbl.find_opt replies i with
-    | None -> ()
+    | None -> if conn_of.(i) >= 0 && dead.(conn_of.(i)) then incr conn_lost
     | Some r ->
       if r.recv_s > !last_s then last_s := r.recv_s;
       let latency_ms = (r.recv_s -. send_s.(i)) *. 1000.0 in
@@ -251,25 +352,125 @@ let run target o =
          shed := latency_ms :: !shed
        | _ -> incr errors)
   done;
-  let answered_n = !ok + !degraded + !rejected + !errors in
-  let duration_s = Float.max (!last_s -. start_s) 1e-9 in
-  let sorted l =
-    let a = Array.of_list l in
-    Array.sort compare a;
-    a
+  summarize ~sent:!sent ~start_s ~last_s:!last_s ~conn_lost:!conn_lost
+    ~retried:0 ~failed_over:0 ~hedge_wins:0
+    ~counts:(!ok, !degraded, !rejected, !errors, !accepted, !shed, ladder)
+
+(* ---------------- resilient path: the client runtime ----------------
+
+   One [Client.t] over all endpoints; each request is a [Client.call]
+   carrying [request_id] "q<i>" so server-side dedup makes its retries
+   and hedges exactly-once per daemon. Calls run on their own
+   systhreads at the scheduled arrival times (bounded by a counting
+   semaphore), so one slow or retrying request never stalls the open
+   loop. Instead of aborting on a connection loss, every request ends
+   in a terminal outcome — and the summary reports how it got there:
+   retried, failed over, hedge won. *)
+
+let max_concurrent_calls = 256
+
+let run_resilient targets o =
+  let w = make_workload o in
+  let endpoints =
+    List.map
+      (function
+        | Tcp p -> Client.Tcp p
+        | Unix_path p -> Client.Unix_path p)
+      targets
   in
-  {
-    sent = !sent;
-    ok = !ok;
-    degraded = !degraded;
-    rejected = !rejected;
-    errors = !errors;
-    unanswered = !sent - answered_n;
-    duration_s;
-    throughput = float_of_int answered_n /. duration_s;
-    accepted_ms = sorted !accepted;
-    rejected_ms = sorted !shed;
-    ladder =
-      List.sort compare
-        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) ladder []);
-  }
+  let cl =
+    Client.create
+      {
+        endpoints;
+        retry = { Client.Retry.default with max_retries = o.retries };
+        budget_ms = Some (o.timeout_s *. 1000.0);
+        hedge_after_ms = o.hedge_after_ms;
+        seed = o.seed;
+      }
+  in
+  let rmutex = Mutex.create () in
+  let ok = ref 0
+  and degraded = ref 0
+  and errors = ref 0
+  and retried = ref 0
+  and failed_over = ref 0
+  and hedge_wins = ref 0 in
+  let accepted = ref [] in
+  let ladder : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let last_s = ref (Obs.now ()) in
+  let running = ref 0 in
+  let slots = Mutex.create () in
+  let slot_free = Condition.create () in
+  let call i =
+    let outcome =
+      Client.call cl
+        ~request_id:(Printf.sprintf "q%d" i)
+        (solve_fields o w i)
+    in
+    Mutex.lock rmutex;
+    (match outcome with
+     | Ok (out : Client.call_outcome) ->
+       let r = out.Client.response in
+       if r.Wire.Proto.status = "ok" then incr ok else incr degraded;
+       accepted := out.Client.elapsed_ms :: !accepted;
+       if out.Client.retries > 0 then incr retried;
+       if out.Client.failovers > 0 then incr failed_over;
+       if out.Client.hedge_won then incr hedge_wins;
+       let rung =
+         if r.Wire.Proto.cache_hit then Some "cache"
+         else
+           Option.bind
+             (Json.member "ladder" r.Wire.Proto.json)
+             Json.to_str
+       in
+       Option.iter
+         (fun rung ->
+           Hashtbl.replace ladder rung
+             (1 + Option.value (Hashtbl.find_opt ladder rung) ~default:0))
+         rung
+     | Error (e : Client.call_error) ->
+       incr errors;
+       if e.Client.err_retries > 0 then incr retried);
+    let now = Obs.now () in
+    if now > !last_s then last_s := now;
+    Mutex.unlock rmutex;
+    Mutex.lock slots;
+    decr running;
+    Condition.signal slot_free;
+    Mutex.unlock slots
+  in
+  let start_s = Obs.now () in
+  let threads = ref [] in
+  let due = ref start_s in
+  for i = 0 to o.requests - 1 do
+    due := !due +. w.gaps.(i);
+    let delay = !due -. Obs.now () in
+    if delay > 0.0 then Thread.delay delay;
+    Mutex.lock slots;
+    while !running >= max_concurrent_calls do
+      Condition.wait slot_free slots
+    done;
+    incr running;
+    Mutex.unlock slots;
+    threads := Thread.create call i :: !threads
+  done;
+  List.iter Thread.join !threads;
+  Client.close cl;
+  summarize ~sent:o.requests ~start_s ~last_s:!last_s ~conn_lost:0
+    ~retried:!retried ~failed_over:!failed_over ~hedge_wins:!hedge_wins
+    ~counts:(!ok, !degraded, 0, !errors, !accepted, [], ladder)
+
+(* ---------------- dispatch ---------------- *)
+
+let run_multi targets o =
+  validate o;
+  if targets = [] then invalid_arg "loadgen: no targets";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Resilience off and a single endpoint: the legacy path, whose wire
+     behavior (frames, connection fan-out, no request_id) is
+     byte-identical to the pre-client loadgen. *)
+  if o.retries = 0 && o.hedge_after_ms = None && List.length targets = 1 then
+    run_legacy (List.hd targets) o
+  else run_resilient targets o
+
+let run target o = run_multi [ target ] o

@@ -1,167 +1,4 @@
-type solve_req = {
-  instance : string;
-  solver : string option;
-  chain : string option;
-  budget_ms : float option;
-  objective : string option;
-  cache : bool;
-}
-
-type request =
-  | Solve of solve_req
-  | Simulate of { scenario : string; seed : int; replicas : int }
-  | Health
-  | Metrics
-  | Drain
-
-type frame = { id : string; req : request }
-
-(* ---------------- decoding ---------------- *)
-
-let field_str json k =
-  match Json.member k json with
-  | None -> Ok None
-  | Some v ->
-    (match Json.to_str v with
-     | Some s -> Ok (Some s)
-     | None -> Error (Printf.sprintf "field %S must be a string" k))
-
-let field_num json k =
-  match Json.member k json with
-  | None -> Ok None
-  | Some v ->
-    (match Json.to_num v with
-     | Some x -> Ok (Some x)
-     | None -> Error (Printf.sprintf "field %S must be a number" k))
-
-let field_int json k =
-  match Json.member k json with
-  | None -> Ok None
-  | Some v ->
-    (match Json.to_int v with
-     | Some x -> Ok (Some x)
-     | None -> Error (Printf.sprintf "field %S must be an integer" k))
-
-let field_bool json k =
-  match Json.member k json with
-  | None -> Ok None
-  | Some v ->
-    (match Json.to_bool v with
-     | Some b -> Ok (Some b)
-     | None -> Error (Printf.sprintf "field %S must be a boolean" k))
-
-let ( let* ) = Result.bind
-
-let decode_solve json =
-  let* instance = field_str json "instance" in
-  let* solver = field_str json "solver" in
-  let* chain = field_str json "chain" in
-  let* budget_ms = field_num json "budget_ms" in
-  let* objective = field_str json "objective" in
-  let* cache = field_bool json "cache" in
-  let* instance =
-    match instance with
-    | Some s when s <> "" -> Ok s
-    | Some _ | None -> Error "solve requires a non-empty \"instance\" field"
-  in
-  let* () =
-    match budget_ms with
-    | Some b when not (Float.is_finite b) || b <= 0.0 ->
-      Error "\"budget_ms\" must be positive and finite"
-    | Some _ | None -> Ok ()
-  in
-  Ok
-    (Solve
-       {
-         instance;
-         solver;
-         chain;
-         budget_ms;
-         objective;
-         cache = Option.value cache ~default:true;
-       })
-
-let decode_simulate json =
-  let* scenario = field_str json "scenario" in
-  let* seed = field_int json "seed" in
-  let* replicas = field_int json "replicas" in
-  let* scenario =
-    match scenario with
-    | Some s when s <> "" -> Ok s
-    | Some _ | None -> Error "simulate requires a \"scenario\" field"
-  in
-  let seed = Option.value seed ~default:1 in
-  let replicas = Option.value replicas ~default:1 in
-  let* () =
-    if replicas < 1 || replicas > 64 then
-      Error "\"replicas\" must be in [1, 64]"
-    else Ok ()
-  in
-  Ok (Simulate { scenario; seed; replicas })
-
-let decode line =
-  match Json.parse line with
-  | Error msg -> Error (None, "parse: " ^ msg)
-  | Ok json ->
-    let id =
-      match Json.member "id" json with
-      | Some (Json.Str s) -> Some s
-      | Some (Json.Num x) -> Some (Json.to_string (Json.Num x))
-      | _ -> None
-    in
-    let fail msg = Error (id, msg) in
-    (match json with
-     | Json.Obj _ ->
-       (match id with
-        | None -> fail "frame requires a string \"id\" field"
-        | Some id ->
-          if String.length id > 256 then
-            fail "\"id\" longer than 256 bytes"
-          else begin
-            let finish = function
-              | Ok req -> Ok { id; req }
-              | Error msg -> fail msg
-            in
-            match Json.member "op" json with
-            | Some (Json.Str "solve") -> finish (decode_solve json)
-            | Some (Json.Str "simulate") -> finish (decode_simulate json)
-            | Some (Json.Str "health") -> Ok { id; req = Health }
-            | Some (Json.Str "metrics") -> Ok { id; req = Metrics }
-            | Some (Json.Str "drain") -> Ok { id; req = Drain }
-            | Some (Json.Str other) ->
-              fail
-                (Printf.sprintf
-                   "unknown op %S (expected solve|simulate|health|metrics|drain)"
-                   (if String.length other > 64 then String.sub other 0 64
-                    else other))
-            | Some _ -> fail "field \"op\" must be a string"
-            | None -> fail "frame requires an \"op\" field"
-          end)
-     | _ -> fail "frame must be a JSON object")
-
-(* ---------------- responses ---------------- *)
-
-let frame ~id ~status fields =
-  Json.to_string
-    (Json.Obj (("id", Json.Str id) :: ("status", Json.Str status) :: fields))
-
-let ok_frame ~id fields = frame ~id ~status:"ok" fields
-
-let rejected_frame ~id ?retry_after_ms ~reason () =
-  let fields =
-    ("reason", Json.Str reason)
-    ::
-    (match retry_after_ms with
-     | Some ms -> [ ("retry_after_ms", Json.Num (float_of_int ms)) ]
-     | None -> [])
-  in
-  frame ~id ~status:"rejected" fields
-
-let error_frame ~id msg =
-  let fields = [ ("status", Json.Str "error"); ("error", Json.Str msg) ] in
-  let fields =
-    match id with
-    | Some id -> ("id", Json.Str id) :: fields
-    | None -> fields
-  in
-  Json.to_string (Json.Obj fields)
+(* Frame encoding/decoding lives in [lib/wire] (shared with the client
+   runtime); this alias keeps [Serve.Proto] working for existing
+   callers. *)
+include Wire.Proto

@@ -15,6 +15,10 @@ type config = {
   cache_max : int;
   write_timeout_ms : float;
   max_buffer_bytes : int;
+  request_log : string option;
+      (** append-only journal of executed request_ids (id TAB status):
+          the exactly-once audit trail for retried/hedged requests *)
+  dedup_max : int;  (** completed idempotency entries kept (LRU) *)
 }
 
 let default_config listen =
@@ -31,6 +35,8 @@ let default_config listen =
     cache_max = Cache.default_max_entries;
     write_timeout_ms = 5_000.0;
     max_buffer_bytes = 1024 * 1024;
+    request_log = None;
+    dedup_max = 4096;
   }
 
 (* ---------------- the shedding ladder ---------------- *)
@@ -132,6 +138,7 @@ type work =
 type job = {
   conn : conn;
   id : string;
+  request_id : string option;  (** idempotency key, when the client sent one *)
   work : work;
   admitted_s : float;  (** deadlines are armed here, not at execution *)
   ladder : ladder;
@@ -160,6 +167,12 @@ type state = {
   breaker_window_start : float Atomic.t;
   breaker_window_sheds : int Atomic.t;
   exec_ms_ewma : float Atomic.t;  (* retry-after estimator *)
+  (* Idempotency: request_id -> execution state. Waiters are
+     (connection, frame id) pairs; the memoized payload is the terminal
+     (status, rendered-fields-after-status) pair. *)
+  dedup : (conn * string, string * string) Dedup.t;
+  reqlog : Journal.t option;
+  rlmutex : Mutex.t;  (* Journal.t is not thread-safe *)
 }
 
 let breaker_window_s = 1.0
@@ -270,6 +283,73 @@ let respond st conn line ~status =
   if Obs.on () then Obs.count ("serve_responses_" ^ status);
   conn_send ~max_buffer:st.cfg.max_buffer_bytes conn line
 
+(* ---------------- idempotency fan-out ---------------- *)
+
+let record_request st rid ~status =
+  match st.reqlog with
+  | None -> ()
+  | Some j ->
+    Mutex.lock st.rlmutex;
+    (match Journal.record j ~id:rid ~payload:status with
+     | () -> ()
+     | exception (Invalid_argument _ | Failure _) ->
+       (* duplicate id (an entry outlived its dedup memo — possible
+          only after LRU eviction) or a broken journal: the daemon
+          keeps serving, the log just misses this line *)
+       if Obs.on () then Obs.count "serve_reqlog_drops");
+    Mutex.unlock st.rlmutex
+
+(* A response rebuilt for a frame that did not execute: same terminal,
+   the waiter's own frame id, plus a marker that it was deduplicated. *)
+let dedup_line ~id ~status payload =
+  "{"
+  ^ fragment [ ("id", jstr id); ("status", jstr status) ]
+  ^ (if payload = "" then "" else ", " ^ payload)
+  ^ ", "
+  ^ field ("dedup", jstr "hit")
+  ^ "}"
+
+(* Every terminal answer to a request carrying a request_id funnels
+   through here: answer the owning connection (byte-identical to the
+   pre-idempotency composition), journal the execution, memoize the
+   terminal, and answer the waiters parked by retried or hedged
+   duplicates of the same request. *)
+let terminal st conn ~id ~request_id ~status payload =
+  respond st conn ~status
+    ("{"
+    ^ fragment [ ("id", jstr id); ("status", jstr status) ]
+    ^ (if payload = "" then "" else ", " ^ payload)
+    ^ "}");
+  match request_id with
+  | None -> ()
+  | Some rid ->
+    record_request st rid ~status;
+    List.iter
+      (fun (wconn, wid) ->
+        respond st wconn ~status (dedup_line ~id:wid ~status payload))
+      (Dedup.complete st.dedup rid (status, payload))
+
+let terminal_error st conn ~id ~request_id msg =
+  match request_id with
+  | None ->
+    respond st conn ~status:"error" (Proto.error_frame ~id:(Some id) msg)
+  | Some _ ->
+    terminal st conn ~id ~request_id ~status:"error"
+      (fragment [ ("error", jstr msg) ])
+
+(* A rejected submission never executed: drop the in-flight entry so a
+   later retry may run, and give any waiters that raced in the same
+   rejection (with the backoff hint) rather than an eternal wait. *)
+let reject_waiters st ~request_id ?retry_after_ms ~reason () =
+  match request_id with
+  | None -> ()
+  | Some rid ->
+    List.iter
+      (fun (wconn, wid) ->
+        respond st wconn ~status:"rejected"
+          (Proto.rejected_frame ~id:wid ?retry_after_ms ~reason ()))
+      (Dedup.abort st.dedup rid)
+
 (* ---------------- drain ---------------- *)
 
 let initiate_drain st =
@@ -319,7 +399,7 @@ let breaker_open_ms st =
   if rem > 0.0 then Some (int_of_float (Float.ceil (rem *. 1000.0)))
   else None
 
-let admit st conn ~id work =
+let admit st conn ~id ~request_id work =
   match breaker_open_ms st with
   | Some retry_after_ms ->
     (* Open breaker: reject without taking any lock. *)
@@ -329,29 +409,33 @@ let admit st conn ~id work =
       Obs.count "serve_breaker_rejects"
     end;
     respond st conn ~status:"rejected"
-      (Proto.rejected_frame ~id ~retry_after_ms ~reason:"overload" ())
+      (Proto.rejected_frame ~id ~retry_after_ms ~reason:"overload" ());
+    reject_waiters st ~request_id ~retry_after_ms ~reason:"overload" ()
   | None ->
   Mutex.lock st.qmutex;
   if Atomic.get st.stopping then begin
     Mutex.unlock st.qmutex;
     respond st conn ~status:"rejected"
-      (Proto.rejected_frame ~id ~reason:"draining" ())
+      (Proto.rejected_frame ~id ~reason:"draining" ());
+    reject_waiters st ~request_id ~reason:"draining" ()
   end
   else begin
     let depth = Queue.length st.queue in
     if depth >= st.cfg.capacity then begin
       Mutex.unlock st.qmutex;
       note_shed st;
+      let retry_after_ms = retry_after_hint st ~depth in
       respond st conn ~status:"rejected"
-        (Proto.rejected_frame ~id
-           ~retry_after_ms:(retry_after_hint st ~depth)
-           ~reason:"overload" ())
+        (Proto.rejected_frame ~id ~retry_after_ms ~reason:"overload" ());
+      reject_waiters st ~request_id ~retry_after_ms ~reason:"overload" ()
     end
     else begin
       let ladder = ladder_of_depth ~capacity:st.cfg.capacity depth in
       Atomic.incr conn.pending;
       Atomic.incr st.inflight;
-      Queue.add { conn; id; work; admitted_s = Obs.now (); ladder } st.queue;
+      Queue.add
+        { conn; id; request_id; work; admitted_s = Obs.now (); ladder }
+        st.queue;
       Condition.signal st.qnonempty;
       if Obs.on () then begin
         Obs.gauge_set "serve_queue_depth" (depth + 1);
@@ -428,9 +512,8 @@ let execute_solve st job ~inst ~objective ~spec ~chain ~budget_ms ~ckey =
         | Some r -> [ ("degraded_reason", jstr r) ]
         | None -> []
     in
-    respond st job.conn ~status
-      (compose
-         ((("id", jstr job.id) :: ("status", jstr status) :: core) @ tail))
+    terminal st job.conn ~id:job.id ~request_id:job.request_id ~status
+      (fragment (core @ tail))
   in
   if not runner_path then begin
     (* Direct path: one solver, no deadline — mirrors `confcall solve`.
@@ -446,8 +529,8 @@ let execute_solve st job ~inst ~objective ~spec ~chain ~budget_ms ~ckey =
       let reason = if downgraded then Some "overload" else None in
       finish ~status ?reason (outcome_fields effective o)
     | exception Invalid_argument msg ->
-      respond st job.conn ~status:"error"
-        (Proto.error_frame ~id:(Some job.id) ("inapplicable: " ^ msg))
+      terminal_error st job.conn ~id:job.id ~request_id:job.request_id
+        ("inapplicable: " ^ msg)
   end
   else begin
     let base_chain =
@@ -477,8 +560,7 @@ let execute_solve st job ~inst ~objective ~spec ~chain ~budget_ms ~ckey =
         | Some e -> Runner.error_to_string e
         | None -> "no result"
       in
-      respond st job.conn ~status:"error"
-        (Proto.error_frame ~id:(Some job.id) msg)
+      terminal_error st job.conn ~id:job.id ~request_id:job.request_id msg
     | Some (wspec, o) ->
       let clipped =
         expired
@@ -568,9 +650,8 @@ let execute st job =
         | Jsim { build; scenario; seed; replicas } ->
           execute_sim st job ~build ~scenario ~seed ~replicas
       with e ->
-        respond st job.conn ~status:"error"
-          (Proto.error_frame ~id:(Some job.id)
-             ("internal: " ^ Printexc.to_string e)))
+        terminal_error st job.conn ~id:job.id ~request_id:job.request_id
+          ("internal: " ^ Printexc.to_string e))
 
 (* Runs as an [Exec.Pool] task: one lane per domain (plus queued
    spares, below). Exits only when draining AND the queue is empty —
@@ -657,27 +738,50 @@ let handle_solve st conn ~id (sr : Proto.solve_req) =
       in
       Some (cache_key ~objective ~mode inst)
   in
+  let request_id = sr.Proto.request_id in
   (* Cache hits are answered here, from the connection thread, without
      touching the queue: a warm daemon under overload still serves
      repeats instantly, and a restarted daemon serves its journal. *)
-  match Option.bind ckey (fun key -> Cache.find st.cache ~key) with
-  | Some payload -> respond st conn ~status:"ok" (hit_response ~id payload)
-  | None ->
-    admit st conn ~id
-      (Jsolve
-         {
-           inst;
-           objective;
-           spec;
-           chain;
-           budget_ms = sr.Proto.budget_ms;
-           ckey;
-         })
+  let proceed () =
+    match Option.bind ckey (fun key -> Cache.find st.cache ~key) with
+    | Some payload -> (
+      match request_id with
+      | None -> respond st conn ~status:"ok" (hit_response ~id payload)
+      | Some _ ->
+        (* same bytes as [hit_response], via the dedup-completing path *)
+        terminal st conn ~id ~request_id ~status:"ok"
+          (payload ^ ", " ^ field ("cache", jstr "hit")))
+    | None ->
+      admit st conn ~id ~request_id
+        (Jsolve
+           {
+             inst;
+             objective;
+             spec;
+             chain;
+             budget_ms = sr.Proto.budget_ms;
+             ckey;
+           })
+  in
+  match request_id with
+  | None -> proceed ()
+  | Some rid -> (
+    (* The idempotency gate: first frame with this request_id executes;
+       a duplicate arriving mid-execution parks as a waiter on the
+       single execution; a duplicate arriving after completion replays
+       the memoized terminal. *)
+    match Dedup.submit st.dedup rid (conn, id) with
+    | `Execute -> proceed ()
+    | `Queued -> if Obs.on () then Obs.count "serve_dedup_inflight_hits"
+    | `Replay (status, payload) ->
+      if Obs.on () then Obs.count "serve_dedup_replays";
+      respond st conn ~status (dedup_line ~id ~status payload))
 
 let health_response st ~id =
   Mutex.lock st.qmutex;
   let depth = Queue.length st.queue in
   Mutex.unlock st.qmutex;
+  let ds = Dedup.stats st.dedup in
   compose
     [
       ("id", jstr id);
@@ -694,6 +798,11 @@ let health_response st ~id =
       ("cache_evictions", string_of_int (Cache.evictions st.cache));
       ("breaker_open", jbool (breaker_open_ms st <> None));
       ("pool_respawns", string_of_int (Exec.Pool.total_respawns ()));
+      ("dedup_in_flight", string_of_int ds.Dedup.in_flight);
+      ("dedup_completed", string_of_int ds.Dedup.completed);
+      ( "dedup_hits",
+        string_of_int (ds.Dedup.hits_in_flight + ds.Dedup.hits_completed) );
+      ("request_log", jbool (st.reqlog <> None));
     ]
 
 let handle_frame st conn line =
@@ -729,7 +838,8 @@ let handle_frame st conn line =
                (Printf.sprintf "unknown scenario %S (expected %s)" scenario
                   (String.concat "|" (List.map fst Cellsim.Scenario.all))))
         | Some build ->
-          admit st conn ~id (Jsim { build; scenario; seed; replicas })))
+          admit st conn ~id ~request_id:None
+            (Jsim { build; scenario; seed; replicas })))
 
 (* ---------------- connection lifecycle ---------------- *)
 
@@ -943,7 +1053,8 @@ let validate cfg =
     not (Float.is_finite cfg.write_timeout_ms) || cfg.write_timeout_ms <= 0.0
   then invalid_arg "serve: write_timeout_ms must be positive";
   if cfg.max_buffer_bytes < 4096 then
-    invalid_arg "serve: max_buffer_bytes must be >= 4096"
+    invalid_arg "serve: max_buffer_bytes must be >= 4096";
+  if cfg.dedup_max < 1 then invalid_arg "serve: dedup_max must be >= 1"
 
 let start cfg =
   validate cfg;
@@ -974,6 +1085,9 @@ let start cfg =
       breaker_window_start = Atomic.make 0.0;
       breaker_window_sheds = Atomic.make 0;
       exec_ms_ewma = Atomic.make 0.0;
+      dedup = Dedup.create ~max_completed:cfg.dedup_max;
+      reqlog = Option.map (fun p -> Journal.load_or_create p) cfg.request_log;
+      rlmutex = Mutex.create ();
     }
   in
   (* The worker lanes live on an [Exec.Pool]: [map] runs one blocking
@@ -1048,7 +1162,10 @@ let wait ?grace_ms h =
   let clean = poll () in
   if clean then begin
     Thread.join h.workers_thread;
-    if not (Atomic.exchange h.st.cache_closed true) then Cache.close h.st.cache
+    if not (Atomic.exchange h.st.cache_closed true) then begin
+      Cache.close h.st.cache;
+      Option.iter Journal.close h.st.reqlog
+    end
   end;
   clean
 

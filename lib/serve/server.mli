@@ -71,11 +71,25 @@ type config = {
   max_buffer_bytes : int;
       (** per-connection output buffer bound, >= 4096; overflow kills
           the connection (backpressure, not unbounded memory) *)
+  request_log : string option;
+      (** append-only {!Confcall.Journal} of executed request_ids
+          ([request_id TAB status]): the per-daemon exactly-once audit
+          trail — a retried or hedged request_id appears at most once *)
+  dedup_max : int;
+      (** completed idempotency entries kept for replay (LRU), >= 1 *)
 }
 
 (** Defaults: domains 1, capacity 64, 256 connections, no cache file,
     4 MiB frames, 10 s grace, not quiet, 65536 cache entries, 5 s write
-    timeout, 1 MiB output buffer. *)
+    timeout, 1 MiB output buffer, no request log, 4096 dedup entries.
+
+    {b Idempotency}: a solve request carrying a [request_id] (see
+    {!Wire.Proto.solve_req}) executes at most once per daemon: a
+    duplicate frame arriving mid-execution waits for — and shares — the
+    single execution's terminal response; one arriving after completion
+    is answered from a bounded LRU of recent terminals. Either way the
+    duplicate's response carries ["dedup":"hit"]. Rejected submissions
+    are {e not} memoized: the client's retry is welcome to try again. *)
 val default_config : listen -> config
 
 (** The shedding ladder, from healthy to overloaded. *)

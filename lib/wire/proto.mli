@@ -31,6 +31,11 @@ type solve_req = {
           counts against it *)
   objective : string option;  (** "all" | "any" | k; default all *)
   cache : bool;  (** consult/populate the result cache (default true) *)
+  request_id : string option;
+      (** Client-generated idempotency key: the server deduplicates
+          in-flight and recently-completed ids, so a retried or hedged
+          solve never executes twice. Distinct from the frame [id],
+          which is fresh per attempt. *)
 }
 
 type request =
@@ -62,3 +67,26 @@ val ok_frame : id:string -> (string * Json.t) list -> string
 (** [ok_frame ~id fields] — [{"id":.., "status":"ok", fields...}]. *)
 
 val frame : id:string -> status:string -> (string * Json.t) list -> string
+
+(** {2 Response decoding (client side)}
+
+    Forward compatibility is a hard contract: a newer daemon may add
+    fields to any frame and an older client must keep working, so
+    decoding only ever looks up the fields it knows and never fails on
+    one it does not recognise. *)
+
+type response = {
+  rid : string option;  (** echoed frame id, when the server had one *)
+  status : string;  (** ok | degraded | rejected | error | future values *)
+  reason : string option;  (** rejected: overload | draining | ... *)
+  retry_after_ms : int option;  (** server backoff hint, milliseconds *)
+  error : string option;  (** error frames: human-readable cause *)
+  cache_hit : bool;  (** answered from the server's result cache *)
+  dedup_hit : bool;  (** answered from the idempotency dedup table *)
+  json : Json.t;  (** the whole frame, for fields not modelled here *)
+}
+
+(** [decode_response line] — requires a JSON object with a ["status"]
+    field; everything else is optional and unknown fields are
+    ignored. *)
+val decode_response : string -> (response, string) result

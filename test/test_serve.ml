@@ -111,10 +111,14 @@ let by_id lines =
       ((try jstr_field "id" j with _ -> "?"), (j, l)))
     lines
 
-let solve_frame ?(id = "r") ?solver ?chain ?budget_ms ?(cache = false) inst =
+let solve_frame ?(id = "r") ?request_id ?solver ?chain ?budget_ms
+    ?(cache = false) inst =
   let fields =
     [ ("id", J.Str id); ("op", J.Str "solve");
       ("instance", J.Str (Instance.to_string inst)) ]
+    @ (match request_id with
+       | Some r -> [ ("request_id", J.Str r) ]
+       | None -> [])
     @ (match solver with Some s -> [ ("solver", J.Str s) ] | None -> [])
     @ (match chain with Some s -> [ ("chain", J.Str s) ] | None -> [])
     @ (match budget_ms with
@@ -604,6 +608,82 @@ let test_drain_finishes_inflight () =
         responses;
       check bool_t "drain completes within grace" true (Sv.stop h))
 
+(* ---------------- idempotency ---------------- *)
+
+(* The server-side half of the resilient-client contract: frames
+   sharing a [request_id] execute (and journal) once per daemon,
+   whether the duplicate arrives mid-execution (parked waiter) or
+   after completion (LRU replay); duplicates are answered with the
+   owner's terminal payload plus a ["dedup": "hit"] marker. *)
+let test_idempotency_dedup () =
+  let reqlog = Filename.temp_file "confcall_dedup" ".reqlog" in
+  Sys.remove reqlog;
+  let cfg =
+    {
+      (Sv.default_config (Sv.Tcp 0)) with
+      domains = 1;
+      capacity = 16;
+      request_log = Some reqlog;
+      drain_grace_ms = 30_000.0;
+      quiet = true;
+    }
+  in
+  let h = Sv.start cfg in
+  let port = Option.get (Sv.bound_port h) in
+  let c = connect port in
+  let rng = Prob.Rng.create ~seed:41 in
+  let slow = Instance.random_uniform_simplex rng ~m:3 ~c:14 ~d:3 in
+  let dedup_hit j =
+    match Option.bind (J.member "dedup" j) J.to_str with
+    | Some "hit" -> true
+    | _ -> false
+  in
+  (* two frames, same request_id, pipelined while the first still
+     executes: one execution, two answers, the duplicate marked *)
+  send c
+    (solve_frame ~id:"a1" ~request_id:"rid-1" ~chain:"exact"
+       ~budget_ms:200.0 slow);
+  send c
+    (solve_frame ~id:"a2" ~request_id:"rid-1" ~chain:"exact"
+       ~budget_ms:200.0 slow);
+  let rs = by_id (recv_n c 2) in
+  let j1, _ = List.assoc "a1" rs and j2, _ = List.assoc "a2" rs in
+  check string_t "duplicate gets the owner's status" (jstr_field "status" j1)
+    (jstr_field "status" j2);
+  check bool_t "owner is not dedup-marked" false (dedup_hit j1);
+  check bool_t "duplicate is dedup-marked" true (dedup_hit j2);
+  (* a third frame after the terminal answer: completed-LRU replay *)
+  send c
+    (solve_frame ~id:"a3" ~request_id:"rid-1" ~chain:"exact"
+       ~budget_ms:200.0 slow);
+  let j3, _ = List.assoc "a3" (by_id (recv_n c 1)) in
+  check bool_t "replay is dedup-marked" true (dedup_hit j3);
+  check string_t "replay matches the original status"
+    (jstr_field "status" j1) (jstr_field "status" j3);
+  (* a distinct request_id still executes *)
+  send c (solve_frame ~id:"b1" ~request_id:"rid-2" ~budget_ms:200.0 slow);
+  let jb, _ = List.assoc "b1" (by_id (recv_n c 1)) in
+  check bool_t "fresh request_id executes" false (dedup_hit jb);
+  (* the health op reports the table; the owner's response is written
+     before the table memoizes, so only rid-1 — proven Done by a3's
+     replay — is guaranteed visible here *)
+  send c "{\"id\": \"h\", \"op\": \"health\"}";
+  let jh, _ = List.assoc "h" (by_id (recv_n c 1)) in
+  check bool_t "health reports completed dedup entries" true
+    (jnum_field "dedup_completed" jh >= 1.0);
+  check bool_t "health reports dedup hits" true
+    (jnum_field "dedup_hits" jh >= 2.0);
+  close_client c;
+  check bool_t "drain completes" true (Sv.stop h);
+  (* the audit trail: exactly one journal line per distinct request_id,
+     in execution order — [read_back] would raise on a duplicate *)
+  let entries = Journal.read_back reqlog in
+  (try Sys.remove reqlog with Sys_error _ -> ());
+  check int_t "one journal line per executed request_id" 2
+    (List.length entries);
+  check bool_t "journalled ids are the executed ids" true
+    (List.map fst entries = [ "rid-1"; "rid-2" ])
+
 (* ---------------- registration ---------------- *)
 
 let () =
@@ -643,5 +723,10 @@ let () =
             test_ops_and_drain;
           Alcotest.test_case "drain finishes in-flight work" `Quick
             test_drain_finishes_inflight;
+        ] );
+      ( "idempotency",
+        [
+          Alcotest.test_case "request_id dedup: in-flight, replay, audit"
+            `Quick test_idempotency_dedup;
         ] );
     ]
