@@ -2442,6 +2442,124 @@ let e29 () =
        failover_seen kill_s.Serve.Loadgen.retried
        kill_s.Serve.Loadgen.failed_over p99_kill p99_base p99_bounded)
 
+(* ------------------------------------------------------------------ *)
+(* E30: flat hot path — allocation-free metro-scale coarse solving     *)
+(* ------------------------------------------------------------------ *)
+
+let e30 () =
+  header ~id:"e30" ~title:"flat hot path: allocation-free metro-scale solving"
+    ~claim:
+      "the flat arena solves a metropolitan instance (m = 1000 devices, \
+       c = 100000 cells, d = 8, coarse block 256) in well under 100 ms \
+       per steady-state solve with zero minor-heap words allocated, \
+       bit-identical to the legacy coarse DP on the same order; the \
+       small-instance flat mirrors (greedy, within-order, hill climb) \
+       are bit-identical to their legacy solvers too";
+  let module Flat = Confcall.Flat in
+  let module Local_search = Confcall.Local_search in
+  (* --- small/mid differential leg: flat mirrors vs legacy, bitwise --- *)
+  let rng = Prob.Rng.create ~seed:0xE30 in
+  let small_equal = ref true in
+  let fast_ok = ref true in
+  let arena = Flat.create () in
+  for trial = 1 to 30 do
+    let m = 1 + Prob.Rng.int rng 6 in
+    let c = 2 + Prob.Rng.int rng 40 in
+    let d = 1 + Prob.Rng.int rng (min c 8) in
+    let inst = Instance.random_uniform_simplex rng ~m ~c ~d in
+    let objective =
+      match trial mod 3 with
+      | 0 -> Objective.Find_all
+      | 1 -> Objective.Find_any
+      | _ -> Objective.Find_at_least (1 + Prob.Rng.int rng m)
+    in
+    let gl = Greedy.solve ~objective inst in
+    let gf = Flat.greedy ~objective arena inst in
+    if
+      gl.Order_dp.expected_paging <> gf.Order_dp.expected_paging
+      || not (Strategy.equal gl.Order_dp.strategy gf.Order_dp.strategy)
+    then small_equal := false;
+    let hl = Local_search.hill_climb ~objective inst in
+    let hf = Flat.hill_climb ~objective arena inst in
+    if
+      hl.Local_search.expected_paging <> hf.Local_search.expected_paging
+      || hl.Local_search.iterations <> hf.Local_search.iterations
+    then small_equal := false;
+    let hfast = Flat.hill_climb_fast ~objective arena inst in
+    if
+      abs_float
+        (hfast.Local_search.expected_paging
+        -. hl.Local_search.expected_paging)
+      > 1e-9 *. float_of_int c
+    then fast_ok := false
+  done;
+  Printf.printf
+    "small/mid differential (30 instances): flat == legacy bitwise: %b; \
+     fast climb within 1e-9*c: %b\n"
+    !small_equal !fast_ok;
+  (* --- metro leg --- *)
+  let m = 1000 and c = 100_000 and d = 8 and block = 256 in
+  Printf.printf "building metro instance m=%d c=%d d=%d...\n%!" m c d;
+  let rows =
+    Array.init m (fun _ -> Prob.Dist.shuffled rng (Prob.Dist.zipf ~s:1.2 c))
+  in
+  let inst = Instance.create ~d rows in
+  let t0 = Unix.gettimeofday () in
+  Flat.prepare_coarse ~block arena inst;
+  let prepare_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  (* steady state: repeated solves on the prepared arena *)
+  let solves = 20 in
+  Flat.run_coarse arena;
+  let flat_ep = Flat.ep arena in
+  let words_before = Gc.minor_words () in
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to solves do
+    Flat.run_coarse arena
+  done;
+  let steady_ms = (Unix.gettimeofday () -. t1) *. 1000.0 /. float_of_int solves in
+  let minor_words =
+    int_of_float ((Gc.minor_words () -. words_before) /. float_of_int solves)
+  in
+  (* legacy oracle on the same order (the legacy weight-order comparator
+     recomputes cell weights per comparison — quadratic in m·c·log c —
+     so the oracle gets the arena's already-sorted order) *)
+  let order = Flat.current_order arena in
+  let t2 = Unix.gettimeofday () in
+  let legacy = Order_dp.solve_coarse ~block inst ~order in
+  let legacy_ms = (Unix.gettimeofday () -. t2) *. 1000.0 in
+  let equal =
+    legacy.Order_dp.expected_paging = flat_ep
+    && Strategy.equal legacy.Order_dp.strategy
+         (Flat.coarse ~block arena inst).Order_dp.strategy
+  in
+  let cells_per_sec =
+    float_of_int (m * c) /. ((prepare_ms +. steady_ms) /. 1000.0)
+  in
+  Printf.printf
+    "metro: prepare %.0f ms (one-time), steady %.3f ms/solve, %d minor \
+     words/solve, legacy %.0f ms, EP %.6f, flat == legacy: %b\n"
+    prepare_ms steady_ms minor_words legacy_ms flat_ep equal;
+  let solve_fast = steady_ms < 100.0 in
+  record ~id:"e30"
+    ~pass:(!small_equal && !fast_ok && solve_fast && minor_words = 0 && equal)
+    ~metrics:
+      [
+        "cells_per_sec", json_num cells_per_sec;
+        "minor_words_per_solve", string_of_int minor_words;
+        "metro_solve_ms", json_num steady_ms;
+        "prepare_ms", json_num prepare_ms;
+        "legacy_solve_ms", json_num legacy_ms;
+        "metro_ep", json_num flat_ep;
+        "flat_equal_legacy", (if equal then "true" else "false");
+        "small_diff_equal", (if !small_equal then "true" else "false");
+        "fast_climb_ok", (if !fast_ok then "true" else "false");
+      ]
+    (Printf.sprintf
+       "metro solve %.3f ms < 100 ms: %b; minor words/solve = %d (want 0); \
+        flat == legacy on metro: %b; small differential bitwise: %b; fast \
+        climb within tolerance: %b"
+       steady_ms solve_fast minor_words equal !small_equal !fast_ok)
+
 let experiments =
   [
     "e1", e1;
@@ -2473,6 +2591,7 @@ let experiments =
     "e27", e27;
     "e28", e28;
     "e29", e29;
+    "e30", e30;
   ]
 
 let () =

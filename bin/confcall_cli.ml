@@ -401,7 +401,8 @@ let runner_report_json (r : Runner.run_report) =
 let solve_budgeted inst objective json budget_ms chain uncertainty domains =
   let report =
     with_domains domains (fun pool ->
-        Runner.run ~objective ?budget_ms ?uncertainty ~chain ?pool inst)
+        Runner.run ~objective ?budget_ms ?uncertainty ~chain ?pool
+          ~arena:(Flat.domain_arena ()) inst)
   in
   if json then print_endline (runner_report_json report)
   else begin
@@ -486,7 +487,16 @@ let solve path spec objective verbose json budget_ms chain eps tv samples
       | false, Some spec -> spec
       | false, None -> Solver.Greedy
     in
-    let outcome = Solver.solve ~objective spec inst in
+    (* Direct path: run on this domain's flat arena and report the
+       minor-heap words the solve itself allocated. alloc_words covers
+       the solve only (arena binding included, result boxing excluded
+       by nothing — it is the honest per-call figure); the steady-state
+       zero-allocation guarantee on the run_* cores is gated by the
+       test suite and bench e30. *)
+    let arena = Flat.domain_arena () in
+    let words_before = Gc.minor_words () in
+    let outcome = Solver.solve ~objective ~arena spec inst in
+    let alloc_words = int_of_float (Gc.minor_words () -. words_before) in
     let cert = certification outcome.Solver.strategy in
     if json then
       print_endline
@@ -502,6 +512,7 @@ let solve path spec objective verbose json budget_ms chain eps tv samples
                    outcome.Solver.strategy);
               "lower_bound", Json.num (Bounds.lower_bound ~objective inst);
               "page_all_cost", string_of_int inst.Instance.c;
+              "alloc_words", string_of_int alloc_words;
             ]
            @
            match cert with
@@ -664,7 +675,12 @@ let sweep m c d dist skew seeds objective budget_ms chain journal_path resume
             let compute () =
               let rng = Prob.Rng.create ~seed in
               let inst = make_instance ~dist ~skew rng ~m ~c ~d in
-              let report = Runner.run ~objective ?budget_ms ~chain inst in
+              (* Shards run on pool domains; each reuses its own arena
+                 across the seeds it processes. *)
+              let report =
+                Runner.run ~objective ?budget_ms ~chain
+                  ~arena:(Flat.domain_arena ()) inst
+              in
               match report.Runner.winner with
               | Some (spec, o) ->
                 Printf.sprintf "winner=%s ep=%.9f exact=%b"
@@ -757,7 +773,7 @@ let compare_solvers path =
   Printf.printf "%-12s %12s %8s\n" "solver" "EP" "exact";
   List.iter
     (fun spec ->
-      match Solver.solve spec inst with
+      match Solver.solve ~arena:(Flat.domain_arena ()) spec inst with
       | outcome ->
         Printf.printf "%-12s %12.6f %8s\n"
           (Solver.spec_to_string spec)

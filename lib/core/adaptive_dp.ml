@@ -23,14 +23,19 @@ let solve ?(objective = Objective.Find_all) ?(cancel = Cancel.never) ?order
     in
     if Array.length order <> c then
       invalid_arg "Adaptive_dp.solve: order length mismatch";
-    (* prefix_mass.(i).(pos): P[device i within the first pos cells]. *)
-    let prefix_mass = Array.make_matrix m (c + 1) 0.0 in
+    (* prefix_mass i pos: P[device i within the first pos cells]. Flat
+       unboxed rows of width c+1 (same addition chain as the old
+       [Array.make_matrix] version — values are bit-identical). *)
+    let pm = Float.Array.make (m * (c + 1)) 0.0 in
     for i = 0 to m - 1 do
+      let row = i * (c + 1) in
       for pos = 1 to c do
-        prefix_mass.(i).(pos) <-
-          prefix_mass.(i).(pos - 1) +. inst.Instance.p.(i).(order.(pos - 1))
+        Float.Array.set pm (row + pos)
+          (Float.Array.get pm (row + pos - 1)
+          +. inst.Instance.p.(i).(order.(pos - 1)))
       done
     done;
+    let prefix_mass i pos = Float.Array.get pm ((i * (c + 1)) + pos) in
     let devices_of_mask mask =
       let rec go i acc =
         if i >= m then List.rev acc
@@ -62,11 +67,9 @@ let solve ?(objective = Objective.Find_all) ?(cancel = Cancel.never) ?order
             let qs =
               List.map
                 (fun i ->
-                  let denom = 1.0 -. prefix_mass.(i).(pos) in
+                  let denom = 1.0 -. prefix_mass i pos in
                   if denom <= 1e-15 then 1.0
-                  else
-                    (prefix_mass.(i).(pos + x) -. prefix_mass.(i).(pos))
-                    /. denom)
+                  else (prefix_mass i (pos + x) -. prefix_mass i pos) /. denom)
                 missing
             in
             let qs = Array.of_list qs in

@@ -192,7 +192,17 @@ let of_string s =
       | None -> invalid_arg ("Instance.of_string: bad " ^ name)
     in
     let m = parse_int "m" m and c = parse_int "c" c and d = parse_int "d" d in
-    if m <= 0 || c <= 0 then invalid_arg "Instance.of_string: bad dimensions"
+    (* Name the degenerate axis: a zero-device (or zero-cell) header
+       must be rejected here, at the parse boundary — downstream solver
+       preconditions (the flat hot path included) assume m >= 1 and
+       c >= 1 and would fail far from the cause. *)
+    if m <= 0 then
+      invalid_arg
+        (Printf.sprintf "Instance.of_string: no devices (m = %d, need m >= 1)"
+           m)
+    else if c <= 0 then
+      invalid_arg
+        (Printf.sprintf "Instance.of_string: no cells (c = %d, need c >= 1)" c)
     else begin
       let values = Array.of_list rest in
       if Array.length values <> m * c then

@@ -42,6 +42,59 @@ let success t probs =
     1.0 -. Array.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 probs
   | Find_at_least k -> tail_at_least k probs
 
+(* Flat-path mirror of [success]: reads [n] prefix masses from [src]
+   starting at [off], writes the success probability into [dst.(di)].
+   Every fold below replays [success] op for op (same accumulation
+   order, same compensated tail sum), so the stored value is
+   bit-identical to the list-path result. Results travel through the
+   destination slot rather than a return value because ocamlopt boxes
+   floats crossing non-inlined function boundaries — this function is
+   called from per-round inner loops that must not allocate.
+   [dp] is scratch of length >= n + 1, used only by [Find_at_least]. *)
+let success_into t ~src ~off ~n ~dp ~dst ~di =
+  match t with
+  | Find_all ->
+    let s = ref 1.0 in
+    for i = 0 to n - 1 do
+      s := !s *. Float.Array.get src (off + i)
+    done;
+    Float.Array.set dst di !s
+  | Find_any ->
+    let s = ref 1.0 in
+    for i = 0 to n - 1 do
+      s := !s *. (1.0 -. Float.Array.get src (off + i))
+    done;
+    Float.Array.set dst di (1.0 -. !s)
+  | Find_at_least k ->
+    if k <= 0 then Float.Array.set dst di 1.0
+    else if k > n then Float.Array.set dst di 0.0
+    else begin
+      for j = 1 to n do
+        Float.Array.set dp j 0.0
+      done;
+      Float.Array.set dp 0 1.0;
+      for i = 0 to n - 1 do
+        let p = Float.Array.get src (off + i) in
+        for j = i + 1 downto 1 do
+          Float.Array.set dp j
+            ((Float.Array.get dp j *. (1.0 -. p))
+            +. (Float.Array.get dp (j - 1) *. p))
+        done;
+        Float.Array.set dp 0 (Float.Array.get dp 0 *. (1.0 -. p))
+      done;
+      (* Neumaier tail sum, mirroring [tail_at_least]. *)
+      let sum = ref 0.0 and comp = ref 0.0 in
+      for j = k to n do
+        let x = Float.Array.get dp j in
+        let s = !sum +. x in
+        if abs_float !sum >= abs_float x then
+          comp := !comp +. (!sum -. s +. x)
+        else comp := !comp +. (x -. s +. !sum);
+        sum := s
+      done;
+      Float.Array.set dst di (!sum +. !comp)
+    end
+
 let tail_at_least_exact k probs =
   let m = Array.length probs in
   if k <= 0 then Q.one

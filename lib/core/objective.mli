@@ -22,6 +22,24 @@ val validate : t -> m:int -> (unit, string) result
     tail computed by dynamic programming. *)
 val success : t -> float array -> float
 
+(** [success_into t ~src ~off ~n ~dp ~dst ~di] is {!success} on the flat
+    hot path: the [n] prefix masses are read from [src] starting at
+    [off] and the result is written into [dst.(di)]. Bit-identical to
+    [success] (same fold order, same compensated tail) and
+    allocation-free — results travel through a [floatarray] slot
+    because ocamlopt boxes float returns across function boundaries.
+    [dp] is scratch of length at least [n + 1], used only by
+    [Find_at_least]. *)
+val success_into :
+  t ->
+  src:floatarray ->
+  off:int ->
+  n:int ->
+  dp:floatarray ->
+  dst:floatarray ->
+  di:int ->
+  unit
+
 (** Exact-rational version of {!success}. *)
 val success_exact : t -> Numeric.Rational.t array -> Numeric.Rational.t
 

@@ -124,7 +124,7 @@ let quality_of ?objective inst (outcome : Solver.outcome) =
 
 let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
     ?(clock = Cancel.now) ?(ensure_baseline = true) ?(chain = default_chain)
-    ?uncertainty ?pool inst =
+    ?uncertainty ?pool ?arena inst =
   Obs.span "runner.run" @@ fun run_sp ->
   Obs.count "runner_runs";
   let chain =
@@ -252,7 +252,7 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
           let result =
             Obs.span ~parent:run_sp ("stage:" ^ Solver.spec_to_string spec)
             @@ fun _sp ->
-            match Solver.solve ~objective ~cancel ~unguarded spec inst with
+            match Solver.solve ~objective ~cancel ~unguarded ?arena spec inst with
             | outcome ->
               if Cancel.cancelled cancel then Ok (Degraded, outcome)
               else Ok (Completed, outcome)
@@ -347,7 +347,14 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
           let result =
             Obs.span ~parent:run_sp ("stage:" ^ Solver.spec_to_string spec)
             @@ fun _sp ->
-            match Solver.solve ~objective ~cancel ~unguarded spec inst with
+            (* Raced stages run on pool domains: each uses its domain's
+               private arena so concurrent stages never share scratch. *)
+            let arena =
+              match arena with
+              | Some _ -> Some (Flat.domain_arena ())
+              | None -> None
+            in
+            match Solver.solve ~objective ~cancel ~unguarded ?arena spec inst with
             | outcome ->
               on_success i;
               if Cancel.cancelled cancel then Ok (Degraded, outcome)
@@ -453,10 +460,11 @@ let run ?(objective = Objective.Find_all) ?budget_ms ?(grace_ms = 100.0)
      | Some p when Exec.Pool.size p > 1 -> run_raced p
      | Some _ | None -> go None [] chain)
 
-let solve ?objective ?budget_ms ?grace_ms ?clock ?chain ?uncertainty ?pool inst
-    =
+let solve ?objective ?budget_ms ?grace_ms ?clock ?chain ?uncertainty ?pool
+    ?arena inst =
   let report =
-    run ?objective ?budget_ms ?grace_ms ?clock ?chain ?uncertainty ?pool inst
+    run ?objective ?budget_ms ?grace_ms ?clock ?chain ?uncertainty ?pool ?arena
+      inst
   in
   match (report.winner, report.failure) with
   | Some (_, outcome), _ -> Ok outcome

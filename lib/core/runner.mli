@@ -139,7 +139,13 @@ val chain_to_string : Solver.spec list -> string
     Wall-clock under a budget is still bounded by budget + grace: every
     raced token also watches the shared deadline. [clock], when
     overridden together with [?pool], is called from several domains
-    and must be thread-safe (the default {!Cancel.now} is). *)
+    and must be thread-safe (the default {!Cancel.now} is).
+
+    [?arena] routes every stage with a flat mirror through the
+    allocation-free {!Flat} hot path (see {!Solver.solve}); raced
+    stages substitute their own domain's arena ({!Flat.domain_arena}),
+    so the supplied arena is only touched from the calling domain.
+    Results stay bit-identical either way. *)
 val run :
   ?objective:Objective.t ->
   ?budget_ms:float ->
@@ -149,6 +155,7 @@ val run :
   ?chain:Solver.spec list ->
   ?uncertainty:Uncertainty.t ->
   ?pool:Exec.Pool.t ->
+  ?arena:Flat.t ->
   Instance.t ->
   run_report
 
@@ -162,6 +169,7 @@ val solve :
   ?chain:Solver.spec list ->
   ?uncertainty:Uncertainty.t ->
   ?pool:Exec.Pool.t ->
+  ?arena:Flat.t ->
   Instance.t ->
   (Solver.outcome, error) result
 

@@ -49,7 +49,7 @@ let spec_to_string = function
    the perturbation ball; ties go to the earlier (stronger) method. *)
 let robust_candidates = [ Local_search; Greedy; Page_all ]
 
-let rec solve ?objective ?cancel ?unguarded spec inst =
+let rec solve ?objective ?cancel ?unguarded ?arena spec inst =
   (* Dispatch counter (DESIGN §9): one counter per solver spec, so the
      registry shows which algorithms actually ran — including the
      recursive candidates a [Robust] re-rank fans out to. *)
@@ -58,18 +58,28 @@ let rec solve ?objective ?cancel ?unguarded spec inst =
   match spec with
   | Greedy ->
     let exact = inst.Instance.m = 1 || inst.Instance.d = 1 in
-    of_order_dp exact (Greedy.solve ?objective ?cancel inst)
+    (match arena with
+     | Some a -> of_order_dp exact (Flat.greedy ?objective ?cancel a inst)
+     | None -> of_order_dp exact (Greedy.solve ?objective ?cancel inst))
   | Page_all ->
     let strategy = Strategy.page_all inst.Instance.c in
-    {
-      strategy;
-      expected_paging = Strategy.expected_paging ?objective inst strategy;
-      exact = inst.Instance.d = 1;
-    }
+    let expected_paging =
+      match arena with
+      (* One round never stops early: EP = c, bit-identical to the
+         Lemma 2.1 evaluation (whose sum has no terms to subtract). *)
+      | Some _ -> float_of_int inst.Instance.c
+      | None -> Strategy.expected_paging ?objective inst strategy
+    in
+    { strategy; expected_paging; exact = inst.Instance.d = 1 }
   | Within_order order ->
-    of_order_dp false (Order_dp.solve ?objective ?cancel inst ~order)
+    (match arena with
+     | Some a ->
+       of_order_dp false (Flat.order_dp ?objective ?cancel a inst ~order)
+     | None -> of_order_dp false (Order_dp.solve ?objective ?cancel inst ~order))
   | Bandwidth_limited b ->
-    of_order_dp false (Bandwidth.solve ?objective ?cancel inst ~b)
+    (match arena with
+     | Some a -> of_order_dp false (Flat.bandwidth ?objective ?cancel a inst ~b)
+     | None -> of_order_dp false (Bandwidth.solve ?objective ?cancel inst ~b))
   | Exhaustive ->
     let guard = not (Option.value unguarded ~default:false) in
     of_optimal (Optimal.exhaustive ?objective ?cancel ~guard inst)
@@ -80,7 +90,11 @@ let rec solve ?objective ?cancel ?unguarded spec inst =
      | Some r -> of_optimal r
      | None -> invalid_arg "Solver: instance too large for exact solving")
   | Local_search ->
-    let r = Local_search.hill_climb ?objective ?cancel inst in
+    let r =
+      match arena with
+      | Some a -> Flat.hill_climb ?objective ?cancel a inst
+      | None -> Local_search.hill_climb ?objective ?cancel inst
+    in
     {
       strategy = r.Local_search.strategy;
       expected_paging = r.Local_search.expected_paging;
@@ -99,7 +113,7 @@ let rec solve ?objective ?cancel ?unguarded spec inst =
     List.iter
       (fun cand ->
          Option.iter Cancel.check cancel;
-         match solve ?objective ?cancel ?unguarded cand inst with
+         match solve ?objective ?cancel ?unguarded ?arena cand inst with
          | outcome ->
            let r = Uncertainty.robust_ep ?objective u inst outcome.strategy in
            (match !best with

@@ -26,11 +26,18 @@ type outcome = {
   exact : bool;  (** whether the strategy is provably optimal *)
 }
 
-(** [solve ?objective ?cancel ?unguarded spec inst] runs the chosen
-    method. [cancel] is threaded into the method's hot loop (see
+(** [solve ?objective ?cancel ?unguarded ?arena spec inst] runs the
+    chosen method. [cancel] is threaded into the method's hot loop (see
     {!Cancel}); [~unguarded:true] lifts the instance-size guards of the
     exact methods — only meaningful together with a deadline token, as
     the {!Runner} does.
+
+    [arena] routes [Greedy], [Page_all], [Within_order],
+    [Bandwidth_limited], [Local_search] (and the [Robust] re-rank over
+    them) through the allocation-free {!Flat} hot path, reusing the
+    arena's scratch across solves. Results are bit-identical to the
+    legacy list path (test_flat pins this); solvers without a flat
+    mirror ignore the arena.
     @raise Invalid_argument when the method does not apply (e.g.
     [Best_exact] on a huge instance, [Branch_and_bound] with d ≠ 2).
     @raise Cancel.Cancelled when the token fires before a non-anytime
@@ -39,6 +46,7 @@ val solve :
   ?objective:Objective.t ->
   ?cancel:Cancel.t ->
   ?unguarded:bool ->
+  ?arena:Flat.t ->
   spec ->
   Instance.t ->
   outcome

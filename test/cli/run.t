@@ -82,8 +82,14 @@ JSON output is valid and carries the robustness block:
 
   $ $CLI simulate --users 16 --duration 50 --seed 5 --json | head -c 16
   {"duration": 50,
-  $ $CLI generate -m 1 -c 8 -d 2 --dist uniform | $CLI solve - --json
-  {"solver": "greedy", "strategy": [[0, 1, 2, 3], [4, 5, 6, 7]], "expected_paging": 6, "exact": true, "expected_rounds": 1.5, "lower_bound": 6, "page_all_cost": 8}
+The solve JSON carries the per-call minor-heap allocation figure from
+the flat hot path (alloc_words varies with arena warmup, so only its
+presence and integer-ness are locked here; the zero-allocation
+steady-state guarantee itself is gated by test_flat and bench e30):
+
+  $ $CLI generate -m 1 -c 8 -d 2 --dist uniform | $CLI solve - --json \
+  >   | sed 's/"alloc_words": [0-9][0-9]*/"alloc_words": N/'
+  {"solver": "greedy", "strategy": [[0, 1, 2, 3], [4, 5, 6, 7]], "expected_paging": 6, "exact": true, "expected_rounds": 1.5, "lower_bound": 6, "page_all_cost": 8, "alloc_words": N}
 
 Errors leave stdout, land on stderr and exit non-zero: a malformed
 instance file, an inapplicable method, and an unknown solver name.
@@ -92,6 +98,19 @@ instance file, an inapplicable method, and an unknown solver name.
   $ $CLI solve bad.txt 2> err.txt; echo "exit=$?"; cat err.txt
   exit=2
   confcall: error: Instance.of_string: missing header
+
+A degenerate device (or cell) count is rejected at the parse boundary
+with an error naming the axis — solver preconditions assume m >= 1 and
+c >= 1:
+
+  $ printf '0 4 2\n' > nodev.txt
+  $ $CLI solve nodev.txt 2> err.txt; echo "exit=$?"; cat err.txt
+  exit=2
+  confcall: error: Instance.of_string: no devices (m = 0, need m >= 1)
+  $ printf '2 0 1\n' > nocell.txt
+  $ $CLI solve nocell.txt 2> err.txt; echo "exit=$?"; cat err.txt
+  exit=2
+  confcall: error: Instance.of_string: no cells (c = 0, need c >= 1)
   $ $CLI generate -m 2 -c 6 -d 3 --seed 3 > inst3.txt
   $ $CLI solve inst3.txt --solver bnb 2> err.txt; echo "exit=$?"; cat err.txt
   exit=2

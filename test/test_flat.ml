@@ -1,0 +1,448 @@
+(* Differential + GC-regression suite for the flat hot path (Flat).
+
+   The legacy list-based solvers are the oracle: every flat mirror must
+   return the bit-identical expected paging and strategy on random and
+   adversarial instances, across solver specs, objectives and domain
+   counts. A rational-oracle pin re-checks the flat EPs against the
+   exact arithmetic path to ≤ 1e-12·c, so the two float paths cannot
+   drift together. The GC section asserts the zero-minor-words contract
+   of the run_* cores, and the property section drives the incremental
+   local-search EP delta through random accepted/rejected move
+   sequences against full re-evaluation. *)
+
+open Confcall
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* -------------------- instance generators -------------------- *)
+
+(* Adversarial shapes alongside the random ones: exact weight ties (the
+   order comparator must fall back to the index), heavy skew (survivor
+   products underflow toward 0), low-entropy grids (many equal
+   probabilities, many DP ties), and the m = 1 / d = 1 / d = c edges. *)
+let random_instance rng ~kind ~m ~c ~d =
+  match kind mod 4 with
+  | 0 -> Instance.random_uniform_simplex rng ~m ~c ~d
+  | 1 -> Instance.random_zipf rng ~s:(1.1 +. Prob.Rng.unit_float rng) ~m ~c ~d
+  | 2 ->
+    (* all rows uniform: every cell weight is exactly equal *)
+    let p = Array.make_matrix m c (1.0 /. float_of_int c) in
+    Instance.create ~d p
+  | _ ->
+    (* coarse integer grid: lots of exact ties, exactly representable *)
+    let p =
+      Array.init m (fun _ ->
+          let w = Array.init c (fun _ -> Prob.Rng.int rng 4) in
+          if Array.for_all (fun x -> x = 0) w then w.(Prob.Rng.int rng c) <- 1;
+          let s = float_of_int (Array.fold_left ( + ) 0 w) in
+          Array.map (fun n -> float_of_int n /. s) w)
+    in
+    Instance.create ~d p
+
+let random_dims rng =
+  let m = 1 + Prob.Rng.int rng 5 in
+  let c = 2 + Prob.Rng.int rng 12 in
+  let d = 1 + Prob.Rng.int rng c in
+  (m, c, d)
+
+let objective_for rng ~m trial =
+  match trial mod 3 with
+  | 0 -> Objective.Find_all
+  | 1 -> Objective.Find_any
+  | _ -> Objective.Find_at_least (1 + Prob.Rng.int rng m)
+
+let random_order rng c =
+  let order = Array.init c (fun j -> j) in
+  for j = c - 1 downto 1 do
+    let k = Prob.Rng.int rng (j + 1) in
+    let t = order.(j) in
+    order.(j) <- order.(k);
+    order.(k) <- t
+  done;
+  order
+
+let same_outcome what trial (legacy : Solver.outcome) (flat : Solver.outcome) =
+  if legacy.Solver.expected_paging <> flat.Solver.expected_paging then
+    Alcotest.failf "%s (trial %d): EP differs: legacy %.17g flat %.17g" what
+      trial legacy.Solver.expected_paging flat.Solver.expected_paging;
+  if not (Strategy.equal legacy.Solver.strategy flat.Solver.strategy) then
+    Alcotest.failf "%s (trial %d): strategies differ: legacy %s flat %s" what
+      trial
+      (Strategy.to_string legacy.Solver.strategy)
+      (Strategy.to_string flat.Solver.strategy);
+  if legacy.Solver.exact <> flat.Solver.exact then
+    Alcotest.failf "%s (trial %d): exact flag differs" what trial
+
+(* -------------------- differential: solver specs -------------------- *)
+
+(* ≥ 200 instances (random + adversarial), one shared arena rebound
+   across all of them — so the cache-invalidation logic is exercised as
+   hard as the numerics. Every spec with a flat mirror must match the
+   legacy path bit for bit. *)
+let test_differential_specs () =
+  let rng = Prob.Rng.create ~seed:0xF1A7 in
+  let arena = Flat.create () in
+  let trials = 240 in
+  for trial = 1 to trials do
+    let m, c, d = random_dims rng in
+    let inst = random_instance rng ~kind:trial ~m ~c ~d in
+    let objective = objective_for rng ~m trial in
+    let solve ?arena spec = Solver.solve ~objective ?arena spec inst in
+    let specs =
+      [
+        Solver.Greedy;
+        Solver.Page_all;
+        Solver.Within_order (random_order rng c);
+        Solver.Bandwidth_limited (1 + ((c + d - 1) / d));
+        Solver.Local_search;
+      ]
+      @ (if trial mod 10 = 0 then [ Solver.Robust { eps = 0.05; tv = infinity } ]
+         else [])
+    in
+    List.iter
+      (fun spec ->
+        let legacy = solve spec in
+        let flat = solve ~arena spec in
+        same_outcome (Solver.spec_to_string spec) trial legacy flat)
+      specs
+  done
+
+(* Local search must also agree on the iteration count: the flat climb
+   claims to replay the legacy scan move for move. *)
+let test_differential_hill_climb_iterations () =
+  let rng = Prob.Rng.create ~seed:0x1C11 in
+  let arena = Flat.create () in
+  for trial = 1 to 40 do
+    let m, c, d = random_dims rng in
+    let inst = random_instance rng ~kind:trial ~m ~c ~d in
+    let objective = objective_for rng ~m trial in
+    let legacy = Local_search.hill_climb ~objective inst in
+    let flat = Flat.hill_climb ~objective arena inst in
+    check int_t "iterations" legacy.Local_search.iterations
+      flat.Local_search.iterations;
+    check bool_t "ep bits" true
+      (legacy.Local_search.expected_paging = flat.Local_search.expected_paging);
+    check bool_t "strategy" true
+      (Strategy.equal legacy.Local_search.strategy flat.Local_search.strategy)
+  done
+
+(* Coarse DP: block boundaries must not perturb the per-device mass
+   chains — flat and legacy agree bitwise for every block size,
+   including block = 1 (≡ the full DP). *)
+let test_differential_coarse () =
+  let rng = Prob.Rng.create ~seed:0xC0A2 in
+  let arena = Flat.create () in
+  let blocks = [| 1; 2; 3; 5; 16 |] in
+  for trial = 1 to 60 do
+    let m = 1 + Prob.Rng.int rng 4 in
+    let c = 4 + Prob.Rng.int rng 30 in
+    let d = 1 + Prob.Rng.int rng (min c 6) in
+    let inst = random_instance rng ~kind:trial ~m ~c ~d in
+    let objective = objective_for rng ~m trial in
+    let block = blocks.(trial mod Array.length blocks) in
+    let order = Instance.weight_order inst in
+    let legacy = Order_dp.solve_coarse ~objective ~block inst ~order in
+    let flat = Flat.coarse ~objective ~block arena inst in
+    check bool_t "coarse ep bits" true
+      (legacy.Order_dp.expected_paging = flat.Order_dp.expected_paging);
+    check bool_t "coarse strategy" true
+      (Strategy.equal legacy.Order_dp.strategy flat.Order_dp.strategy)
+  done
+
+(* Rational-oracle pin: the flat EP must sit within 1e-12·c of the
+   exact-arithmetic evaluation of the same strategy — bit-identity with
+   the legacy float path alone would be satisfied by two paths that are
+   wrong together. *)
+let test_rational_oracle_pin () =
+  let rng = Prob.Rng.create ~seed:0x0A17 in
+  let arena = Flat.create () in
+  for trial = 1 to 60 do
+    let m = 1 + Prob.Rng.int rng 3 in
+    let c = 2 + Prob.Rng.int rng 8 in
+    let d = 1 + Prob.Rng.int rng c in
+    let rows_q =
+      Array.init m (fun _ ->
+          let w = Array.init c (fun _ -> Prob.Rng.int rng 20) in
+          if Array.for_all (fun x -> x = 0) w then w.(Prob.Rng.int rng c) <- 1;
+          let s = Array.fold_left ( + ) 0 w in
+          Array.map (fun n -> Numeric.Rational.of_ints n s) w)
+    in
+    let exact = Instance.Exact.create ~d rows_q in
+    let inst = Instance.Exact.to_float exact in
+    let objective = objective_for rng ~m trial in
+    List.iter
+      (fun (what, r) ->
+        let ep_exact =
+          Numeric.Rational.to_float
+            (Strategy.expected_paging_exact ~objective exact
+               r.Order_dp.strategy)
+        in
+        if
+          abs_float (r.Order_dp.expected_paging -. ep_exact)
+          > 1e-12 *. float_of_int c
+        then
+          Alcotest.failf "%s (trial %d): flat EP %.17g vs exact %.17g" what
+            trial r.Order_dp.expected_paging ep_exact)
+      [
+        ("greedy", Flat.greedy ~objective arena inst);
+        ("coarse", Flat.coarse ~objective ~block:3 arena inst);
+        ( "within-order",
+          Flat.order_dp ~objective arena inst ~order:(random_order rng c) );
+      ]
+  done
+
+(* -------------------- differential: runner, domains 1 and 4 ------- *)
+
+let runner_winner_ep ?pool ?arena inst ~objective =
+  let report = Runner.run ~objective ?pool ?arena inst in
+  match report.Runner.winner with
+  | Some (spec, o) -> (spec, o.Solver.expected_paging, o.Solver.strategy)
+  | None -> Alcotest.fail "runner produced no winner"
+
+let test_runner_differential_domains () =
+  let rng = Prob.Rng.create ~seed:0x40FE in
+  let arena = Flat.create () in
+  let compare_one ?pool trial =
+    let m, c, d = random_dims rng in
+    let inst = random_instance rng ~kind:trial ~m ~c ~d in
+    let objective = objective_for rng ~m trial in
+    let wl, el, sl = runner_winner_ep ?pool inst ~objective in
+    let wf, ef, sf = runner_winner_ep ?pool ~arena inst ~objective in
+    check bool_t "same winner spec" true (wl = wf);
+    check bool_t "same winner ep" true (el = ef);
+    check bool_t "same winner strategy" true (Strategy.equal sl sf)
+  in
+  for trial = 1 to 12 do
+    compare_one trial
+  done;
+  Exec.Pool.with_pool ~domains:4 (fun pool ->
+      for trial = 13 to 24 do
+        compare_one ~pool trial
+      done)
+
+(* -------------------- GC regression -------------------- *)
+
+let steady_instance () =
+  let rng = Prob.Rng.create ~seed:0x6C60 in
+  Instance.random_uniform_simplex rng ~m:6 ~c:48 ~d:5
+
+let test_zero_alloc_cores () =
+  let inst = steady_instance () in
+  List.iter
+    (fun (oname, objective) ->
+      let arena = Flat.create () in
+      Flat.prepare ~objective arena inst;
+      Testutil.assert_no_minor_alloc
+        (Printf.sprintf "run_greedy[%s]" oname)
+        (fun () -> Flat.run_greedy arena);
+      Testutil.assert_no_minor_alloc
+        (Printf.sprintf "run_order_dp[%s]" oname)
+        (fun () -> Flat.run_order_dp ~max_group:12 arena);
+      Testutil.assert_no_minor_alloc
+        (Printf.sprintf "run_page_all[%s]" oname)
+        (fun () -> Flat.run_page_all arena);
+      Testutil.assert_no_minor_alloc
+        (Printf.sprintf "run_hill_climb[%s]" oname)
+        (fun () -> Flat.run_hill_climb arena);
+      Testutil.assert_no_minor_alloc
+        (Printf.sprintf "run_hill_climb_fast[%s]" oname)
+        (fun () -> Flat.run_hill_climb_fast arena);
+      Flat.prepare_coarse ~objective ~block:8 arena inst;
+      Testutil.assert_no_minor_alloc
+        (Printf.sprintf "run_coarse[%s]" oname)
+        (fun () -> Flat.run_coarse arena))
+    [
+      ("find-all", Objective.Find_all);
+      ("find-any", Objective.Find_any);
+      ("find-2", Objective.Find_at_least 2);
+    ]
+
+(* Rebinding the arena to another instance (prepare itself may allocate
+   — it sorts and rebuilds tables) must not poison the cores: right
+   after every rebind the run_* entry points are allocation-free
+   again. *)
+let test_zero_alloc_after_rebind () =
+  let rng = Prob.Rng.create ~seed:0x2EB1 in
+  let insts =
+    Array.init 4 (fun k ->
+        Instance.random_uniform_simplex rng ~m:(3 + k) ~c:(30 + (5 * k)) ~d:4)
+  in
+  let arena = Flat.create () in
+  Array.iteri
+    (fun k inst ->
+      Flat.prepare arena inst;
+      Testutil.assert_no_minor_alloc
+        (Printf.sprintf "run_greedy after rebind %d" k)
+        (fun () -> Flat.run_greedy arena);
+      Testutil.assert_no_minor_alloc
+        (Printf.sprintf "run_hill_climb after rebind %d" k)
+        (fun () -> Flat.run_hill_climb arena))
+    insts
+
+(* -------------------- property: incremental EP delta -------------- *)
+
+(* Drive the delta machinery through random move sequences. After every
+   rejected candidate (predict) the maintained EP must be untouched;
+   after every accepted move (apply, deliberately without resync) the
+   maintained EP must match a full re-evaluation to float-drift
+   tolerance, and must equal the prediction of that same move bit for
+   bit (predict and apply share the arithmetic). *)
+let test_delta_ep_property () =
+  let rng = Prob.Rng.create ~seed:0xDE17A in
+  let arena = Flat.create () in
+  for seq = 1 to 100 do
+    let m = 1 + Prob.Rng.int rng 4 in
+    let c = 3 + Prob.Rng.int rng 10 in
+    let d = 2 + Prob.Rng.int rng (c - 1) in
+    let inst = random_instance rng ~kind:seq ~m ~c ~d in
+    let objective = objective_for rng ~m seq in
+    (* random strategy with rounds ≤ d *)
+    let rounds = 2 + Prob.Rng.int rng (d - 1) in
+    let rounds = min rounds c in
+    let order = random_order rng c in
+    let sizes = Array.make rounds 1 in
+    for _ = 1 to c - rounds do
+      let r = Prob.Rng.int rng rounds in
+      sizes.(r) <- sizes.(r) + 1
+    done;
+    let strategy = Strategy.of_sizes ~order ~sizes in
+    Flat.Ls.load ~objective arena inst strategy;
+    let tol = 1e-9 *. float_of_int c in
+    let check_consistent what step =
+      let maintained = Flat.Ls.ep arena in
+      let full = Flat.Ls.ep_full arena in
+      if abs_float (maintained -. full) > tol then
+        Alcotest.failf
+          "seq %d step %d (%s): maintained EP %.17g vs full %.17g" seq step
+          what maintained full
+    in
+    check_consistent "load" 0;
+    for step = 1 to 20 do
+      let relocate = Prob.Rng.bool rng in
+      if relocate then begin
+        let cell = Prob.Rng.int rng c in
+        let src = Flat.Ls.round_of arena cell in
+        let target = Prob.Rng.int rng rounds in
+        if target <> src && Flat.Ls.count arena src > 1 then begin
+          let before = Flat.Ls.ep arena in
+          let predicted = Flat.Ls.predict_relocate arena ~cell ~target in
+          if Flat.Ls.ep arena <> before then
+            Alcotest.failf "seq %d step %d: predict_relocate moved the EP"
+              seq step;
+          check_consistent "rejected relocate" step;
+          if Prob.Rng.bool rng then begin
+            Flat.Ls.apply_relocate arena ~cell ~target;
+            if Flat.Ls.ep arena <> predicted then
+              Alcotest.failf
+                "seq %d step %d: applied relocate EP %.17g <> predicted %.17g"
+                seq step (Flat.Ls.ep arena) predicted;
+            check_consistent "accepted relocate" step
+          end
+        end
+      end
+      else begin
+        let p = Prob.Rng.int rng c and q = Prob.Rng.int rng c in
+        if p <> q && Flat.Ls.round_of arena p <> Flat.Ls.round_of arena q
+        then begin
+          let before = Flat.Ls.ep arena in
+          let predicted = Flat.Ls.predict_swap arena ~p ~q in
+          if Flat.Ls.ep arena <> before then
+            Alcotest.failf "seq %d step %d: predict_swap moved the EP" seq
+              step;
+          check_consistent "rejected swap" step;
+          if Prob.Rng.bool rng then begin
+            Flat.Ls.apply_swap arena ~p ~q;
+            if Flat.Ls.ep arena <> predicted then
+              Alcotest.failf
+                "seq %d step %d: applied swap EP %.17g <> predicted %.17g" seq
+                step (Flat.Ls.ep arena) predicted;
+            check_consistent "accepted swap" step
+          end
+        end
+      end
+    done
+  done
+
+(* The fast climb must land within float tolerance of the mirror climb
+   (same move set and threshold; only candidate scoring arithmetic
+   differs). *)
+let test_fast_climb_agrees () =
+  let rng = Prob.Rng.create ~seed:0xFA57 in
+  let arena = Flat.create () in
+  for trial = 1 to 40 do
+    let m, c, d = random_dims rng in
+    let inst = random_instance rng ~kind:trial ~m ~c ~d in
+    let objective = objective_for rng ~m trial in
+    let mirror = Flat.hill_climb ~objective arena inst in
+    let fast = Flat.hill_climb_fast ~objective arena inst in
+    let tol = 1e-9 *. float_of_int c in
+    if
+      abs_float
+        (mirror.Local_search.expected_paging
+        -. fast.Local_search.expected_paging)
+      > tol
+    then
+      Alcotest.failf "trial %d: mirror EP %.17g vs fast EP %.17g" trial
+        mirror.Local_search.expected_paging fast.Local_search.expected_paging
+  done
+
+(* -------------------- boundary -------------------- *)
+
+let test_named_dimension_errors () =
+  let expect_msg what input fragment =
+    match Instance.of_string input with
+    | _ -> Alcotest.failf "%s: accepted a degenerate header" what
+    | exception Invalid_argument msg ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      if not (contains msg fragment) then
+        Alcotest.failf "%s: error %S does not name the axis (%S)" what msg
+          fragment
+  in
+  expect_msg "m = 0" "0 4 2\n" "no devices";
+  expect_msg "m < 0" "-3 4 2\n" "no devices";
+  expect_msg "c = 0" "2 0 1\n" "no cells"
+
+let () =
+  Alcotest.run "flat"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "solver specs, 240 instances" `Quick
+            test_differential_specs;
+          Alcotest.test_case "hill-climb iteration parity" `Quick
+            test_differential_hill_climb_iterations;
+          Alcotest.test_case "coarse DP all block sizes" `Quick
+            test_differential_coarse;
+          Alcotest.test_case "rational-oracle pin" `Quick
+            test_rational_oracle_pin;
+          Alcotest.test_case "runner, domains 1 and 4" `Quick
+            test_runner_differential_domains;
+        ] );
+      ( "gc-regression",
+        [
+          Alcotest.test_case "zero minor words per solve" `Quick
+            test_zero_alloc_cores;
+          Alcotest.test_case "zero minor words after rebind" `Quick
+            test_zero_alloc_after_rebind;
+        ] );
+      ( "delta-ep",
+        [
+          Alcotest.test_case "incremental = full on 100 move sequences" `Quick
+            test_delta_ep_property;
+          Alcotest.test_case "fast climb agrees with mirror" `Quick
+            test_fast_climb_agrees;
+        ] );
+      ( "boundary",
+        [
+          Alcotest.test_case "named m=0 / c=0 errors" `Quick
+            test_named_dimension_errors;
+        ] );
+    ]

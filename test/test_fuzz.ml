@@ -95,6 +95,57 @@ let test_instance_fuzz () =
   let roundtrip = Instance.to_string (Instance.of_string s) in
   Alcotest.(check string) "roundtrip" s roundtrip
 
+(* -------------------- parser → flat arena boundary -------------------- *)
+
+(* Whatever survives the parser must be safe to feed the flat hot path:
+   one shared arena rebound across every surviving mutant (so stale
+   cached tables from the previous mutant are in scope each time), and
+   the flat EP must stay bit-identical to the legacy solver. Only the
+   documented [Invalid_argument] may escape either path — and the two
+   paths must agree on whether they reject. *)
+let test_flat_arena_fuzz () =
+  let rng = Prob.Rng.create ~seed:0xF0223 in
+  let arena = Flat.create () in
+  for case = 1 to cases do
+    let input =
+      match case mod 3 with
+      | 0 -> random_texty rng (Prob.Rng.int rng 200)
+      | _ -> mutate_n rng (valid_instance_string rng)
+    in
+    match Instance.of_string input with
+    | exception Invalid_argument _ -> ()
+    | exception e ->
+      Alcotest.failf "Instance.of_string (seed %d) escaped with %s on %S" case
+        (Printexc.to_string e) (escape input)
+    | inst ->
+      let legacy =
+        match Solver.solve Solver.Greedy inst with
+        | o -> Ok o
+        | exception Invalid_argument msg -> Error msg
+      in
+      let flat =
+        match Solver.solve ~arena Solver.Greedy inst with
+        | o -> Ok o
+        | exception Invalid_argument msg -> Error msg
+        | exception e ->
+          Alcotest.failf "flat greedy (seed %d) escaped with %s on %S" case
+            (Printexc.to_string e) (escape input)
+      in
+      (match (legacy, flat) with
+       | Ok l, Ok f ->
+         if l.Solver.expected_paging <> f.Solver.expected_paging then
+           Alcotest.failf
+             "flat/legacy EP diverge (seed %d): %.17g vs %.17g on %S" case
+             l.Solver.expected_paging f.Solver.expected_paging (escape input)
+       | Error _, Error _ -> ()
+       | Ok _, Error msg ->
+         Alcotest.failf "flat rejects what legacy accepts (seed %d): %s" case
+           msg
+       | Error msg, Ok _ ->
+         Alcotest.failf "flat accepts what legacy rejects (seed %d): %s" case
+           msg)
+  done
+
 (* -------------------- journal loader -------------------- *)
 
 let valid_journal_string rng =
@@ -294,6 +345,8 @@ let () =
   Alcotest.run "fuzz"
     [ ( "smoke",
         [ Alcotest.test_case "instance parser" `Quick test_instance_fuzz;
+          Alcotest.test_case "parser to flat arena" `Quick
+            test_flat_arena_fuzz;
           Alcotest.test_case "journal loader" `Quick test_journal_fuzz;
           Alcotest.test_case "serve protocol parsers" `Quick
             test_protocol_fuzz;
