@@ -487,6 +487,7 @@ let e10 () =
       track_ongoing = true;
       faults = None;
       estimator = Cellsim.Sim.Live;
+      aging = None;
       profile_decay = 0.9;
       profile_smoothing = 0.05;
       duration = 300.0;
@@ -752,6 +753,7 @@ let sim_config ?(users = 64) ?(rate = 0.5) ?(track_ongoing = true) ~schemes
     track_ongoing;
     faults = None;
     estimator = Cellsim.Sim.Live;
+    aging = None;
     duration = 300.0;
     seed;
   }
@@ -2560,6 +2562,225 @@ let e30 () =
         climb within tolerance: %b"
        steady_ms solve_fast minor_words equal !small_equal !fast_ok)
 
+(* ------------------------------------------------------------------ *)
+(* E31: profile age vs realized EP across residence-time variance      *)
+(* ------------------------------------------------------------------ *)
+
+let e31 () =
+  header ~id:"e31" ~title:"residence-time aging: realized EP vs profile age"
+    ~claim:
+      "sequential-paging gains hinge on residence-time variance: at a \
+       matched mean dwell, heavy-tailed (Pareto) residence churns more \
+       at moderate profile ages than exponential, so even correctly \
+       aged location distributions are flatter and the best achievable \
+       paging cost degrades faster; aging the rows and inflating the \
+       uncertainty ball mitigate the age-blind gap, and age-triggered \
+       re-profiling recovers the fresh-profile cost";
+  let module Sim = Cellsim.Sim in
+  let module Mobility = Cellsim.Mobility in
+  let mean_dwell = 6.0 in
+  let laws =
+    [
+      "exp", Mobility.Exponential { mean = mean_dwell };
+      "pareto", Mobility.pareto_with_mean ~alpha:1.6 ~mean:mean_dwell;
+    ]
+  in
+  let seeds = [ 2002; 2003; 2004 ] in
+  let ks = [ 1; 4; 8; 16 ] in
+  let mk ~law ~report_every ~reprofile ~seed =
+    let base = Cellsim.Scenario.residence_lab ~seed ~residence:law () in
+    {
+      base with
+      Sim.reporting = Cellsim.Reporting.Time report_every;
+      aging =
+        Option.map
+          (fun a -> { a with Sim.reprofile_age = reprofile })
+          base.Sim.aging;
+    }
+  in
+  (* Realized paging cost (ground-truth cells/call) and the planner's
+     nominal EP/call for one scheme of one run. *)
+  let per_call (r : Sim.result) scheme =
+    let s =
+      List.find (fun s -> s.Sim.scheme = scheme) r.Sim.per_scheme
+    in
+    let calls = float_of_int (max 1 s.Sim.calls) in
+    ( float_of_int s.Sim.cells_paged /. calls,
+      s.Sim.expected_paging /. calls )
+  in
+  (* Seed-averaged realized cells/call per scheme, plus polls. *)
+  let measure ~law ~report_every ~reprofile =
+    let n = float_of_int (List.length seeds) in
+    let acc = Hashtbl.create 8 in
+    let polls = ref 0 in
+    List.iter
+      (fun seed ->
+        let r = Sim.run (mk ~law ~report_every ~reprofile ~seed) in
+        polls := !polls + r.Sim.polls;
+        List.iter
+          (fun s ->
+            let realized, nominal = per_call r s.Sim.scheme in
+            let r0, n0 =
+              Option.value
+                (Hashtbl.find_opt acc s.Sim.scheme)
+                ~default:(0.0, 0.0)
+            in
+            Hashtbl.replace acc s.Sim.scheme
+              (r0 +. (realized /. n), n0 +. (nominal /. n)))
+          r.Sim.per_scheme)
+      seeds;
+    (acc, !polls)
+  in
+  let sel = Sim.Selective 3
+  and aged = Sim.Selective_aged 3
+  and robust = Sim.Selective_robust 3
+  and blanket = Sim.Blanket in
+  let realized acc s = fst (Hashtbl.find acc s) in
+  let nominal acc s = snd (Hashtbl.find acc s) in
+  Printf.printf
+    "%-7s %3s | %9s %9s %9s %9s | %9s\n" "law" "k" "blanket" "stale"
+    "aged" "robust" "aged-nom";
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (name, law) ->
+      List.iter
+        (fun k ->
+          let acc, _ = measure ~law ~report_every:k ~reprofile:None in
+          Hashtbl.replace table (name, k) acc;
+          Printf.printf
+            "%-7s %3d | %9.2f %9.2f %9.2f %9.2f | %9.2f\n" name k
+            (realized acc blanket) (realized acc sel) (realized acc aged)
+            (realized acc robust) (nominal acc aged))
+        ks)
+    laws;
+  let at name k = Hashtbl.find table (name, k) in
+  (* Fresh-profile reference: everyone reports every tick, so ages are
+     all zero and every selective variant coincides. *)
+  let fresh name = realized (at name 1) sel in
+  let deg name k = realized (at name k) sel /. fresh name in
+  Printf.printf "\nstale-selective degradation vs fresh (cells/call ratio):\n";
+  List.iter
+    (fun (name, _) ->
+      List.iter
+        (fun k -> Printf.printf "  %s k=%d: %.3f\n" name k (deg name k))
+        (List.tl ks))
+    laws;
+  (* Re-profiling leg: at the most stale setting, poll any participant
+     not sighted this very tick before planning, so the planner works
+     from exact knowledge — the "query on demand" end of the
+     reporting/paging trade-off. *)
+  let kmax = List.fold_left max 1 ks in
+  Printf.printf "\nre-profiling leg (k=%d, reprofile-age 0):\n" kmax;
+  let recover =
+    List.map
+      (fun (name, law) ->
+        let acc, polls =
+          measure ~law ~report_every:kmax ~reprofile:(Some 0)
+        in
+        let rec_sel = realized acc sel in
+        Printf.printf
+          "  %s: stale %.2f -> reprofiled %.2f (fresh %.2f), %d polls\n"
+          name
+          (realized (at name kmax) sel)
+          rec_sel (fresh name) polls;
+        (name, rec_sel, polls))
+      laws
+  in
+  (* --- gates --- *)
+  (* 1. Staleness hurts: the age-blind scheme's realized cost rises
+     monotonically in the reporting interval, for both laws. *)
+  let monotone name =
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+        realized (at name a) sel <= realized (at name b) sel && go rest
+      | _ -> true
+    in
+    go ks
+  in
+  let degrades =
+    List.for_all (fun (name, _) -> monotone name) laws
+    && List.for_all (fun (name, _) -> deg name kmax > 1.5) laws
+  in
+  (* 2. Variance matters. The age-blind scheme's realized cost is
+     dominated by uncertainty-set growth (identical across laws), and
+     the heavy tail's long dwells even flatter the stale profile less
+     — so the variance penalty is read off the *age-aware* cost: with
+     correctly aged rows, both the realized cells/call (summed over
+     the stale settings) and the planner's nominal EP at every stale
+     setting are strictly worse under Pareto than under the
+     exponential law at the same mean dwell. The sequential-paging
+     advantage that remains once staleness is modelled honestly is
+     what the heavy tail erodes. *)
+  let stale_ks = List.tl ks in
+  let aged_sum name =
+    List.fold_left (fun s k -> s +. realized (at name k) aged) 0.0 stale_ks
+  in
+  let exp_aged_sum = aged_sum "exp" and pareto_aged_sum = aged_sum "pareto" in
+  let pareto_faster =
+    pareto_aged_sum > exp_aged_sum
+    && List.for_all
+         (fun k -> nominal (at "pareto" k) aged > nominal (at "exp" k) aged)
+         stale_ks
+  in
+  (* 3. Mitigation: on the stalest setting, aged rows and the
+     staleness-inflated robust re-rank both beat the age-blind
+     scheme, under both laws. *)
+  let mitigates =
+    List.for_all
+      (fun (name, _) ->
+        let acc = at name kmax in
+        realized acc aged <= realized acc sel
+        && realized acc robust <= realized acc sel)
+      laws
+  in
+  (* 4. Recovery: age-triggered re-profiling brings realized cost back
+     to within 10% of the fresh-profile cost. *)
+  let recovers =
+    List.for_all
+      (fun (name, r, polls) -> r <= 1.10 *. fresh name && polls > 0)
+      recover
+  in
+  let exp_fresh = fresh "exp" and pareto_fresh = fresh "pareto" in
+  let rec_exp =
+    match recover with (_, r, _) :: _ -> r | [] -> nan
+  in
+  let rec_pareto =
+    match recover with _ :: (_, r, _) :: _ -> r | _ -> nan
+  in
+  record ~id:"e31"
+    ~pass:(degrades && pareto_faster && mitigates && recovers)
+    ~metrics:
+      [
+        "exp_fresh", json_num exp_fresh;
+        "pareto_fresh", json_num pareto_fresh;
+        "exp_aged_sum", json_num exp_aged_sum;
+        "pareto_aged_sum", json_num pareto_aged_sum;
+        "exp_aged_nom_max", json_num (nominal (at "exp" kmax) aged);
+        "pareto_aged_nom_max", json_num (nominal (at "pareto" kmax) aged);
+        "exp_deg_max", json_num (deg "exp" kmax);
+        "pareto_deg_max", json_num (deg "pareto" kmax);
+        "exp_stale_max", json_num (realized (at "exp" kmax) sel);
+        "exp_aged_max", json_num (realized (at "exp" kmax) aged);
+        "exp_robust_max", json_num (realized (at "exp" kmax) robust);
+        "pareto_stale_max", json_num (realized (at "pareto" kmax) sel);
+        "pareto_aged_max", json_num (realized (at "pareto" kmax) aged);
+        "pareto_robust_max", json_num (realized (at "pareto" kmax) robust);
+        "exp_reprofiled", json_num rec_exp;
+        "pareto_reprofiled", json_num rec_pareto;
+        "degrades", (if degrades then "true" else "false");
+        "pareto_faster", (if pareto_faster then "true" else "false");
+        "mitigates", (if mitigates then "true" else "false");
+        "recovers", (if recovers then "true" else "false");
+      ]
+    (Printf.sprintf
+       "staleness degrades realized cost monotonically: %b; heavy tail \
+        degrades the age-aware cost faster (aged cells/call summed over \
+        stale settings: pareto %.2f vs exp %.2f; nominal EP worse at \
+        every stale k): %b; aged rows and inflated ball mitigate at \
+        k=%d: %b; re-profiling recovers to within 10%% of fresh: %b"
+       degrades pareto_aged_sum exp_aged_sum pareto_faster kmax mitigates
+       recovers)
+
 let experiments =
   [
     "e1", e1;
@@ -2592,6 +2813,7 @@ let experiments =
     "e28", e28;
     "e29", e29;
     "e30", e30;
+    "e31", e31;
   ]
 
 let () =

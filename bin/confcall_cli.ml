@@ -116,6 +116,7 @@ module Json = struct
         "reports_lost", string_of_int r.Cellsim.Sim.reports_lost;
         "reports_delayed", string_of_int r.Cellsim.Sim.reports_delayed;
         "outages", string_of_int r.Cellsim.Sim.outages;
+        "polls", string_of_int r.Cellsim.Sim.polls;
         "per_scheme",
         arr (List.map scheme r.Cellsim.Sim.per_scheme);
       ]
@@ -922,6 +923,40 @@ let build_faults page_loss detect_q outage_rate outage_repair report_loss
   then None
   else Some f
 
+let residence_conv =
+  let parse s =
+    Result.map_error
+      (fun e -> `Msg e)
+      (Cellsim.Mobility.residence_of_string s)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf r ->
+        Format.pp_print_string ppf (Cellsim.Mobility.residence_to_string r) )
+
+(* Combine the aging flags into a [Sim.aging_config option]. The aged
+   schemes and re-profiling only make sense against a dwell law, so the
+   dependent flags demand [--residence]. *)
+let build_aging residence age_cap reprofile_age age_robust aged =
+  match residence with
+  | Some law ->
+    Some
+      {
+        Cellsim.Sim.default_aging with
+        residence = law;
+        age_cap;
+        drive_motion = true;
+        reprofile_age;
+        confidence =
+          Option.value age_robust
+            ~default:Cellsim.Sim.default_aging.Cellsim.Sim.confidence;
+      }
+  | None ->
+    if aged || age_robust <> None || reprofile_age <> None then
+      invalid_arg
+        "--aged, --age-robust and --reprofile-age require --residence";
+    None
+
 let print_sim_result json result =
   if json then print_endline (Json.sim_result result)
   else Format.printf "%a@." Cellsim.Sim.pp_result result
@@ -941,10 +976,13 @@ let run_sim_config ~replicas ~domains json config =
   end
 
 let simulate_custom rows cols users rate duration seed block d_list reporting
-    diffuse call_duration faults =
+    diffuse call_duration faults aging ~aged ~age_robust =
   let hex = Cellsim.Hex.create ~rows ~cols in
   let selective d =
-    if diffuse then Cellsim.Sim.Selective_diffuse d else Cellsim.Sim.Selective d
+    if age_robust then Cellsim.Sim.Selective_robust d
+    else if aged then Cellsim.Sim.Selective_aged d
+    else if diffuse then Cellsim.Sim.Selective_diffuse d
+    else Cellsim.Sim.Selective d
   in
   let schemes = Cellsim.Sim.Blanket :: List.map selective d_list in
   let config =
@@ -964,6 +1002,7 @@ let simulate_custom rows cols users rate duration seed block d_list reporting
       track_ongoing = true;
       faults;
       estimator = Cellsim.Sim.Live;
+      aging;
       profile_decay = 0.9;
       profile_smoothing = 0.05;
       duration;
@@ -974,8 +1013,8 @@ let simulate_custom rows cols users rate duration seed block d_list reporting
 
 let simulate rows cols users rate duration seed block d_list reporting diffuse
     call_duration scenario page_loss detect_q outage_rate outage_repair
-    report_loss report_delay retry json replicas domains metrics_out trace_out
-    =
+    report_loss report_delay retry residence age_cap reprofile_age age_robust
+    aged json replicas domains metrics_out trace_out =
   guard @@ fun () ->
   with_obs ~metrics_out ~trace_out @@ fun () ->
   if replicas < 1 then invalid_arg "--replicas must be >= 1";
@@ -984,16 +1023,27 @@ let simulate rows cols users rate duration seed block d_list reporting diffuse
     build_faults page_loss detect_q outage_rate outage_repair report_loss
       report_delay retry
   in
+  let aging =
+    build_aging residence age_cap reprofile_age age_robust aged
+  in
   let config =
     match scenario with
     | Some build ->
       let config = build ?seed:(Some seed) () in
-      (match faults with
+      let config =
+        match faults with
+        | None -> config
+        | Some _ -> { config with Cellsim.Sim.faults }
+      in
+      (* An explicit residence law overrides the preset's aging layer
+         (the preset keeps its schemes). *)
+      (match aging with
        | None -> config
-       | Some _ -> { config with Cellsim.Sim.faults })
+       | Some _ -> { config with Cellsim.Sim.aging })
     | None ->
       simulate_custom rows cols users rate duration seed block d_list reporting
-        diffuse call_duration faults
+        diffuse call_duration faults aging ~aged
+        ~age_robust:(age_robust <> None)
   in
   run_sim_config ~replicas ~domains json config
 
@@ -1041,8 +1091,9 @@ let simulate_cmd =
       & opt scenario_conv None
       & info [ "scenario" ]
           ~doc:"Preset: suburb | commuter-day | drifting-commuter | busy-campus | \
-                degraded-downtown (overrides the other simulation options; \
-                explicit fault flags still apply on top).")
+                degraded-downtown | residence-exp | residence-pareto \
+                (overrides the other simulation options; explicit fault \
+                and residence flags still apply on top).")
   in
   let page_loss =
     Arg.(
@@ -1090,6 +1141,50 @@ let simulate_cmd =
           ~doc:"Re-paging policy: none | repeat:<cycles>[:<backoff>] | \
                 escalate:<after>[:blanket|universe].")
   in
+  let residence =
+    Arg.(
+      value
+      & opt (some residence_conv) None
+      & info [ "residence" ] ~docv:"LAW"
+          ~doc:"Cell residence-time law: exp:<mean> | \
+                pareto:<alpha>:<scale> | zipf:<s>:<cutoff>. Enables the \
+                aging layer: ground truth moves by the semi-Markov walk \
+                under this law and profile rows age accordingly.")
+  in
+  let age_cap =
+    Arg.(
+      value & opt int 30
+      & info [ "profile-age-cap" ] ~docv:"N"
+          ~doc:"Clamp profile ages to N ticks before belief evolution \
+                (0 freezes snapshots). Requires --residence.")
+  in
+  let reprofile_age =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "reprofile-age" ] ~docv:"K"
+          ~doc:"Poll call participants whose profile is older than K \
+                ticks before planning (age-triggered re-profiling). \
+                Requires --residence.")
+  in
+  let age_robust =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "age-robust" ] ~docv:"CONF"
+          ~doc:"Plan selective schemes by worst-case EP over a \
+                staleness-inflated uncertainty ball (DKW radius at \
+                confidence CONF + residence-model churn). Requires \
+                --residence.")
+  in
+  let aged =
+    Arg.(
+      value & flag
+      & info [ "aged" ]
+          ~doc:"Age profile rows through the residence-time kernel \
+                before planning (selective schemes become aged-d<k>). \
+                Requires --residence.")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
   in
@@ -1107,8 +1202,8 @@ let simulate_cmd =
       const simulate $ rows $ cols $ users $ rate $ duration $ seed $ block
       $ ds $ reporting $ diffuse $ call_duration $ scenario $ page_loss
       $ detect_q $ outage_rate $ outage_repair $ report_loss $ report_delay
-      $ retry $ json $ replicas $ domains_arg $ metrics_out_arg
-      $ trace_out_arg)
+      $ retry $ residence $ age_cap $ reprofile_age $ age_robust $ aged
+      $ json $ replicas $ domains_arg $ metrics_out_arg $ trace_out_arg)
 
 (* ---------------- analyze ---------------- *)
 

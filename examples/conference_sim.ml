@@ -31,6 +31,7 @@ let () =
       track_ongoing = true;
       faults = None;
       estimator = Cellsim.Sim.Live;
+      aging = None;
       profile_decay = 0.9;
       profile_smoothing = 0.05;
       duration = 600.0;

@@ -22,7 +22,11 @@ let validate cfg =
     Error "cooldown must be >= 0"
   else Ok ()
 
-type verdict = Insufficient of int | Stable of float | Drifted of float
+type verdict =
+  | Cooling of float
+  | Insufficient of int
+  | Stable of float
+  | Drifted of float
 
 type t = {
   cfg : config;
@@ -83,7 +87,8 @@ let tv a b =
 
 let check t ~now ~reference =
   t.checks <- t.checks + 1;
-  if now < t.armed_at +. t.cfg.cooldown then Insufficient 0
+  if now < t.armed_at +. t.cfg.cooldown then
+    Cooling (t.armed_at +. t.cfg.cooldown -. now)
   else begin
     let eligible = ref 0 and tv_sum = ref 0.0 in
     let emp = Array.make t.cells 0.0 in

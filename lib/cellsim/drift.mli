@@ -30,8 +30,12 @@ val default : config
 val validate : config -> (unit, string) result
 
 type verdict =
-  | Insufficient of int
-      (** too few eligible users (the count), or still cooling down *)
+  | Cooling of float
+      (** still inside the post-trigger/rearm cooldown; carries the
+          remaining cooldown time. Distinct from [Insufficient] so
+          callers can tell "monitor muted" from "not enough fresh
+          evidence". *)
+  | Insufficient of int  (** too few eligible users (the count) *)
   | Stable of float  (** mean TV over eligible users, under threshold *)
   | Drifted of float  (** mean TV over eligible users, over threshold *)
 

@@ -3,21 +3,31 @@
     A model is a Markov transition matrix over cells: each simulation
     tick a user jumps according to their current cell's row. The
     stationary distribution doubles as a ground-truth location profile
-    for experiments that want the "ideal knowledge" regime. *)
+    for experiments that want the "ideal knowledge" regime.
+
+    The plain matrix implies geometric cell residence times (constant
+    hazard). The {!residence} / {!aging} layer below generalises this
+    to explicit per-cell dwell laws — exponential or heavy-tailed —
+    turning the chain into a semi-Markov process whose transient
+    evolution quantifies how fast a location profile goes stale. *)
 
 type t = private { n : int; rows : float array array }
 
 (** [create rows] validates a row-stochastic matrix.
-    @raise Invalid_argument when some row does not sum to 1. *)
+    @raise Invalid_argument naming the offending row index and its
+    actual sum when some row does not sum to 1, has the wrong width,
+    or contains a negative entry. *)
 val create : float array array -> t
 
 (** [random_walk hex ~stay] — with probability [stay] remain in place,
-    otherwise move to a uniform neighbor. *)
+    otherwise move to a uniform neighbor. A cell with no neighbors
+    (single-cell field) is absorbing: all mass stays. *)
 val random_walk : Hex.t -> stay:float -> t
 
 (** [drift_walk hex ~stay ~east_bias] — a random walk with a preference
     for eastward neighbors; models commuter flow. [east_bias] ≥ 1
-    multiplies the weight of neighbors with larger column. *)
+    multiplies the weight of neighbors with larger column. Isolated
+    cells are absorbing, as in {!random_walk}. *)
 val drift_walk : Hex.t -> stay:float -> east_bias:float -> t
 
 (** [teleport base ~jump ~target] — with probability [jump] redraw the
@@ -32,5 +42,90 @@ val step : t -> Prob.Rng.t -> cell:int -> int
 val stationary : ?iters:int -> ?tol:float -> t -> float array
 
 (** [diffuse t dist ~steps] — push a distribution [steps] ticks forward:
-    the system's belief about a user last seen [steps] ago. *)
+    the system's belief about a user last seen [steps] ago.
+    @raise Invalid_argument when [steps < 0]. *)
 val diffuse : t -> float array -> steps:int -> float array
+
+(** {1 Residence-time distributions}
+
+    Discrete dwell laws: the number of whole ticks a user spends in a
+    cell before jumping. Every law puts its mass on {1, 2, ...} — a
+    visit lasts at least one tick. *)
+
+type residence =
+  | Exponential of { mean : float }
+      (** Geometric dwell with hazard [1/mean] — the memoryless law the
+          plain Markov matrix implies. [mean >= 1]. *)
+  | Pareto of { alpha : float; scale : float }
+      (** Discrete Lomax: survival [(1 + a/scale)^-alpha]. Heavy tail;
+          infinite variance for [alpha <= 2], infinite mean for
+          [alpha <= 1]. *)
+  | Zipf of { s : float; cutoff : int }
+      (** [P(T = k) ∝ k^-s] for [k = 1..cutoff]. *)
+
+(** [validate_residence r] checks parameter ranges. *)
+val validate_residence : residence -> (unit, string) result
+
+(** [residence_survival r a] — [P(dwell > a ticks)]; [S(0) = 1].
+    @raise Invalid_argument on bad parameters or [a < 0]. *)
+val residence_survival : residence -> int -> float
+
+(** [residence_hazard r a] — [P(leave at dwell age a | survived to a)],
+    clamped to [0, 1]; returns 1 past the support. *)
+val residence_hazard : residence -> int -> float
+
+(** [residence_mean r] — expected dwell in ticks; [infinity] when the
+    law's mean diverges (Pareto with [alpha <= 1]). *)
+val residence_mean : residence -> float
+
+(** [pareto_with_mean ~alpha ~mean] — the Pareto law with tail index
+    [alpha] whose mean dwell equals [mean] (scale found by bisection),
+    for variance comparisons at a matched mean.
+    @raise Invalid_argument when [alpha <= 1] or [mean < 1]. *)
+val pareto_with_mean : alpha:float -> mean:float -> residence
+
+(** [residence_of_string s] parses ["exp:<mean>"],
+    ["pareto:<alpha>:<scale>"] or ["zipf:<s>:<cutoff>"]. *)
+val residence_of_string : string -> (residence, string) result
+
+val residence_to_string : residence -> string
+
+(** {1 Aging kernel}
+
+    A mobility matrix plus per-cell residence laws define a semi-Markov
+    walk: leave the current cell with the dwell-age-dependent hazard,
+    and on leaving pick the destination from the matrix row conditioned
+    on moving. Beliefs evolve on the (cell × dwell-age) product chain,
+    with dwell age capped at [dwell_cap] (hazards freeze at the cap, a
+    geometric tail approximation). With uniform exponential laws of
+    mean [1/(1 - stay)] the per-tick dynamics coincide exactly with the
+    base matrix. *)
+
+type aging
+
+(** [aging ?dwell_cap base laws] — one law per cell.
+    @raise Invalid_argument on a law-count mismatch, bad law
+    parameters, or [dwell_cap < 1] (default 32). *)
+val aging : ?dwell_cap:int -> t -> residence array -> aging
+
+(** [aging_uniform ?dwell_cap base law] — the same law in every cell. *)
+val aging_uniform : ?dwell_cap:int -> t -> residence -> aging
+
+val aging_base : aging -> t
+val aging_dwell_cap : aging -> int
+val aging_law : aging -> cell:int -> residence
+
+(** [hazard_at a ~cell ~dwell] — leave probability this tick. *)
+val hazard_at : aging -> cell:int -> dwell:int -> float
+
+(** [semi_step a rng ~cell ~dwell] — one ground-truth tick of the
+    semi-Markov walk; returns the new cell and dwell age. Consumes an
+    identical number of RNG draws regardless of the law, so runs under
+    different residence laws share motion randomness shape. *)
+val semi_step : aging -> Prob.Rng.t -> cell:int -> dwell:int -> int * int
+
+(** [age_dist a dist ~steps] — transient evolution of a location belief
+    whose mass was observed (dwell age 0) [steps] ticks ago; the
+    age-dependent analogue of {!diffuse}. [steps = 0] is a copy.
+    @raise Invalid_argument when [steps < 0] or on a size mismatch. *)
+val age_dist : aging -> float array -> steps:int -> float array

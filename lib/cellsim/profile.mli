@@ -16,7 +16,9 @@ val create : cells:int -> decay:float -> smoothing:float -> t
 
 val cells : t -> int
 
-(** [observe t cell] records that the user was seen in [cell]. *)
+(** [observe t cell] records that the user was seen in [cell]. O(1):
+    decay of the other cells is deferred (a pending-exponent stamp per
+    cell) and materialized when the estimate is read. *)
 val observe : t -> int -> unit
 
 (** [observations t] — number of observations recorded so far. *)
@@ -44,3 +46,25 @@ val reset : t -> unit
 val reseed : t -> ?prior:int array -> int list -> unit
 
 val copy : t -> t
+
+(** {1 Age-dependent estimates}
+
+    A profile summarises where the user was when last observed. By page
+    time the observation is [age] ticks old, and the estimate should be
+    pushed through the mobility model's transient dynamics — the
+    semi-Markov {!Mobility.aging} kernel — before the solver sees it. *)
+
+(** [aged t ~aging ~age] — the profile's distribution evolved [age]
+    ticks under the aging kernel. [age = 0] is bit-identical to
+    {!distribution} (the frozen-snapshot path).
+    @raise Invalid_argument when [age < 0] or the kernel's cell count
+    differs from the profile's. *)
+val aged : t -> aging:Mobility.aging -> age:int -> float array
+
+(** [aged_over t ~aging ~age subset] — the aged estimate restricted to
+    a cell subset and renormalized; the age-aware counterpart of
+    {!distribution_over}, to which it is bit-identical at [age = 0].
+    Falls back to uniform over [subset] when all evolved mass left it.
+    @raise Invalid_argument on an empty subset or [age < 0]. *)
+val aged_over :
+  t -> aging:Mobility.aging -> age:int -> int array -> float array

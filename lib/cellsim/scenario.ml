@@ -16,6 +16,7 @@ let suburb ?(seed = 2002) () =
     track_ongoing = true;
     faults = None;
     estimator = Sim.Live;
+    aging = None;
     duration = 300.0;
     seed;
   }
@@ -60,6 +61,7 @@ let commuter_day ?(seed = 2002) () =
     track_ongoing = true;
     faults = None;
     estimator = Sim.Live;
+    aging = None;
     duration;
     seed;
   }
@@ -130,6 +132,7 @@ let drifting_commuter ?(seed = 2002) () =
               };
           budget_ms = Some 5.0;
         };
+    aging = None;
     duration;
     seed;
   }
@@ -153,6 +156,7 @@ let busy_campus ?(seed = 2002) () =
     track_ongoing = true;
     faults = None;
     estimator = Sim.Live;
+    aging = None;
     duration = 300.0;
     seed;
   }
@@ -174,6 +178,49 @@ let degraded_downtown ?(seed = 2002) () =
         };
   }
 
+(* Residence-time laboratory: ground truth moves by the semi-Markov
+   walk under [residence] (mean dwell 6 ticks), reports arrive only
+   every 8 ticks (Time policy), so profiles are genuinely stale at page
+   time — ages spread over [0, 8). The scheme lineup compares the
+   age-blind selective baseline against age-evolved rows and the
+   staleness-inflated robust re-rank, under identical motion. The
+   random walk's stay probability is matched to the mean dwell
+   (stay = 1 − 1/mean), so under the exponential law the semi-Markov
+   walk coincides with the plain chain — isolating the residence-time
+   *variance* as the experimental variable. *)
+let residence_lab ?(seed = 2002) ~residence () =
+  let hex = Hex.create ~rows:8 ~cols:8 in
+  let users = 64 in
+  let mean_dwell = 6.0 in
+  {
+    Sim.hex;
+    mobility = Mobility.random_walk hex ~stay:(1.0 -. (1.0 /. mean_dwell));
+    areas = Location_area.grid hex ~block_rows:4 ~block_cols:4;
+    users;
+    traffic = Traffic.create ~rate:0.5 ~group_size:(Traffic.Fixed 3) ~users;
+    schemes =
+      [ Sim.Blanket; Sim.Selective 3; Sim.Selective_aged 3;
+        Sim.Selective_robust 3 ];
+    reporting = Reporting.Time 8;
+    profile_decay = 0.9;
+    profile_smoothing = 0.05;
+    mobility_schedule = [];
+    call_duration = 0.0;
+    track_ongoing = true;
+    faults = None;
+    estimator = Sim.Live;
+    aging = Some { Sim.default_aging with residence; drive_motion = true };
+    duration = 300.0;
+    seed;
+  }
+
+let residence_exp ?seed () =
+  residence_lab ?seed ~residence:(Mobility.Exponential { mean = 6.0 }) ()
+
+let residence_pareto ?seed () =
+  residence_lab ?seed
+    ~residence:(Mobility.pareto_with_mean ~alpha:1.6 ~mean:6.0) ()
+
 let all =
   [
     "suburb", suburb;
@@ -181,4 +228,6 @@ let all =
     "drifting-commuter", drifting_commuter;
     "busy-campus", busy_campus;
     "degraded-downtown", degraded_downtown;
+    "residence-exp", residence_exp;
+    "residence-pareto", residence_pareto;
   ]

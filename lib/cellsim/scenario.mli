@@ -44,4 +44,21 @@ val busy_campus : ?seed:int -> unit -> Sim.config
     comparing schemes' graceful degradation. *)
 val degraded_downtown : ?seed:int -> unit -> Sim.config
 
+(** [residence_lab ?seed ~residence ()] — the residence-time
+    laboratory: an 8×8 field whose ground truth moves by the
+    semi-Markov walk under [residence] (mean dwell 6 ticks, stay
+    matched so the exponential law reproduces the plain chain), time-8
+    reporting so profile ages genuinely spread over [0, 8), and a
+    scheme lineup of blanket, age-blind selective, age-evolved
+    selective and the staleness-inflated robust re-rank. *)
+val residence_lab :
+  ?seed:int -> residence:Mobility.residence -> unit -> Sim.config
+
+(** {!residence_lab} under an exponential dwell law of mean 6. *)
+val residence_exp : ?seed:int -> unit -> Sim.config
+
+(** {!residence_lab} under a heavy-tailed Pareto dwell law (tail index
+    1.6, infinite variance) matched to the same mean dwell 6. *)
+val residence_pareto : ?seed:int -> unit -> Sim.config
+
 val all : (string * (?seed:int -> unit -> Sim.config)) list

@@ -5,8 +5,14 @@ module Order_dp = Confcall.Order_dp
 module Miss = Confcall.Miss
 module Runner = Confcall.Runner
 module Solver = Confcall.Solver
+module Uncertainty = Confcall.Uncertainty
 
-type scheme = Blanket | Selective of int | Selective_diffuse of int
+type scheme =
+  | Blanket
+  | Selective of int
+  | Selective_diffuse of int
+  | Selective_aged of int
+  | Selective_robust of int
 
 type fault_metrics = {
   retries : int;
@@ -59,6 +65,7 @@ type result = {
   reports_lost : int;
   reports_delayed : int;
   outages : int;
+  polls : int;
   drift : drift_metrics option;
   per_scheme : scheme_metrics list;
 }
@@ -70,6 +77,25 @@ type estimator =
       drift : Drift.config option;
       budget_ms : float option;
     }
+
+type aging_config = {
+  residence : Mobility.residence;
+  age_cap : int;
+  dwell_cap : int;
+  drive_motion : bool;
+  reprofile_age : int option;
+  confidence : float;
+}
+
+let default_aging =
+  {
+    residence = Mobility.Exponential { mean = 6.0 };
+    age_cap = 30;
+    dwell_cap = 32;
+    drive_motion = false;
+    reprofile_age = None;
+    confidence = 0.9;
+  }
 
 type config = {
   hex : Hex.t;
@@ -86,6 +112,7 @@ type config = {
   track_ongoing : bool;
   faults : Faults.t option;
   estimator : estimator;
+  aging : aging_config option;
   duration : float;
   seed : int;
 }
@@ -107,6 +134,7 @@ let default_config () =
     track_ongoing = true;
     faults = None;
     estimator = Live;
+    aging = None;
     duration = 400.0;
     seed = 2002;
   }
@@ -115,6 +143,8 @@ let scheme_to_string = function
   | Blanket -> "blanket"
   | Selective d -> Printf.sprintf "selective-d%d" d
   | Selective_diffuse d -> Printf.sprintf "diffuse-d%d" d
+  | Selective_aged d -> Printf.sprintf "aged-d%d" d
+  | Selective_robust d -> Printf.sprintf "agedrobust-d%d" d
 
 let validate_config config =
   if config.users <= 0 then invalid_arg "Sim.run: no users"
@@ -165,6 +195,35 @@ let validate_config config =
         | Some b ->
           if not (Float.is_finite b && b > 0.0) then
             invalid_arg "Sim.run: estimator budget_ms must be positive"));
+    (match config.aging with
+     | None ->
+       List.iter
+         (function
+           | Selective_aged _ | Selective_robust _ ->
+             invalid_arg
+               "Sim.run: aged paging schemes require an aging config"
+           | _ -> ())
+         config.schemes
+     | Some a ->
+       (match Mobility.validate_residence a.residence with
+        | Ok () -> ()
+        | Error reason -> invalid_arg ("Sim.run: aging: " ^ reason));
+       if a.age_cap < 0 then
+         invalid_arg "Sim.run: aging age_cap must be >= 0";
+       if a.dwell_cap < 1 then
+         invalid_arg "Sim.run: aging dwell_cap must be >= 1";
+       if
+         Float.is_nan a.confidence
+         || a.confidence <= 0.0 || a.confidence >= 1.0
+       then invalid_arg "Sim.run: aging confidence must be in (0, 1)";
+       (match a.reprofile_age with
+        | Some k when k < 0 ->
+          invalid_arg "Sim.run: aging reprofile_age must be >= 0"
+        | _ -> ());
+       if a.drive_motion && config.mobility_schedule <> [] then
+         invalid_arg
+           "Sim.run: aging drive_motion is incompatible with a \
+            mobility_schedule");
     match config.faults with
     | None -> ()
     | Some f ->
@@ -221,6 +280,7 @@ let obs_record_result (r : result) =
     Obs.count_n "sim_reports_lost" r.reports_lost;
     Obs.count_n "sim_reports_delayed" r.reports_delayed;
     Obs.count_n "sim_outages" r.outages;
+    Obs.count_n "sim_polls" r.polls;
     Option.iter (fun d -> Obs.count_n "sim_resolves" d.resolves) r.drift;
     List.iter
       (fun s ->
@@ -327,6 +387,28 @@ let run config =
     in
     let busy_until = Array.make config.users neg_infinity in
     let diffuse = diffusion_cache config.mobility cells in
+    (* Residence-time layer: the aging kernel evolves beliefs by profile
+       age, and optionally drives the ground-truth motion itself (the
+       semi-Markov walk), giving dwell times the configured law instead
+       of the geometric one the plain matrix implies. *)
+    let aging_cfg = config.aging in
+    let kernel =
+      Option.map
+        (fun a ->
+          Mobility.aging_uniform ~dwell_cap:a.dwell_cap config.mobility
+            a.residence)
+        aging_cfg
+    in
+    let dwell = Array.make config.users 0 in
+    let polls = ref 0 in
+    (* Age of the system's knowledge of a user: full ticks since the
+       last exact sighting, capped so belief evolution stays bounded. *)
+    let profile_age u =
+      match aging_cfg with
+      | None -> 0
+      | Some a ->
+        Stdlib.min a.age_cap (Reporting.ticks_since_report report_state.(u))
+    in
     let all_cells = Array.init cells (fun i -> i) in
     let paged_mask = Array.make cells false in
     let moves = ref 0
@@ -379,9 +461,24 @@ let run config =
       if faults_on && fmodel.Faults.outage_rate > 0.0 then
         Faults.Outage.step outage fmodel rng_faults;
       let mobility = mobility_at now in
+      let drive_semi =
+        match aging_cfg, kernel with
+        | Some a, Some _ -> a.drive_motion
+        | _ -> false
+      in
       for u = 0 to config.users - 1 do
         let from_cell = position.(u) in
-        let to_cell = Mobility.step mobility rng_move ~cell:from_cell in
+        let to_cell =
+          if drive_semi then begin
+            let k = Option.get kernel in
+            let cell, dw =
+              Mobility.semi_step k rng_move ~cell:from_cell ~dwell:dwell.(u)
+            in
+            dwell.(u) <- dw;
+            cell
+          end
+          else Mobility.step mobility rng_move ~cell:from_cell
+        in
         if to_cell <> from_cell then incr moves;
         position.(u) <- to_cell;
         if busy_until.(u) > now && config.track_ongoing then
@@ -483,13 +580,29 @@ let run config =
             incr resolves;
             last_resolve := Some now;
             Drift.rearm d ~now
-          | Drift.Stable _ | Drift.Insufficient _ -> ())
+          | Drift.Stable _ | Drift.Insufficient _ | Drift.Cooling _ -> ())
        | _ -> ());
       let group = Traffic.draw_group config.traffic rng_traffic in
       if Array.exists (fun u -> busy_until.(u) > now) group then
         incr skipped_calls
       else begin
         incr total_calls;
+        (* Age-triggered re-profiling: participants whose last exact
+           sighting is older than the threshold are polled (one paging
+           query to their reported area — counted in [polls]) before
+           the search is planned, collapsing their uncertainty set and
+           refreshing their profile. The semi-Markov analogue of the
+           drift monitor's re-estimation, keyed on plain age. *)
+        (match aging_cfg with
+         | Some { reprofile_age = Some k; _ } ->
+           Array.iter
+             (fun u ->
+               if Reporting.ticks_since_report report_state.(u) > k then begin
+                 observe_exactly u ~now;
+                 incr polls
+               end)
+             group
+         | _ -> ());
         (* Per-participant uncertainty sets and their union. *)
         let uncertain =
           Array.map
@@ -550,6 +663,48 @@ let run config =
             Array.iteri (fun k p -> row.(k) <- p /. !mass) (Array.copy row);
           row
         in
+        (* Age-dependent row: the profile estimate evolved through the
+           residence-time kernel for as long as the system has been
+           blind to this user. Age 0 falls back to the frozen-snapshot
+           path bit for bit (Profile.aged_over delegates). *)
+        let aged_row idx =
+          let u = group.(idx) in
+          let k = Option.get kernel in
+          Profile.aged_over (paging_profile u) ~aging:k
+            ~age:(profile_age u) uncertain.(idx)
+          |> fun dist ->
+          let row = Array.make c_local 0.0 in
+          Array.iteri
+            (fun k cell -> row.(Hashtbl.find universe_tbl cell) <- dist.(k))
+            uncertain.(idx);
+          row
+        in
+        (* Staleness-inflated uncertainty ball for the robust re-rank:
+           the sampling radius (DKW on the profile's observation count)
+           grown by the churn probability — the chance the user left
+           their observed cell altogether, from the residence survival
+           at the profile's age. Radii never shrink with age. *)
+        let staleness_ball () =
+          match aging_cfg with
+          | None -> assert false (* validated: robust scheme needs aging *)
+          | Some a ->
+            let base =
+              Array.map
+                (fun u ->
+                  Prob.Estimate.dkw_eps
+                    ~n:(Profile.observations (paging_profile u))
+                    ~confidence:a.confidence)
+                group
+            in
+            let churn =
+              Array.map
+                (fun u ->
+                  1.0
+                  -. Mobility.residence_survival a.residence (profile_age u))
+                group
+            in
+            Uncertainty.inflate (Uncertainty.per_row base) ~by:churn
+        in
         let plan acc =
           let d, rows =
             match acc.s_scheme with
@@ -560,12 +715,36 @@ let run config =
             | Selective_diffuse d ->
               ( Stdlib.min d c_local,
                 Array.mapi (fun idx _ -> diffuse_row idx) group )
+            | Selective_aged d | Selective_robust d ->
+              ( Stdlib.min d c_local,
+                Array.mapi (fun idx _ -> aged_row idx) group )
           in
           let inst = Instance.create ~d rows in
           let strategy =
             match acc.s_scheme with
             | Blanket -> Strategy.page_all c_local
-            | Selective _ | Selective_diffuse _ ->
+            | Selective_robust _ ->
+              (* Re-rank the candidate pool by worst-case EP over the
+                 age-inflated per-row ball, like the robust-<eps>
+                 solver but with radii from the residence-time model. *)
+              let ball = staleness_ball () in
+              let best = ref None in
+              List.iter
+                (fun cand ->
+                  match Solver.solve cand inst with
+                  | outcome ->
+                    let r =
+                      Uncertainty.robust_ep ball inst outcome.Solver.strategy
+                    in
+                    (match !best with
+                     | Some (_, r') when r' <= r -> ()
+                     | _ -> best := Some (outcome.Solver.strategy, r))
+                  | exception Invalid_argument _ -> ())
+                Solver.robust_candidates;
+              (match !best with
+               | Some (s, _) -> s
+               | None -> (Greedy.solve inst).Order_dp.strategy)
+            | Selective _ | Selective_diffuse _ | Selective_aged _ ->
               (match plan_budget_ms with
                | Some b ->
                  (* Re-solve through the budgeted runtime: a refreshed
@@ -781,6 +960,7 @@ let run config =
       reports_lost = !reports_lost;
       reports_delayed = !reports_delayed;
       outages = Faults.Outage.failures outage;
+      polls = !polls;
       drift =
         Option.map
           (fun d ->
@@ -829,6 +1009,8 @@ let pp_result ppf (r : result) =
   if r.reports_lost > 0 || r.reports_delayed > 0 || r.outages > 0 then
     Format.fprintf ppf "faults: %d reports lost, %d delayed, %d cell outages@,"
       r.reports_lost r.reports_delayed r.outages;
+  if r.polls > 0 then
+    Format.fprintf ppf "aging: %d re-profiling polls@," r.polls;
   (match r.drift with
    | Some d ->
      Format.fprintf ppf

@@ -30,6 +30,16 @@ type scheme =
   | Selective_diffuse of int
       (** same heuristic, but rows are the mobility model's diffusion of
           the last known cell — "the system knows the motion statistics" *)
+  | Selective_aged of int
+      (** profile rows evolved through the residence-time aging kernel
+          for each user's profile age (ticks since last exact sighting);
+          requires [aging]. At age 0 (or [age_cap = 0]) identical to
+          [Selective] bit for bit. *)
+  | Selective_robust of int
+      (** aged rows, planned by re-ranking the solver's candidate pool
+          by worst-case EP over a per-user uncertainty ball whose radius
+          grows with profile age (DKW sampling radius + residence-model
+          churn); requires [aging]. *)
 
 (** Robustness observables accumulated over a run's calls; all zero when
     faults are disabled or never fired. *)
@@ -77,6 +87,9 @@ type result = {
   reports_lost : int;  (** location reports lost in transit *)
   reports_delayed : int;  (** location reports delivered late *)
   outages : int;  (** cell up-to-down transitions over the run *)
+  polls : int;
+      (** age-triggered re-profiling queries (participants polled before
+          planning because their profile exceeded [reprofile_age]) *)
   drift : drift_metrics option;
       (** set iff the run used a [Snapshot] estimator with a monitor *)
   per_scheme : scheme_metrics list;
@@ -101,6 +114,34 @@ type estimator =
               {!Confcall.Runner.solve} under this time budget instead of
               calling the greedy solver directly *)
     }
+
+(** The residence-time layer: how profile age translates into belief
+    evolution, uncertainty growth and (optionally) ground-truth motion. *)
+type aging_config = {
+  residence : Mobility.residence;
+      (** per-cell dwell law (uniform across cells) *)
+  age_cap : int;
+      (** profile ages are clamped here before belief evolution — the
+          aged matrix approaches stationarity anyway and the cap bounds
+          work per row; [0] disables evolution (frozen snapshots) *)
+  dwell_cap : int;  (** dwell-age truncation of the aging kernel *)
+  drive_motion : bool;
+      (** when true, ground-truth motion follows the semi-Markov walk
+          ({!Mobility.semi_step}) so actual dwell times obey
+          [residence]; incompatible with [mobility_schedule]. When
+          false, motion stays the plain Markov chain and the kernel
+          only ages beliefs. *)
+  reprofile_age : int option;
+      (** poll call participants whose profile age exceeds this before
+          planning (counted in [result.polls]); [None] never polls *)
+  confidence : float;
+      (** confidence for the DKW component of the staleness radius *)
+}
+
+(** Exponential residence of mean 6, age cap 30, dwell cap 32, belief
+    aging only (no semi-Markov motion), no re-profiling, confidence
+    0.9. *)
+val default_aging : aging_config
 
 type config = {
   hex : Hex.t;
@@ -138,6 +179,10 @@ type config = {
       (** [Live] pages from the always-fresh profiles; [Snapshot]
           freezes the paging matrix at [warmup] and models a deployed
           estimator that must {e detect} staleness to refresh *)
+  aging : aging_config option;
+      (** residence-time layer; required by [Selective_aged] and
+          [Selective_robust] schemes, [None] is the ageless simulator
+          (byte-identical to the previous behaviour) *)
   duration : float;  (** mobility ticks happen at every integer time *)
   seed : int;
 }

@@ -30,6 +30,26 @@ let per_row ?(tv = infinity) eps =
 
 let eps_for t i = match t.row_eps with Some a -> a.(i) | None -> t.eps
 
+let inflate t ~by =
+  if Array.length by = 0 then invalid_arg "Uncertainty.inflate: empty array";
+  Array.iteri
+    (fun i g ->
+      if Float.is_nan g || g < 0.0 then
+        invalid_arg
+          (Printf.sprintf
+             "Uncertainty.inflate: by.(%d) must be >= 0, got %g" i g))
+    by;
+  (match t.row_eps with
+   | Some a when Array.length a <> Array.length by ->
+     invalid_arg
+       (Printf.sprintf "Uncertainty.inflate: %d growths for %d rows"
+          (Array.length by) (Array.length a))
+   | _ -> ());
+  let row_eps =
+    Array.mapi (fun i g -> Float.min 1.0 (eps_for t i +. g)) by
+  in
+  { eps = 0.0; row_eps = Some row_eps; tv = t.tv }
+
 let validate t ~m =
   match t.row_eps with
   | Some a when Array.length a <> m ->

@@ -66,6 +66,17 @@ val per_row : ?tv:float -> float array -> t
 (** [eps_for t i] is the radius for device [i]'s row. *)
 val eps_for : t -> int -> float
 
+(** [inflate t ~by] grows device [i]'s L∞ radius by [by.(i)] ≥ 0,
+    capping at the trivial radius 1 and preserving the TV budget — the
+    staleness hook: radii widen with profile age (e.g. by
+    {!Prob.Estimate.staleness_eps} churn) and can never shrink, so
+    worst-case EP over the inflated ball dominates the original.
+    A uniform [t] becomes per-row; [by] must then have one entry per
+    device row.
+    @raise Invalid_argument on an empty or negative [by], or a length
+    mismatch with an existing [row_eps]. *)
+val inflate : t -> by:float array -> t
+
 (** [validate t ~m] checks [row_eps] (when present) has length [m]. *)
 val validate : t -> m:int -> (unit, string) result
 

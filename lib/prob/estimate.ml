@@ -25,6 +25,16 @@ let dkw_eps ~n ~confidence =
     Float.min 1.0
       (sqrt (log (2.0 /. (1.0 -. confidence)) /. (2.0 *. float_of_int n)))
 
+let staleness_eps ~n ~confidence ~churn =
+  if Float.is_nan churn || churn < 0.0 || churn > 1.0 then
+    invalid_arg "Estimate.staleness_eps: churn must be in [0, 1]";
+  (* DKW bounds the estimate against the truth at observation time;
+     churn bounds how far any cell probability has drifted since (the
+     probability the device has left its observed cell at all). Their
+     sum is a per-entry radius valid at page time, capped at the
+     trivial radius 1. *)
+  Float.min 1.0 (dkw_eps ~n ~confidence +. churn)
+
 type row = { dist : float array; n : int; eps : float }
 
 let estimate_rows ?alpha ~confidence counts =

@@ -21,6 +21,17 @@ val row_mle : ?alpha:float -> int array -> float array
     @raise Invalid_argument unless [n ≥ 0] and [0 < confidence < 1]. *)
 val dkw_eps : n:int -> confidence:float -> float
 
+(** [staleness_eps ~n ~confidence ~churn] widens {!dkw_eps} for profile
+    age: [churn] ∈ [0, 1] is the probability the device has moved since
+    it was last observed (1 − residence-time survival at the profile's
+    age), an upper bound on how far any per-cell probability can have
+    drifted between observation and page time. The result is
+    [min 1 (dkw_eps + churn)] — monotone non-decreasing in [churn], so
+    the radius never shrinks as a profile ages.
+    @raise Invalid_argument when [churn ∉ [0, 1]] (plus {!dkw_eps}'s
+    conditions). *)
+val staleness_eps : n:int -> confidence:float -> churn:float -> float
+
 (** One estimated row: the smoothed distribution, the raw sample count
     it rests on, and its {!dkw_eps} radius. *)
 type row = { dist : float array; n : int; eps : float }

@@ -78,6 +78,30 @@ A malformed retry spec is rejected with a parse error:
   $ $CLI simulate --retry sometimes 2>&1 | head -1
   confcall: option '--retry': retry must be none | repeat:<cycles>[:<backoff>]
 
+A residence law turns on the semi-Markov aging layer: ground truth
+moves by the dwell-law walk, aged schemes join the lineup, and the
+re-profiling trigger reports its polls:
+
+  $ $CLI simulate --users 16 --duration 50 --seed 5 --residence exp:6 \
+  >   --aged --reprofile-age 4 | head -2
+  duration 50, 142 moves, 45 reports, 18 calls (0 skipped)
+  aging: 24 re-profiling polls
+
+  $ $CLI simulate --users 16 --duration 50 --seed 5 --residence exp:6 \
+  >   --aged --json | grep -c '"polls"'
+  1
+
+A malformed residence law is rejected with a parse error, and the
+age-dependent flags refuse to run without one:
+
+  $ $CLI simulate --residence weibull:2 2>&1 | head -2
+  confcall: option '--residence': residence must be exp:<mean> |
+            pareto:<alpha>:<scale> | zipf:<s>:<cutoff>
+
+  $ $CLI simulate --aged 2> err.txt; echo "exit=$?"; cat err.txt
+  exit=2
+  confcall: error: --aged, --age-robust and --reprofile-age require --residence
+
 JSON output is valid and carries the robustness block:
 
   $ $CLI simulate --users 16 --duration 50 --seed 5 --json | head -c 16

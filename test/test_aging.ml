@@ -1,0 +1,523 @@
+(* Tests for the residence-time aging layer: dwell laws, the semi-Markov
+   aging kernel, age-evolved profile estimates, the staleness radius,
+   and the simulator's age-aware schemes — plus regression tests for the
+   neighbor-less walk rows, Mobility.diffuse argument validation and the
+   lazy profile decay. *)
+
+module M = Cellsim.Mobility
+module P = Cellsim.Profile
+module Sim = Cellsim.Sim
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let float_t eps = Alcotest.float eps
+let hex8 () = Cellsim.Hex.create ~rows:8 ~cols:8
+
+let tv a b =
+  let s = ref 0.0 in
+  Array.iteri (fun i x -> s := !s +. abs_float (x -. b.(i))) a;
+  0.5 *. !s
+
+let raises_invalid f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let random_dist rng n =
+  Prob.Dist.normalize (Array.init n (fun _ -> Prob.Rng.float rng 1.0 +. 0.01))
+
+let sample_laws =
+  [
+    M.Exponential { mean = 6.0 };
+    M.Pareto { alpha = 1.6; scale = 3.5 };
+    M.Zipf { s = 1.2; cutoff = 20 };
+  ]
+
+(* -------------------- residence laws -------------------- *)
+
+let test_residence_survival_hazard () =
+  List.iter
+    (fun law ->
+      check (float_t 0.0) "S(0) = 1" 1.0 (M.residence_survival law 0);
+      for a = 0 to 40 do
+        let h = M.residence_hazard law a in
+        check bool_t "hazard in [0,1]" true (h >= 0.0 && h <= 1.0);
+        check bool_t "survival non-increasing" true
+          (M.residence_survival law (a + 1)
+          <= M.residence_survival law a +. 1e-12)
+      done)
+    sample_laws;
+  (* The memoryless law: constant hazard 1/mean. *)
+  let e = M.Exponential { mean = 6.0 } in
+  for a = 0 to 20 do
+    check (float_t 1e-12) "exp hazard constant" (1.0 /. 6.0)
+      (M.residence_hazard e a)
+  done;
+  (* The heavy tail: hazard decreases with dwell age. *)
+  let p = M.Pareto { alpha = 1.6; scale = 3.5 } in
+  for a = 0 to 20 do
+    check bool_t "pareto hazard decreasing" true
+      (M.residence_hazard p (a + 1) <= M.residence_hazard p a +. 1e-12)
+  done;
+  (* Bounded support: certain departure at the cutoff. *)
+  let z = M.Zipf { s = 1.0; cutoff = 5 } in
+  check (float_t 1e-12) "zipf exhausts at cutoff" 1.0 (M.residence_hazard z 5)
+
+let test_pareto_with_mean () =
+  List.iter
+    (fun mean ->
+      let law = M.pareto_with_mean ~alpha:1.6 ~mean in
+      check (float_t 1e-6) "mean matched" mean (M.residence_mean law))
+    [ 2.0; 6.0; 12.0 ];
+  check bool_t "alpha <= 1 rejected" true
+    (raises_invalid (fun () -> M.pareto_with_mean ~alpha:1.0 ~mean:6.0));
+  check bool_t "mean < 1 rejected" true
+    (raises_invalid (fun () -> M.pareto_with_mean ~alpha:1.6 ~mean:0.5))
+
+let test_residence_strings () =
+  List.iter
+    (fun law ->
+      match M.residence_of_string (M.residence_to_string law) with
+      | Ok law' ->
+        check Alcotest.string "roundtrip" (M.residence_to_string law)
+          (M.residence_to_string law')
+      | Error e -> Alcotest.failf "roundtrip failed: %s" e)
+    sample_laws;
+  List.iter
+    (fun s ->
+      check bool_t ("rejects " ^ s) true
+        (Result.is_error (M.residence_of_string s)))
+    [ ""; "exp"; "exp:0"; "pareto:1.6"; "zipf:1.2:0"; "weibull:2" ]
+
+let test_validate_residence () =
+  List.iter
+    (fun law -> check bool_t "valid" true (M.validate_residence law = Ok ()))
+    sample_laws;
+  List.iter
+    (fun law ->
+      check bool_t "invalid" true (Result.is_error (M.validate_residence law)))
+    [
+      M.Exponential { mean = 0.5 };
+      M.Exponential { mean = nan };
+      M.Pareto { alpha = 0.0; scale = 3.0 };
+      M.Pareto { alpha = 1.6; scale = 0.0 };
+      M.Zipf { s = -0.1; cutoff = 5 };
+      M.Zipf { s = 1.0; cutoff = 0 };
+    ]
+
+(* -------------------- walk-row regressions -------------------- *)
+
+(* A 1×1 field has a neighbor-less cell: both walk builders used to
+   divide by the neighbor count. The cell must now be absorbing. *)
+let test_single_cell_walks_absorbing () =
+  let h = Cellsim.Hex.create ~rows:1 ~cols:1 in
+  let rw = M.random_walk h ~stay:0.3 in
+  check (float_t 0.0) "random walk absorbs" 1.0 rw.M.rows.(0).(0);
+  let dw = M.drift_walk h ~stay:0.3 ~east_bias:2.0 in
+  check (float_t 0.0) "drift walk absorbs" 1.0 dw.M.rows.(0).(0)
+
+let test_create_names_offending_row () =
+  match M.create [| [| 0.5; 0.5 |]; [| 0.7; 0.5 |] |] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    check bool_t "names the row" true (contains msg "row 1");
+    check bool_t "names the sum" true (contains msg "1.2")
+
+let test_diffuse_rejects_negative_steps () =
+  let h = hex8 () in
+  let mob = M.random_walk h ~stay:0.4 in
+  let n = Cellsim.Hex.cells h in
+  let d = Array.make n (1.0 /. float_of_int n) in
+  check bool_t "steps < 0 raises" true
+    (raises_invalid (fun () -> M.diffuse mob d ~steps:(-1)));
+  check bool_t "steps = 0 fine" true
+    (tv (M.diffuse mob d ~steps:0) d = 0.0)
+
+(* -------------------- aging kernel -------------------- *)
+
+let test_aging_validation () =
+  let base = M.random_walk (hex8 ()) ~stay:0.5 in
+  check bool_t "bad law rejected" true
+    (raises_invalid (fun () ->
+         M.aging_uniform base (M.Exponential { mean = 0.0 })));
+  check bool_t "dwell_cap < 1 rejected" true
+    (raises_invalid (fun () ->
+         M.aging_uniform ~dwell_cap:0 base (M.Exponential { mean = 2.0 })));
+  check bool_t "law-count mismatch rejected" true
+    (raises_invalid (fun () ->
+         M.aging base [| M.Exponential { mean = 2.0 } |]))
+
+let test_semi_step_bounds () =
+  let h = hex8 () in
+  let base = M.random_walk h ~stay:0.5 in
+  let cap = 8 in
+  let aging =
+    M.aging_uniform ~dwell_cap:cap base (M.Pareto { alpha = 1.6; scale = 3.5 })
+  in
+  let rng = Prob.Rng.create ~seed:42 in
+  let n = Cellsim.Hex.cells h in
+  let cell = ref 0 and dwell = ref 0 in
+  for _ = 1 to 2000 do
+    let c', dw' = M.semi_step aging rng ~cell:!cell ~dwell:!dwell in
+    check bool_t "cell in range" true (c' >= 0 && c' < n);
+    if c' <> !cell then check int_t "dwell resets on move" 0 dw'
+    else
+      check int_t "dwell grows, clamped below cap" (Int.min (!dwell + 1) (cap - 1))
+        dw';
+    cell := c';
+    dwell := dw'
+  done
+
+let test_semi_step_absorbing_cell_stays () =
+  let h = Cellsim.Hex.create ~rows:1 ~cols:1 in
+  let aging =
+    M.aging_uniform (M.random_walk h ~stay:0.3) (M.Exponential { mean = 2.0 })
+  in
+  let rng = Prob.Rng.create ~seed:5 in
+  for dwell = 0 to 5 do
+    let c', _ = M.semi_step aging rng ~cell:0 ~dwell in
+    check int_t "absorbing cell never leaves" 0 c'
+  done
+
+(* With a uniform exponential law of mean 1/(1 − stay), the semi-Markov
+   per-tick dynamics coincide with the base chain: age_dist must equal
+   diffuse, step for step. *)
+let test_exp_matched_aging_is_markov () =
+  let h = hex8 () in
+  let stay = 0.5 in
+  let base = M.random_walk h ~stay in
+  let aging =
+    M.aging_uniform base (M.Exponential { mean = 1.0 /. (1.0 -. stay) })
+  in
+  let n = Cellsim.Hex.cells h in
+  let rng = Prob.Rng.create ~seed:7 in
+  for _ = 1 to 5 do
+    let d = random_dist rng n in
+    List.iter
+      (fun steps ->
+        check (float_t 1e-9) "age_dist = diffuse" 0.0
+          (tv (M.age_dist aging d ~steps) (M.diffuse base d ~steps)))
+      [ 0; 1; 3; 8 ]
+  done
+
+let test_age_dist_is_distribution () =
+  let h = hex8 () in
+  let base = M.random_walk h ~stay:0.5 in
+  let n = Cellsim.Hex.cells h in
+  let rng = Prob.Rng.create ~seed:13 in
+  List.iter
+    (fun law ->
+      let aging = M.aging_uniform base law in
+      let d = random_dist rng n in
+      for steps = 0 to 20 do
+        let a = M.age_dist aging d ~steps in
+        let sum = Array.fold_left ( +. ) 0.0 a in
+        check (float_t 1e-9) "sums to 1" 1.0 sum;
+        Array.iter (fun x -> check bool_t "non-negative" true (x >= -1e-15)) a
+      done;
+      check bool_t "steps < 0 raises" true
+        (raises_invalid (fun () -> M.age_dist aging d ~steps:(-1))))
+    sample_laws
+
+let test_age_to_infinity_reaches_stationary () =
+  (* Matched exponential law on a small field: the aged point mass must
+     converge to the base chain's stationary distribution. *)
+  let h = Cellsim.Hex.create ~rows:4 ~cols:4 in
+  let stay = 0.5 in
+  let base = M.random_walk h ~stay in
+  let aging =
+    M.aging_uniform base (M.Exponential { mean = 1.0 /. (1.0 -. stay) })
+  in
+  let n = Cellsim.Hex.cells h in
+  let delta = Array.make n 0.0 in
+  delta.(0) <- 1.0;
+  let aged = M.age_dist aging delta ~steps:400 in
+  check (float_t 1e-6) "converged to stationary" 0.0
+    (tv aged (M.stationary base));
+  (* Heavy-tailed laws: no closed form claimed, but the evolution must
+     still reach a fixed point. *)
+  let pareto = M.aging_uniform base (M.Pareto { alpha = 1.6; scale = 3.5 }) in
+  check (float_t 1e-6) "pareto fixed point" 0.0
+    (tv (M.age_dist pareto delta ~steps:400) (M.age_dist pareto delta ~steps:401))
+
+(* -------------------- profile aging -------------------- *)
+
+let observed_profile h ~count ~seed =
+  let n = Cellsim.Hex.cells h in
+  let p = P.create ~cells:n ~decay:0.9 ~smoothing:0.05 in
+  let rng = Prob.Rng.create ~seed in
+  for _ = 1 to count do
+    P.observe p (Prob.Rng.int rng n)
+  done;
+  p
+
+let test_profile_age0_bit_identical () =
+  let h = hex8 () in
+  let p = observed_profile h ~count:200 ~seed:3 in
+  let aging =
+    M.aging_uniform (M.random_walk h ~stay:0.5) (M.Exponential { mean = 2.0 })
+  in
+  check bool_t "aged age-0 bitwise" true
+    (P.aged p ~aging ~age:0 = P.distribution p);
+  let subset = [| 0; 5; 9; 33 |] in
+  check bool_t "aged_over age-0 bitwise" true
+    (P.aged_over p ~aging ~age:0 subset = P.distribution_over p subset);
+  check bool_t "age > 0 changes the row" true
+    (tv (P.aged p ~aging ~age:3) (P.distribution p) > 1e-6);
+  check bool_t "negative age rejected" true
+    (raises_invalid (fun () -> P.aged p ~aging ~age:(-1)));
+  check bool_t "empty subset rejected" true
+    (raises_invalid (fun () -> P.aged_over p ~aging ~age:1 [||]))
+
+let test_aged_over_normalizes () =
+  let h = hex8 () in
+  let p = observed_profile h ~count:100 ~seed:17 in
+  let aging =
+    M.aging_uniform (M.random_walk h ~stay:0.5)
+      (M.Pareto { alpha = 1.6; scale = 3.5 })
+  in
+  let subset = [| 2; 3; 10; 11; 40 |] in
+  List.iter
+    (fun age ->
+      let r = P.aged_over p ~aging ~age subset in
+      check int_t "subset length" (Array.length subset) (Array.length r);
+      check (float_t 1e-9) "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 r))
+    [ 0; 1; 5; 12 ]
+
+(* The lazy decay (pending-exponent stamps) against a test-local eager
+   reference: bitwise when every observation is followed by a read (lag
+   1 is a single multiply), and within 1e-12 after long unread batches
+   (the power collapse differs from repeated multiplication only by
+   float associativity). *)
+let test_lazy_decay_matches_eager () =
+  let n = 32 in
+  let decay = 0.9 and smoothing = 0.05 in
+  let p = P.create ~cells:n ~decay ~smoothing in
+  let eager = Array.make n 0.0 in
+  let observe c =
+    for j = 0 to n - 1 do
+      eager.(j) <- eager.(j) *. decay
+    done;
+    eager.(c) <- eager.(c) +. 1.0;
+    P.observe p c
+  in
+  let eager_dist () =
+    Prob.Dist.normalize (Array.map (fun x -> x +. smoothing) eager)
+  in
+  let rng = Prob.Rng.create ~seed:11 in
+  for _ = 1 to 100 do
+    observe (Prob.Rng.int rng n);
+    check bool_t "bitwise at lag 1" true (P.distribution p = eager_dist ())
+  done;
+  for _ = 1 to 500 do
+    observe (Prob.Rng.int rng n)
+  done;
+  let lazy_d = P.distribution p and eager_d = eager_dist () in
+  Array.iteri
+    (fun j x -> check (float_t 1e-12) "batched within 1e-12" eager_d.(j) x)
+    lazy_d;
+  check int_t "same observation count" 600 (P.observations p)
+
+(* -------------------- staleness radius -------------------- *)
+
+let test_staleness_eps_monotone () =
+  let dkw = Prob.Estimate.dkw_eps ~n:100 ~confidence:0.9 in
+  check (float_t 0.0) "churn 0 is plain DKW" dkw
+    (Prob.Estimate.staleness_eps ~n:100 ~confidence:0.9 ~churn:0.0);
+  let prev = ref 0.0 in
+  List.iter
+    (fun churn ->
+      let e = Prob.Estimate.staleness_eps ~n:100 ~confidence:0.9 ~churn in
+      check bool_t "monotone in churn" true (e >= !prev);
+      check bool_t "bounded by 1" true (e <= 1.0);
+      prev := e)
+    [ 0.0; 0.1; 0.3; 0.7; 0.95; 1.0 ];
+  check (float_t 0.0) "capped at 1" 1.0
+    (Prob.Estimate.staleness_eps ~n:100 ~confidence:0.9 ~churn:1.0);
+  check bool_t "churn > 1 rejected" true
+    (raises_invalid (fun () ->
+         Prob.Estimate.staleness_eps ~n:100 ~confidence:0.9 ~churn:1.1));
+  check bool_t "churn < 0 rejected" true
+    (raises_invalid (fun () ->
+         Prob.Estimate.staleness_eps ~n:100 ~confidence:0.9 ~churn:(-0.1)))
+
+let test_inflate_monotone () =
+  let open Confcall in
+  let ball = Uncertainty.per_row [| 0.05; 0.1 |] in
+  let inflated = Uncertainty.inflate ball ~by:[| 0.2; 0.95 |] in
+  check (float_t 1e-12) "radius grows by the increment" 0.25
+    (Uncertainty.eps_for inflated 0);
+  check (float_t 1e-12) "capped at the trivial radius" 1.0
+    (Uncertainty.eps_for inflated 1);
+  let inst =
+    Instance.create ~d:2 [| [| 0.7; 0.2; 0.1 |]; [| 0.1; 0.8; 0.1 |] |]
+  in
+  let strat = (Solver.solve Solver.Greedy inst).Solver.strategy in
+  check bool_t "worst-case EP never shrinks" true
+    (Uncertainty.robust_ep inflated inst strat
+    >= Uncertainty.robust_ep ball inst strat -. 1e-12);
+  check bool_t "negative increment rejected" true
+    (raises_invalid (fun () -> Uncertainty.inflate ball ~by:[| -0.1; 0.0 |]));
+  check bool_t "length mismatch rejected" true
+    (raises_invalid (fun () -> Uncertainty.inflate ball ~by:[| 0.1 |]))
+
+(* -------------------- simulator -------------------- *)
+
+let shorten cfg = { cfg with Sim.duration = 150.0 }
+
+(* With age_cap = 0 the aged scheme must reproduce the age-blind one
+   decision for decision within the same run — the frozen-snapshot
+   differential of the aged path. *)
+let test_sim_age0_differential () =
+  let base = Cellsim.Scenario.suburb ~seed:5 () in
+  let cfg =
+    shorten
+      {
+        base with
+        Sim.schemes = [ Sim.Selective 3; Sim.Selective_aged 3 ];
+        reporting = Cellsim.Reporting.Time 6;
+        aging = Some { Sim.default_aging with Sim.age_cap = 0 };
+      }
+  in
+  let r = Sim.run cfg in
+  let get s = List.find (fun m -> m.Sim.scheme = s) r.Sim.per_scheme in
+  let a = get (Sim.Selective 3) and b = get (Sim.Selective_aged 3) in
+  check int_t "cells paged equal" a.Sim.cells_paged b.Sim.cells_paged;
+  check int_t "rounds equal" a.Sim.rounds_used b.Sim.rounds_used;
+  check (float_t 0.0) "nominal EP equal" a.Sim.expected_paging
+    b.Sim.expected_paging
+
+let test_residence_scenarios_deterministic () =
+  List.iter
+    (fun cfg ->
+      let run () = Sim.run (shorten cfg) in
+      let r1 = run () and r2 = run () in
+      check int_t "moves equal" r1.Sim.moves r2.Sim.moves;
+      check int_t "polls equal" r1.Sim.polls r2.Sim.polls;
+      List.iter2
+        (fun a b ->
+          check int_t "cells equal" a.Sim.cells_paged b.Sim.cells_paged;
+          check (float_t 0.0) "EP equal" a.Sim.expected_paging
+            b.Sim.expected_paging)
+        r1.Sim.per_scheme r2.Sim.per_scheme)
+    [
+      Cellsim.Scenario.residence_exp ~seed:9 ();
+      Cellsim.Scenario.residence_pareto ~seed:9 ();
+    ]
+
+let test_sim_reprofile_polls () =
+  let cfg = shorten (Cellsim.Scenario.residence_exp ~seed:5 ()) in
+  let with_reprofile =
+    {
+      cfg with
+      Sim.aging =
+        Option.map
+          (fun a -> { a with Sim.reprofile_age = Some 0 })
+          cfg.Sim.aging;
+    }
+  in
+  let r0 = Sim.run cfg and r1 = Sim.run with_reprofile in
+  check int_t "no polls without the trigger" 0 r0.Sim.polls;
+  check bool_t "polls happen" true (r1.Sim.polls > 0);
+  let sel r = List.find (fun m -> m.Sim.scheme = Sim.Selective 3) r.Sim.per_scheme in
+  check bool_t "re-profiling pages no more cells" true
+    ((sel r1).Sim.cells_paged <= (sel r0).Sim.cells_paged)
+
+let test_sim_aging_validation () =
+  let cfg = Cellsim.Scenario.suburb ~seed:1 () in
+  check bool_t "aged scheme needs aging" true
+    (raises_invalid (fun () ->
+         Sim.run { cfg with Sim.schemes = [ Sim.Selective_aged 3 ] }));
+  check bool_t "robust scheme needs aging" true
+    (raises_invalid (fun () ->
+         Sim.run { cfg with Sim.schemes = [ Sim.Selective_robust 3 ] }));
+  check bool_t "bad residence rejected" true
+    (raises_invalid (fun () ->
+         Sim.run
+           {
+             cfg with
+             Sim.aging =
+               Some
+                 {
+                   Sim.default_aging with
+                   Sim.residence = M.Exponential { mean = 0.5 };
+                 };
+           }));
+  let commuter = Cellsim.Scenario.commuter_day ~seed:1 () in
+  check bool_t "drive_motion excludes mobility_schedule" true
+    (raises_invalid (fun () ->
+         Sim.run
+           {
+             commuter with
+             Sim.aging =
+               Some { Sim.default_aging with Sim.drive_motion = true };
+           }))
+
+let () =
+  Alcotest.run "aging"
+    [
+      ( "residence",
+        [
+          Alcotest.test_case "survival/hazard shapes" `Quick
+            test_residence_survival_hazard;
+          Alcotest.test_case "pareto mean matching" `Quick
+            test_pareto_with_mean;
+          Alcotest.test_case "string round-trip" `Quick test_residence_strings;
+          Alcotest.test_case "validation" `Quick test_validate_residence;
+        ] );
+      ( "walk regressions",
+        [
+          Alcotest.test_case "neighbor-less cells absorb" `Quick
+            test_single_cell_walks_absorbing;
+          Alcotest.test_case "create names offender" `Quick
+            test_create_names_offending_row;
+          Alcotest.test_case "diffuse rejects steps < 0" `Quick
+            test_diffuse_rejects_negative_steps;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "validation" `Quick test_aging_validation;
+          Alcotest.test_case "semi_step bounds" `Quick test_semi_step_bounds;
+          Alcotest.test_case "absorbing cell stays" `Quick
+            test_semi_step_absorbing_cell_stays;
+          Alcotest.test_case "matched exp = Markov" `Quick
+            test_exp_matched_aging_is_markov;
+          Alcotest.test_case "aged rows are distributions" `Quick
+            test_age_dist_is_distribution;
+          Alcotest.test_case "age → ∞ reaches stationary" `Slow
+            test_age_to_infinity_reaches_stationary;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "age 0 bit-identical" `Quick
+            test_profile_age0_bit_identical;
+          Alcotest.test_case "aged_over normalizes" `Quick
+            test_aged_over_normalizes;
+          Alcotest.test_case "lazy decay = eager" `Quick
+            test_lazy_decay_matches_eager;
+        ] );
+      ( "staleness",
+        [
+          Alcotest.test_case "staleness_eps monotone" `Quick
+            test_staleness_eps_monotone;
+          Alcotest.test_case "inflate monotone + capped" `Quick
+            test_inflate_monotone;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "age-0 differential" `Slow
+            test_sim_age0_differential;
+          Alcotest.test_case "residence scenarios deterministic" `Slow
+            test_residence_scenarios_deterministic;
+          Alcotest.test_case "re-profiling polls" `Slow
+            test_sim_reprofile_polls;
+          Alcotest.test_case "validation" `Quick test_sim_aging_validation;
+        ] );
+    ]

@@ -352,6 +352,7 @@ let small_config () =
     track_ongoing = true;
     faults = None;
     estimator = Cellsim.Sim.Live;
+    aging = None;
     profile_decay = 0.9;
     profile_smoothing = 0.05;
     duration = 150.0;

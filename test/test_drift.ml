@@ -38,7 +38,8 @@ let test_stationary_stays_stable () =
   (match Drift.check d ~now:4.0 ~reference:point_reference with
    | Drift.Stable tv -> check (float_t 1e-9) "mean tv" 0.0 tv
    | Drift.Drifted tv -> Alcotest.failf "drifted on stationary obs (tv %g)" tv
-   | Drift.Insufficient n -> Alcotest.failf "insufficient (%d eligible)" n);
+   | Drift.Insufficient n -> Alcotest.failf "insufficient (%d eligible)" n
+   | Drift.Cooling r -> Alcotest.failf "cooling (%g left) with no trigger" r);
   (* more stationary evidence never flips the verdict *)
   for t = 5 to 30 do
     feed d ~users:5 ~offset:0 ~times:[ float_of_int t ];
@@ -55,6 +56,7 @@ let test_shifted_observations_drift () =
   | Drift.Drifted tv -> check (float_t 1e-9) "mean tv" 1.0 tv
   | Drift.Stable tv -> Alcotest.failf "stable despite relocation (tv %g)" tv
   | Drift.Insufficient n -> Alcotest.failf "insufficient (%d eligible)" n
+  | Drift.Cooling r -> Alcotest.failf "cooling (%g left) with no trigger" r
 
 let test_insufficient_evidence () =
   let d = Drift.create cfg ~users:5 ~cells in
@@ -68,6 +70,7 @@ let test_insufficient_evidence () =
        (match v with
         | Drift.Stable _ -> "Stable"
         | Drift.Drifted _ -> "Drifted"
+        | Drift.Cooling _ -> "Cooling"
         | Drift.Insufficient _ -> assert false));
   (* stale evidence expires out of the window *)
   let d2 = Drift.create cfg ~users:5 ~cells in
@@ -83,9 +86,13 @@ let test_cooldown_and_rearm () =
    | Drift.Drifted _ -> ()
    | _ -> Alcotest.fail "setup: expected Drifted");
   Drift.rearm d ~now:4.0;
-  (* within the cooldown no verdict is rendered *)
+  (* within the cooldown the monitor says so, with the time remaining —
+     distinguishable from a lack of evidence *)
   (match Drift.check d ~now:6.0 ~reference:point_reference with
-   | Drift.Insufficient _ -> ()
+   | Drift.Cooling remaining ->
+     check (float_t 1e-9) "cooldown remaining" 3.0 remaining
+   | Drift.Insufficient _ ->
+     Alcotest.fail "cooldown reported as Insufficient"
    | _ -> Alcotest.fail "verdict rendered during cooldown");
   (* after the cooldown the kept windows still contradict the
      reference, so the monitor fires again *)

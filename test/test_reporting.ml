@@ -153,6 +153,7 @@ let base_config schemes reporting call_duration =
     track_ongoing = true;
     faults = None;
     estimator = Cellsim.Sim.Live;
+    aging = None;
     duration = 150.0;
     seed = 99;
   }

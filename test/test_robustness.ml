@@ -114,6 +114,7 @@ let base_sim_config () =
     track_ongoing = true;
     faults = None;
     estimator = Cellsim.Sim.Live;
+    aging = None;
     profile_decay = 0.9;
     profile_smoothing = 0.05;
     duration = 20.0;
